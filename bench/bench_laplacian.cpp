@@ -1,0 +1,88 @@
+// E5 (Theorem 1.3 / Corollary 2.4): Laplacian solver — iterations ~
+// log(1/eps), measured energy-norm error <= eps, preprocessing vs
+// per-instance round split.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "laplacian/solver.h"
+
+namespace {
+
+using namespace bcclap;
+
+void BM_LaplacianSolveEps(benchmark::State& state) {
+  const double eps = std::pow(10.0, -static_cast<double>(state.range(0)));
+  const std::size_t n = 48;
+  rng::Stream gstream(5);
+  const auto g = graph::complete(n, 6, gstream);
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = 4;
+  laplacian::SparsifiedLaplacianSolver solver(g, opt, 1001);
+  rng::Stream bstream(6);
+  linalg::Vec b(n);
+  for (auto& v : b) v = bstream.next_gaussian();
+  linalg::remove_mean(b);
+  const auto exact = laplacian::exact_laplacian_solve(g, b);
+  const double ref = laplacian::laplacian_norm(g, exact);
+
+  double iters = 0, rounds = 0, err = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    laplacian::SolveStats stats;
+    const auto y = solver.solve(b, eps, &stats);
+    iters += static_cast<double>(stats.iterations);
+    rounds += static_cast<double>(stats.rounds);
+    err += laplacian::laplacian_norm(g, linalg::sub(exact, y)) / ref;
+    ++runs;
+  }
+  const double r = static_cast<double>(runs);
+  state.counters["eps"] = eps;
+  state.counters["iterations"] = iters / r;
+  state.counters["instance_rounds"] = rounds / r;
+  state.counters["preproc_rounds"] =
+      static_cast<double>(solver.preprocessing_rounds());
+  state.counters["measured_err"] = err / r;
+}
+
+BENCHMARK(BM_LaplacianSolveEps)
+    ->DenseRange(1, 10, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Rounds vs n at fixed eps (the Theta(polylog) per-instance claim).
+void BM_LaplacianSolveN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  rng::Stream gstream(n);
+  const auto g = graph::complete(n, 4, gstream);
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = 2;
+  laplacian::SparsifiedLaplacianSolver solver(g, opt, n * 7);
+  linalg::Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+  double rounds = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    laplacian::SolveStats stats;
+    benchmark::DoNotOptimize(solver.solve(b, 1e-8, &stats));
+    rounds += static_cast<double>(stats.rounds);
+    ++runs;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["instance_rounds"] = rounds / static_cast<double>(runs);
+  state.counters["preproc_rounds"] =
+      static_cast<double>(solver.preprocessing_rounds());
+}
+
+BENCHMARK(BM_LaplacianSolveN)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(96)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// E9 (Lemma 4.10): mixed-norm-ball projection — probe count (round cost
+// driver) vs tolerance, accuracy vs the grid reference, scaling in m.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/project_mixed_ball.h"
+
+namespace {
+
+using namespace bcclap;
+
+void make_instance(std::size_t m, std::uint64_t seed, linalg::Vec& a,
+                   linalg::Vec& l) {
+  rng::Stream stream(seed);
+  a.resize(m);
+  l.resize(m);
+  for (auto& v : a) v = stream.next_gaussian();
+  for (auto& v : l) v = 0.05 + stream.next_double();
+}
+
+void BM_ProjectionSize(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  linalg::Vec a, l;
+  make_instance(m, m, a, l);
+  double probes = 0, rounds = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    bcc::RoundAccountant acct;
+    const auto res = lp::project_mixed_ball(a, l, 1e-10, &acct);
+    benchmark::DoNotOptimize(res.value);
+    probes += static_cast<double>(res.probes);
+    rounds += static_cast<double>(acct.total());
+    ++runs;
+  }
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["probes"] = probes / static_cast<double>(runs);
+  state.counters["rounds"] = rounds / static_cast<double>(runs);
+}
+
+BENCHMARK(BM_ProjectionSize)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ProjectionAccuracy(benchmark::State& state) {
+  const std::size_t m = 64;
+  double max_gap = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    linalg::Vec a, l;
+    make_instance(m, runs + 31, a, l);
+    const auto fast = lp::project_mixed_ball(a, l);
+    const auto ref = lp::project_mixed_ball_reference(a, l, 20000);
+    max_gap = std::max(max_gap,
+                       std::abs(fast.value - ref.value) /
+                           std::max(std::abs(ref.value), 1e-12));
+    ++runs;
+  }
+  state.counters["max_rel_gap_vs_ref"] = max_gap;
+}
+
+BENCHMARK(BM_ProjectionAccuracy)->Iterations(20)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectionTolerance(benchmark::State& state) {
+  const double tol = std::pow(10.0, -static_cast<double>(state.range(0)));
+  linalg::Vec a, l;
+  make_instance(128, 77, a, l);
+  double probes = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto res = lp::project_mixed_ball(a, l, tol);
+    probes += static_cast<double>(res.probes);
+    ++runs;
+  }
+  state.counters["log10_inv_tol"] = static_cast<double>(state.range(0));
+  state.counters["probes"] = probes / static_cast<double>(runs);
+}
+
+BENCHMARK(BM_ProjectionTolerance)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Scenario: electrical-network analysis on a distributed grid.
+//
+// Each processor owns one bus of a 12x8 resistor grid; solving L x = b for
+// a current injection gives node potentials, effective resistances and
+// power flows — the classic Laplacian-paradigm workload, here computed
+// with the BCC solver and verified against the exact factorization.
+#include <cstdio>
+
+#include "core/bcclap.h"
+
+int main() {
+  using namespace bcclap;
+
+  rng::Stream stream(99);
+  const std::size_t rows = 12, cols = 8;
+  // Conductances 1..5 (integer weights).
+  const graph::Graph grid = graph::grid(rows, cols, 5, stream);
+  const std::size_t n = grid.num_vertices();
+  std::printf("resistor grid: %zux%zu buses, %zu branches\n", rows, cols,
+              grid.num_edges());
+
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = 3;
+  laplacian::SparsifiedLaplacianSolver solver(grid, opt, 4242);
+  std::printf("preconditioner: %zu branches, %lld preprocessing rounds\n",
+              solver.sparsifier().num_edges(),
+              static_cast<long long>(solver.preprocessing_rounds()));
+
+  // Inject 1A at the top-left bus, extract at the bottom-right.
+  linalg::Vec current(n, 0.0);
+  current[0] = 1.0;
+  current[n - 1] = -1.0;
+  laplacian::SolveStats stats;
+  const linalg::Vec potential = solver.solve(current, 1e-10, &stats);
+
+  const double r_eff = potential[0] - potential[n - 1];
+  std::printf("effective resistance corner-to-corner: %.6f ohm "
+              "(%zu iterations, %lld rounds)\n",
+              r_eff, stats.iterations, static_cast<long long>(stats.rounds));
+
+  // Branch power flows P_e = w_e (x_u - x_v)^2; report the hottest five.
+  struct Branch {
+    double power;
+    std::size_t u, v;
+  };
+  std::vector<Branch> branches;
+  for (const auto& e : grid.edges()) {
+    const double d = potential[e.u] - potential[e.v];
+    branches.push_back({e.weight * d * d, e.u, e.v});
+  }
+  std::sort(branches.begin(), branches.end(),
+            [](const Branch& a, const Branch& b) { return a.power > b.power; });
+  std::printf("hottest branches (bus-bus : watts at 1A):\n");
+  for (std::size_t i = 0; i < 5 && i < branches.size(); ++i) {
+    std::printf("  %3zu - %3zu : %.6f\n", branches[i].u, branches[i].v,
+                branches[i].power);
+  }
+
+  // Cross-check against the exact solver.
+  const auto exact = laplacian::exact_laplacian_solve(grid, current);
+  const double err = laplacian::laplacian_norm(
+                         grid, linalg::sub(exact, potential)) /
+                     laplacian::laplacian_norm(grid, exact);
+  std::printf("relative energy-norm error vs exact: %.2e\n", err);
+  return 0;
+}

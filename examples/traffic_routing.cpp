@@ -1,0 +1,60 @@
+// Scenario: minimum-cost traffic routing (Theorem 1.1).
+//
+// A logistics network with arc capacities (lane throughput) and per-unit
+// tolls; the dispatcher wants the maximum volume from depot to port at the
+// least total toll. The BCC interior-point pipeline computes the *exact*
+// integral optimum; the combinatorial baseline confirms it.
+#include <cstdio>
+
+#include "core/bcclap.h"
+
+int main() {
+  using namespace bcclap;
+
+  // Depot = 0, port = 11; random mid-size road network.
+  rng::Stream stream(7);
+  const std::size_t n = 12;
+  const graph::Digraph roads =
+      graph::random_flow_network(n, 24, /*max_capacity=*/6, /*max_cost=*/5,
+                                 stream);
+  std::printf("road network: %zu junctions, %zu lanes\n", n,
+              roads.num_arcs());
+
+  flow::McmfOptions opt;
+  opt.seed = 2025;
+  const auto plan = flow::min_cost_max_flow_ipm(roads, 0, n - 1, opt);
+  if (!plan.exact) {
+    std::printf("IPM pipeline failed to round to a feasible plan\n");
+    return 1;
+  }
+  std::printf("IPM plan:     volume %lld, total toll %lld "
+              "(%zu path steps, %zu Newton steps, %lld BCC rounds, "
+              "%zu perturbation redraws)\n",
+              static_cast<long long>(plan.flow.value),
+              static_cast<long long>(plan.flow.cost), plan.path_steps,
+              plan.newton_steps, static_cast<long long>(plan.rounds),
+              plan.retries);
+
+  const auto baseline = flow::min_cost_max_flow_ssp(roads, 0, n - 1);
+  std::printf("baseline SSP: volume %lld, total toll %lld -> %s\n",
+              static_cast<long long>(baseline.value),
+              static_cast<long long>(baseline.cost),
+              (plan.flow.value == baseline.value &&
+               plan.flow.cost == baseline.cost)
+                  ? "EXACT MATCH"
+                  : "MISMATCH");
+
+  std::printf("lane loads (tail->head: used/capacity @ toll):\n");
+  for (std::size_t a = 0; a < roads.num_arcs(); ++a) {
+    if (plan.flow.flow[a] == 0) continue;
+    const auto& arc = roads.arc(a);
+    std::printf("  %2zu -> %2zu : %lld/%lld @ %lld\n", arc.tail, arc.head,
+                static_cast<long long>(plan.flow.flow[a]),
+                static_cast<long long>(arc.capacity),
+                static_cast<long long>(arc.cost));
+  }
+  return plan.flow.value == baseline.value &&
+                 plan.flow.cost == baseline.cost
+             ? 0
+             : 1;
+}

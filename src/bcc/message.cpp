@@ -1,0 +1,28 @@
+#include "bcc/message.h"
+
+#include <cassert>
+
+#include "common/encoding.h"
+
+namespace bcclap::bcc {
+
+Message& Message::push(std::uint64_t value, int bits) {
+  assert(bits >= 1 && bits <= 64);
+  assert(bits == 64 || value < (1ULL << bits));
+  fields_.push_back({value, bits});
+  return *this;
+}
+
+Message& Message::push_id(std::size_t id, std::size_t n) {
+  return push(static_cast<std::uint64_t>(id), enc::id_bits(n));
+}
+
+Message& Message::push_flag(bool flag) { return push(flag ? 1 : 0, 1); }
+
+int Message::total_bits() const {
+  int bits = 0;
+  for (const Field& f : fields_) bits += f.bits;
+  return bits;
+}
+
+}  // namespace bcclap::bcc

@@ -1,0 +1,78 @@
+#include "bcc/network.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/encoding.h"
+
+namespace bcclap::bcc {
+
+std::int64_t Network::default_bandwidth(std::size_t n) {
+  const int id = enc::id_bits(std::max<std::size_t>(n, 2));
+  return 2 * id + 2;
+}
+
+Network::Network(Model model, const graph::Graph& g,
+                 std::int64_t bandwidth_bits)
+    : model_(model), n_(g.num_vertices()), bandwidth_(bandwidth_bits) {
+  assert(bandwidth_ >= 1);
+  if (model_ == Model::kBroadcastCongest) {
+    neighbours_.resize(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      for (graph::EdgeId e : g.incident(v)) {
+        neighbours_[v].push_back(g.other_endpoint(e, v));
+      }
+      std::sort(neighbours_[v].begin(), neighbours_[v].end());
+      neighbours_[v].erase(
+          std::unique(neighbours_[v].begin(), neighbours_[v].end()),
+          neighbours_[v].end());
+    }
+  }
+}
+
+Network::Network(Model model, std::size_t n, std::int64_t bandwidth_bits)
+    : model_(model), n_(n), bandwidth_(bandwidth_bits) {
+  assert(model == Model::kBroadcastCongestedClique);
+  (void)model;
+  assert(bandwidth_ >= 1);
+}
+
+std::vector<std::vector<ReceivedMessage>> Network::exchange(
+    const std::vector<std::vector<Message>>& outboxes,
+    const std::string& label) {
+  assert(outboxes.size() == n_);
+  // Cost: nodes broadcast in parallel; each node serializes its own
+  // messages, one B-bit broadcast per round.
+  std::int64_t rounds = 0;
+  for (const auto& box : outboxes) {
+    std::int64_t node_rounds = 0;
+    for (const Message& msg : box) {
+      node_rounds += enc::rounds_for_bits(msg.total_bits(), bandwidth_);
+    }
+    rounds = std::max(rounds, node_rounds);
+  }
+  accountant_.charge(label, rounds);
+
+  std::vector<std::vector<ReceivedMessage>> inboxes(n_);
+  for (std::size_t sender = 0; sender < n_; ++sender) {
+    if (outboxes[sender].empty()) continue;
+    if (model_ == Model::kBroadcastCongestedClique) {
+      for (std::size_t recv = 0; recv < n_; ++recv) {
+        if (recv == sender) continue;
+        for (const Message& msg : outboxes[sender]) {
+          inboxes[recv].push_back({sender, msg});
+        }
+      }
+    } else {
+      for (std::size_t recv : neighbours_[sender]) {
+        for (const Message& msg : outboxes[sender]) {
+          inboxes[recv].push_back({sender, msg});
+        }
+      }
+    }
+  }
+  return inboxes;
+}
+
+}  // namespace bcclap::bcc

@@ -1,0 +1,77 @@
+// Bulk-synchronous simulator for the Broadcast CONGEST and Broadcast
+// Congested Clique models (Section 2.1).
+//
+// Semantics enforced:
+//  - computation proceeds in synchronous supersteps; in one superstep every
+//    node submits the messages it wants to broadcast;
+//  - a node broadcasting a total of `b` bits consumes ceil(b / B) rounds
+//    (one B-bit broadcast per round); nodes broadcast in parallel, so the
+//    superstep costs max over nodes of that quantity;
+//  - broadcast constraint: a message is delivered identically to all
+//    recipients — in BC mode the node's neighbours in the communication
+//    graph, in BCC mode every other node;
+//  - internal computation is free (the models allow unlimited local work).
+//
+// This bulk-synchronous formulation is round-exact for the algorithms in
+// the paper: they are described in phases where each vertex broadcasts a
+// bounded number of messages per phase, which is precisely the max-over-
+// nodes cost the simulator charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/message.h"
+#include "bcc/round_accountant.h"
+#include "graph/graph.h"
+
+namespace bcclap::bcc {
+
+enum class Model {
+  kBroadcastCongest,         // deliver along communication-graph edges
+  kBroadcastCongestedClique, // deliver to everyone
+};
+
+class Network {
+ public:
+  // BC network over the topology of `g` (the usual setting: the input graph
+  // is also the communication graph).
+  Network(Model model, const graph::Graph& g, std::int64_t bandwidth_bits);
+  // BCC network over n nodes (no topology needed).
+  Network(Model model, std::size_t n, std::int64_t bandwidth_bits);
+
+  Model model() const { return model_; }
+  std::size_t num_nodes() const { return n_; }
+  std::int64_t bandwidth() const { return bandwidth_; }
+
+  // Runs one superstep: outboxes[v] are the messages node v broadcasts
+  // (possibly empty). Returns inboxes: inboxes[v] = messages delivered to v,
+  // ordered by sender id. Charges rounds to `label`.
+  std::vector<std::vector<ReceivedMessage>> exchange(
+      const std::vector<std::vector<Message>>& outboxes,
+      const std::string& label);
+
+  // Charges rounds without message traffic (used for sub-protocols whose
+  // cost is known analytically, e.g. the <= k-1 rounds of propagating a
+  // cluster-marking bit down the cluster tree in Step 1).
+  void charge(const std::string& label, std::int64_t rounds) {
+    accountant_.charge(label, rounds);
+  }
+
+  const RoundAccountant& accountant() const { return accountant_; }
+  RoundAccountant& accountant() { return accountant_; }
+
+  // Default bandwidth for an n-node network: B = 2 ceil(log2 n) + 2,
+  // the Theta(log n) of the model definition.
+  static std::int64_t default_bandwidth(std::size_t n);
+
+ private:
+  Model model_;
+  std::size_t n_;
+  std::int64_t bandwidth_;
+  // neighbours_[v]: sorted neighbour ids (BC mode only).
+  std::vector<std::vector<std::size_t>> neighbours_;
+  RoundAccountant accountant_;
+};
+
+}  // namespace bcclap::bcc

@@ -1,0 +1,31 @@
+#include "bcc/round_accountant.h"
+
+#include <cassert>
+
+#include "common/encoding.h"
+
+namespace bcclap::bcc {
+
+void RoundAccountant::charge(const std::string& label, std::int64_t rounds) {
+  assert(rounds >= 0);
+  total_ += rounds;
+  by_label_[label] += rounds;
+}
+
+void RoundAccountant::charge_broadcast_bits(const std::string& label,
+                                            std::int64_t bits,
+                                            std::int64_t bandwidth) {
+  charge(label, enc::rounds_for_bits(bits, bandwidth));
+}
+
+std::int64_t RoundAccountant::total_for(const std::string& label) const {
+  const auto it = by_label_.find(label);
+  return it == by_label_.end() ? 0 : it->second;
+}
+
+void RoundAccountant::reset() {
+  total_ = 0;
+  by_label_.clear();
+}
+
+}  // namespace bcclap::bcc

@@ -1,0 +1,39 @@
+// Round accounting.
+//
+// The only efficiency metric in the BC/BCC models is the number of rounds.
+// Every layer of the reproduction charges its communication here, labelled,
+// so experiments can report both totals and per-phase breakdowns (e.g. the
+// preprocessing-vs-instance split of Theorem 1.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bcclap::bcc {
+
+class RoundAccountant {
+ public:
+  void charge(const std::string& label, std::int64_t rounds);
+  // Charges the rounds needed to broadcast a value of `bits` bits with the
+  // given bandwidth (>= 1 round).
+  void charge_broadcast_bits(const std::string& label, std::int64_t bits,
+                             std::int64_t bandwidth);
+
+  std::int64_t total() const { return total_; }
+  std::int64_t total_for(const std::string& label) const;
+  const std::map<std::string, std::int64_t>& breakdown() const {
+    return by_label_;
+  }
+
+  void reset();
+  // Snapshot arithmetic for measuring a sub-phase.
+  std::int64_t mark() const { return total_; }
+  std::int64_t since(std::int64_t mark) const { return total_ - mark; }
+
+ private:
+  std::int64_t total_ = 0;
+  std::map<std::string, std::int64_t> by_label_;
+};
+
+}  // namespace bcclap::bcc

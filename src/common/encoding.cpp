@@ -1,0 +1,37 @@
+#include "common/encoding.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace bcclap::enc {
+
+int bit_width_u64(std::uint64_t v) {
+  return v == 0 ? 1 : std::bit_width(v);
+}
+
+int bit_width_i64(std::int64_t v) {
+  const std::uint64_t mag =
+      v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1 : static_cast<std::uint64_t>(v);
+  return 1 + bit_width_u64(mag);
+}
+
+int id_bits(std::size_t n) {
+  return n <= 1 ? 1 : std::bit_width(n - 1);
+}
+
+int real_bits(double max_abs, double eps) {
+  const double m = std::max(1.0, std::abs(max_abs));
+  const double e = std::clamp(eps, 1e-30, 1.0);
+  const int int_bits = static_cast<int>(std::ceil(std::log2(m + 1.0)));
+  const int frac_bits = static_cast<int>(std::ceil(std::log2(1.0 / e)));
+  return 1 + int_bits + frac_bits;
+}
+
+std::int64_t rounds_for_bits(std::int64_t bits, std::int64_t bandwidth) {
+  if (bits <= 0) return 0;
+  if (bandwidth <= 0) bandwidth = 1;
+  return (bits + bandwidth - 1) / bandwidth;
+}
+
+}  // namespace bcclap::enc

@@ -1,0 +1,29 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace bcclap::log {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(Level::kWarn)};
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+Level threshold() { return static_cast<Level>(g_threshold.load()); }
+
+void set_threshold(Level level) { g_threshold.store(static_cast<int>(level)); }
+
+void emit(Level level, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace bcclap::log

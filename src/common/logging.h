@@ -1,0 +1,30 @@
+// Minimal leveled logging. Off by default; benches and examples flip the
+// level to observe algorithm progress without a dependency on a logging lib.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bcclap::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+Level threshold();
+void set_threshold(Level level);
+void emit(Level level, const std::string& message);
+
+}  // namespace bcclap::log
+
+#define BCCLAP_LOG(level, expr)                                        \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::bcclap::log::threshold())) {                \
+      std::ostringstream bcclap_log_oss;                               \
+      bcclap_log_oss << expr;                                          \
+      ::bcclap::log::emit(level, bcclap_log_oss.str());                \
+    }                                                                  \
+  } while (0)
+
+#define BCCLAP_DEBUG(expr) BCCLAP_LOG(::bcclap::log::Level::kDebug, expr)
+#define BCCLAP_INFO(expr) BCCLAP_LOG(::bcclap::log::Level::kInfo, expr)
+#define BCCLAP_WARN(expr) BCCLAP_LOG(::bcclap::log::Level::kWarn, expr)

@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace bcclap::rng {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) {
+  std::uint64_t state = seed ^ 0xa0761d6478bd642fULL;
+  for (char c : label) {
+    state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    (void)splitmix64(state);
+  }
+  return splitmix64(state);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t label) {
+  std::uint64_t state = seed ^ (label * 0xe7037ed1a0b428dbULL);
+  return splitmix64(state);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Stream::Stream(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+}
+
+Stream Stream::child(std::string_view label) const {
+  return Stream(derive_seed(seed_, label));
+}
+
+Stream Stream::child(std::uint64_t label) const {
+  return Stream(derive_seed(seed_, label));
+}
+
+std::uint64_t Stream::next_u64() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Stream::next_below(std::uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Stream::next_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Stream::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Stream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Stream::next_gaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_cache_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  gauss_cache_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+int Stream::next_sign() { return (next_u64() & 1) ? 1 : -1; }
+
+std::vector<std::uint8_t> Stream::next_bits(std::size_t count) {
+  std::vector<std::uint8_t> out((count + 7) / 8, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (next_u64() & 1) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+}  // namespace bcclap::rng

@@ -1,0 +1,37 @@
+// Umbrella header: the public API of the BCC Laplacian-paradigm library.
+//
+// Layering (Figure 1 of the paper):
+//   spanner  ->  sparsify  ->  laplacian  ->  lp  ->  flow
+// on top of the substrates bcc (model simulator), graph, linalg.
+//
+// Typical usage:
+//   #include "core/bcclap.h"
+//   auto g = bcclap::graph::random_connected_gnp(...);
+//   bcclap::laplacian::SparsifiedLaplacianSolver solver(g, {}, seed);
+//   auto x = solver.solve(b, 1e-8);
+#pragma once
+
+#include "bcc/message.h"          // IWYU pragma: export
+#include "bcc/network.h"          // IWYU pragma: export
+#include "bcc/round_accountant.h" // IWYU pragma: export
+#include "common/rng.h"           // IWYU pragma: export
+#include "flow/dinic.h"           // IWYU pragma: export
+#include "flow/mcmf_lp.h"         // IWYU pragma: export
+#include "flow/mcmf_solver.h"     // IWYU pragma: export
+#include "flow/ssp.h"             // IWYU pragma: export
+#include "graph/digraph.h"        // IWYU pragma: export
+#include "graph/generators.h"     // IWYU pragma: export
+#include "graph/graph.h"          // IWYU pragma: export
+#include "graph/laplacian.h"      // IWYU pragma: export
+#include "laplacian/bcc_solver.h" // IWYU pragma: export
+#include "laplacian/sdd_reduction.h"  // IWYU pragma: export
+#include "laplacian/solver.h"     // IWYU pragma: export
+#include "linalg/chebyshev.h"     // IWYU pragma: export
+#include "linalg/jl_transform.h"  // IWYU pragma: export
+#include "lp/lp_solver.h"         // IWYU pragma: export
+#include "lp/project_mixed_ball.h"  // IWYU pragma: export
+#include "sparsify/spectral_sparsify.h"  // IWYU pragma: export
+#include "sparsify/verifier.h"    // IWYU pragma: export
+#include "spanner/baswana_sen.h"  // IWYU pragma: export
+#include "spanner/bundle.h"       // IWYU pragma: export
+#include "spanner/probabilistic_spanner.h"  // IWYU pragma: export

@@ -1,0 +1,95 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace bcclap::flow {
+
+namespace {
+struct ResidualArc {
+  std::size_t to;
+  std::int64_t cap;
+  std::size_t rev;     // index of reverse arc in adj[to]
+  std::size_t orig;    // original arc id, SIZE_MAX for reverse arcs
+};
+}  // namespace
+
+graph::FlowResult max_flow_dinic(const graph::Digraph& g, std::size_t s,
+                                 std::size_t t) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::vector<ResidualArc>> adj(n);
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    adj[arc.tail].push_back(
+        {arc.head, arc.capacity, adj[arc.head].size(), a});
+    adj[arc.head].push_back(
+        {arc.tail, 0, adj[arc.tail].size() - 1,
+         std::numeric_limits<std::size_t>::max()});
+  }
+
+  std::vector<int> level(n);
+  std::vector<std::size_t> iter(n);
+
+  auto bfs = [&]() {
+    std::fill(level.begin(), level.end(), -1);
+    std::queue<std::size_t> q;
+    level[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const std::size_t v = q.front();
+      q.pop();
+      for (const auto& e : adj[v]) {
+        if (e.cap > 0 && level[e.to] < 0) {
+          level[e.to] = level[v] + 1;
+          q.push(e.to);
+        }
+      }
+    }
+    return level[t] >= 0;
+  };
+
+  std::function<std::int64_t(std::size_t, std::int64_t)> dfs =
+      [&](std::size_t v, std::int64_t f) -> std::int64_t {
+    if (v == t) return f;
+    for (std::size_t& i = iter[v]; i < adj[v].size(); ++i) {
+      ResidualArc& e = adj[v][i];
+      if (e.cap > 0 && level[v] < level[e.to]) {
+        const std::int64_t d = dfs(e.to, std::min(f, e.cap));
+        if (d > 0) {
+          e.cap -= d;
+          adj[e.to][e.rev].cap += d;
+          return d;
+        }
+      }
+    }
+    return 0;
+  };
+
+  std::int64_t total = 0;
+  while (bfs()) {
+    std::fill(iter.begin(), iter.end(), 0);
+    while (true) {
+      const std::int64_t f =
+          dfs(s, std::numeric_limits<std::int64_t>::max());
+      if (f == 0) break;
+      total += f;
+    }
+  }
+
+  graph::FlowResult out;
+  out.flow.assign(g.num_arcs(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& e : adj[v]) {
+      if (e.orig != std::numeric_limits<std::size_t>::max()) {
+        out.flow[e.orig] = g.arc(e.orig).capacity - e.cap;
+      }
+    }
+  }
+  out.value = total;
+  out.cost = graph::flow_cost(g, out.flow);
+  return out;
+}
+
+}  // namespace bcclap::flow

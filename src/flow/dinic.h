@@ -1,0 +1,13 @@
+// Dinic's max-flow algorithm — combinatorial baseline used to validate the
+// flow value F produced by the LP pipeline.
+#pragma once
+
+#include "graph/digraph.h"
+
+namespace bcclap::flow {
+
+// Maximum s-t flow value and a witness flow per arc.
+graph::FlowResult max_flow_dinic(const graph::Digraph& g, std::size_t s,
+                                 std::size_t t);
+
+}  // namespace bcclap::flow

@@ -1,0 +1,43 @@
+// Theorem 1.1 pipeline: exact min-cost max-flow via the LP solver.
+//
+// The solver runs two numerically benign LPs instead of the paper's single
+// combined LP (whose worst-case penalty constants overflow doubles; see
+// DESIGN.md section 2):
+//   Stage A (max flow): min 2*(1'y + 1'z) - F  over the Section 5 polytope
+//     — the optimum is -F* with zero slack, and F* is integral, so a 0.2-
+//     approximate solve rounds to the exact max-flow value.
+//   Stage B (min cost): min q~'x + lambda*(1'y + 1'z) with F fixed to F*,
+//     q~ carrying the Daitch-Spielman perturbation; solved to additive
+//     1/(3D) so the unique perturbed optimum rounds to the exact integral
+//     min-cost flow.
+// Rounded candidates are feasibility-checked; on failure the perturbation
+// is redrawn (the paper's footnote-7 boosting).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "lp/lp_solver.h"
+
+namespace bcclap::flow {
+
+struct McmfOptions {
+  lp::LpOptions lp;            // IPM configuration for both stages
+  std::size_t max_retries = 4; // perturbation redraws (boosting)
+  std::uint64_t seed = 42;
+};
+
+struct McmfIpmResult {
+  graph::FlowResult flow;
+  bool exact = false;          // rounded flow is feasible with value F*
+  std::size_t retries = 0;
+  std::size_t path_steps = 0;  // IPM path steps across stages and retries
+  std::size_t newton_steps = 0;
+  std::int64_t rounds = 0;     // accounted BCC rounds
+  std::int64_t max_flow_value = 0;
+};
+
+McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
+                                    std::size_t t, const McmfOptions& opt);
+
+}  // namespace bcclap::flow

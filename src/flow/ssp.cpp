@@ -1,0 +1,93 @@
+#include "flow/ssp.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace bcclap::flow {
+
+namespace {
+struct ResidualArc {
+  std::size_t to;
+  std::int64_t cap;
+  std::int64_t cost;
+  std::size_t rev;
+  std::size_t orig;  // SIZE_MAX for reverse arcs
+};
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+graph::FlowResult min_cost_max_flow_ssp(const graph::Digraph& g,
+                                        std::size_t s, std::size_t t) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::vector<ResidualArc>> adj(n);
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    adj[arc.tail].push_back(
+        {arc.head, arc.capacity, arc.cost, adj[arc.head].size(), a});
+    adj[arc.head].push_back(
+        {arc.tail, 0, -arc.cost, adj[arc.tail].size() - 1,
+         std::numeric_limits<std::size_t>::max()});
+  }
+
+  std::vector<std::int64_t> potential(n, 0);  // costs >= 0: zero init valid
+  graph::FlowResult out;
+  out.flow.assign(g.num_arcs(), 0);
+
+  while (true) {
+    // Dijkstra on reduced costs.
+    std::vector<std::int64_t> dist(n, kInf);
+    std::vector<std::pair<std::size_t, std::size_t>> parent(
+        n, {std::numeric_limits<std::size_t>::max(), 0});
+    using Item = std::pair<std::int64_t, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.push({0, s});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[v]) continue;
+      for (std::size_t i = 0; i < adj[v].size(); ++i) {
+        const auto& e = adj[v][i];
+        if (e.cap <= 0) continue;
+        const std::int64_t nd = d + e.cost + potential[v] - potential[e.to];
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          parent[e.to] = {v, i};
+          pq.push({nd, e.to});
+        }
+      }
+    }
+    if (dist[t] >= kInf) break;  // no augmenting path: flow is maximum
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Bottleneck along the shortest path.
+    std::int64_t push = kInf;
+    for (std::size_t v = t; v != s;) {
+      const auto [pv, pi] = parent[v];
+      push = std::min(push, adj[pv][pi].cap);
+      v = pv;
+    }
+    for (std::size_t v = t; v != s;) {
+      const auto [pv, pi] = parent[v];
+      auto& e = adj[pv][pi];
+      e.cap -= push;
+      adj[e.to][e.rev].cap += push;
+      v = pv;
+    }
+    out.value += push;
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& e : adj[v]) {
+      if (e.orig != std::numeric_limits<std::size_t>::max()) {
+        out.flow[e.orig] = g.arc(e.orig).capacity - e.cap;
+      }
+    }
+  }
+  out.cost = graph::flow_cost(g, out.flow);
+  return out;
+}
+
+}  // namespace bcclap::flow

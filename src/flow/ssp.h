@@ -1,0 +1,14 @@
+// Successive-shortest-path min-cost max-flow with Johnson potentials — the
+// exact combinatorial baseline Theorem 1.1's pipeline is validated against.
+// Costs must be nonnegative (our generators guarantee it); capacities
+// integral, so the result is an exact integral min-cost max-flow.
+#pragma once
+
+#include "graph/digraph.h"
+
+namespace bcclap::flow {
+
+graph::FlowResult min_cost_max_flow_ssp(const graph::Digraph& g,
+                                        std::size_t s, std::size_t t);
+
+}  // namespace bcclap::flow

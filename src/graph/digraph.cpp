@@ -1,0 +1,65 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace bcclap::graph {
+
+std::size_t Digraph::add_arc(std::size_t tail, std::size_t head,
+                             std::int64_t capacity, std::int64_t cost) {
+  assert(tail != head && "self-loop arcs are not allowed");
+  assert(tail < num_vertices() && head < num_vertices());
+  assert(capacity > 0);
+  const std::size_t id = arcs_.size();
+  arcs_.push_back({tail, head, capacity, cost});
+  out_arcs_[tail].push_back(id);
+  in_arcs_[head].push_back(id);
+  return id;
+}
+
+std::int64_t Digraph::max_capacity() const {
+  std::int64_t m = 0;
+  for (const Arc& a : arcs_) m = std::max(m, a.capacity);
+  return m;
+}
+
+std::int64_t Digraph::max_abs_cost() const {
+  std::int64_t m = 0;
+  for (const Arc& a : arcs_) m = std::max(m, std::abs(a.cost));
+  return m;
+}
+
+bool is_feasible_flow(const Digraph& g, const std::vector<std::int64_t>& flow,
+                      std::size_t s, std::size_t t) {
+  if (flow.size() != g.num_arcs()) return false;
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    if (flow[a] < 0 || flow[a] > g.arc(a).capacity) return false;
+  }
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || v == t) continue;
+    std::int64_t net = 0;
+    for (std::size_t a : g.out_arcs(v)) net += flow[a];
+    for (std::size_t a : g.in_arcs(v)) net -= flow[a];
+    if (net != 0) return false;
+  }
+  return true;
+}
+
+std::int64_t flow_value(const Digraph& g, const std::vector<std::int64_t>& flow,
+                        std::size_t s) {
+  std::int64_t value = 0;
+  for (std::size_t a : g.out_arcs(s)) value += flow[a];
+  for (std::size_t a : g.in_arcs(s)) value -= flow[a];
+  return value;
+}
+
+std::int64_t flow_cost(const Digraph& g,
+                       const std::vector<std::int64_t>& flow) {
+  std::int64_t cost = 0;
+  for (std::size_t a = 0; a < g.num_arcs(); ++a)
+    cost += g.arc(a).cost * flow[a];
+  return cost;
+}
+
+}  // namespace bcclap::graph

@@ -1,0 +1,60 @@
+// Directed graph with integral capacities and costs — the min-cost
+// max-flow input type (Section 2.4 / Section 5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bcclap::graph {
+
+struct Arc {
+  std::size_t tail;      // edge goes tail -> head
+  std::size_t head;
+  std::int64_t capacity; // > 0
+  std::int64_t cost;     // may be negative in general; generators emit >= 0
+};
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n = 0) : out_arcs_(n), in_arcs_(n) {}
+
+  std::size_t num_vertices() const { return out_arcs_.size(); }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  std::size_t add_arc(std::size_t tail, std::size_t head,
+                      std::int64_t capacity, std::int64_t cost);
+
+  const Arc& arc(std::size_t a) const { return arcs_[a]; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  const std::vector<std::size_t>& out_arcs(std::size_t v) const {
+    return out_arcs_[v];
+  }
+  const std::vector<std::size_t>& in_arcs(std::size_t v) const {
+    return in_arcs_[v];
+  }
+
+  std::int64_t max_capacity() const;
+  std::int64_t max_abs_cost() const;
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::size_t>> out_arcs_;
+  std::vector<std::vector<std::size_t>> in_arcs_;
+};
+
+// A flow assignment indexed by arc id plus its derived quantities.
+struct FlowResult {
+  std::vector<std::int64_t> flow;  // per arc
+  std::int64_t value = 0;          // net outflow of s
+  std::int64_t cost = 0;           // sum arc.cost * flow
+};
+
+// Checks capacity bounds and conservation at every vertex except s, t.
+bool is_feasible_flow(const Digraph& g, const std::vector<std::int64_t>& flow,
+                      std::size_t s, std::size_t t);
+std::int64_t flow_value(const Digraph& g, const std::vector<std::int64_t>& flow,
+                        std::size_t s);
+std::int64_t flow_cost(const Digraph& g, const std::vector<std::int64_t>& flow);
+
+}  // namespace bcclap::graph

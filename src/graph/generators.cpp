@@ -1,0 +1,160 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+
+namespace bcclap::graph {
+
+namespace {
+double random_weight(std::int64_t max_weight, rng::Stream& stream) {
+  if (max_weight <= 1) return 1.0;
+  return static_cast<double>(stream.next_int(1, max_weight));
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n,
+                                            rng::Stream& stream) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[stream.next_below(i)]);
+  }
+  return perm;
+}
+}  // namespace
+
+Graph random_connected_gnp(std::size_t n, double p, std::int64_t max_weight,
+                           rng::Stream& stream) {
+  Graph g(n);
+  std::set<std::pair<std::size_t, std::size_t>> present;
+  // Backbone: random Hamiltonian path guarantees connectivity.
+  const auto order = random_permutation(n, stream);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto u = std::min(order[i], order[i + 1]);
+    const auto v = std::max(order[i], order[i + 1]);
+    g.add_edge(u, v, random_weight(max_weight, stream));
+    present.insert({u, v});
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (present.count({u, v})) continue;
+      if (stream.bernoulli(p)) {
+        g.add_edge(u, v, random_weight(max_weight, stream));
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_regularish(std::size_t n, std::size_t d, std::int64_t max_weight,
+                        rng::Stream& stream) {
+  Graph g(n);
+  std::set<std::pair<std::size_t, std::size_t>> present;
+  // Connectivity backbone first.
+  const auto order = random_permutation(n, stream);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto u = std::min(order[i], order[i + 1]);
+    const auto v = std::max(order[i], order[i + 1]);
+    if (present.insert({u, v}).second) {
+      g.add_edge(u, v, random_weight(max_weight, stream));
+    }
+  }
+  for (std::size_t round = 0; round < d; ++round) {
+    const auto perm = random_permutation(n, stream);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t a = i;
+      const std::size_t b = perm[i];
+      if (a == b) continue;
+      const auto u = std::min(a, b);
+      const auto v = std::max(a, b);
+      if (present.insert({u, v}).second) {
+        g.add_edge(u, v, random_weight(max_weight, stream));
+      }
+    }
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols, std::int64_t max_weight,
+           rng::Stream& stream) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        g.add_edge(id(r, c), id(r, c + 1), random_weight(max_weight, stream));
+      if (r + 1 < rows)
+        g.add_edge(id(r, c), id(r + 1, c), random_weight(max_weight, stream));
+    }
+  }
+  return g;
+}
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1.0);
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1.0);
+  if (n > 2) g.add_edge(0, n - 1, 1.0);
+  return g;
+}
+
+Graph complete(std::size_t n, std::int64_t max_weight, rng::Stream& stream) {
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v)
+      g.add_edge(u, v, random_weight(max_weight, stream));
+  return g;
+}
+
+Graph barbell(std::size_t n) {
+  assert(n >= 4);
+  const std::size_t half = n / 2;
+  Graph g(n);
+  for (std::size_t u = 0; u < half; ++u)
+    for (std::size_t v = u + 1; v < half; ++v) g.add_edge(u, v, 1.0);
+  for (std::size_t u = half; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v) g.add_edge(u, v, 1.0);
+  g.add_edge(half - 1, half, 1.0);
+  return g;
+}
+
+Digraph random_flow_network(std::size_t n, std::size_t extra_arcs,
+                            std::int64_t max_capacity, std::int64_t max_cost,
+                            rng::Stream& stream) {
+  assert(n >= 2);
+  Digraph g(n);
+  std::set<std::pair<std::size_t, std::size_t>> present;
+  auto add = [&](std::size_t u, std::size_t v) {
+    if (u == v || present.count({u, v})) return;
+    present.insert({u, v});
+    const std::int64_t cap =
+        max_capacity <= 1 ? 1 : stream.next_int(1, max_capacity);
+    const std::int64_t cost = max_cost <= 0 ? 0 : stream.next_int(0, max_cost);
+    g.add_arc(u, v, cap, cost);
+  };
+  // Guaranteed s -> t path through all vertices in a random interior order.
+  std::vector<std::size_t> interior(n - 2);
+  std::iota(interior.begin(), interior.end(), 1);
+  for (std::size_t i = interior.size(); i > 1; --i)
+    std::swap(interior[i - 1], interior[stream.next_below(i)]);
+  std::size_t prev = 0;
+  for (std::size_t v : interior) {
+    add(prev, v);
+    prev = v;
+  }
+  add(prev, n - 1);
+  for (std::size_t i = 0; i < extra_arcs; ++i) {
+    const std::size_t u = stream.next_below(n);
+    const std::size_t v = stream.next_below(n);
+    if (u != n - 1 && v != 0) add(u, v);
+  }
+  return g;
+}
+
+}  // namespace bcclap::graph

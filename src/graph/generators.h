@@ -1,0 +1,45 @@
+// Synthetic workload generators for the experiments.
+//
+// The paper has no dataset (theory paper); experiments run on standard
+// random families. All generators are deterministic in the provided stream.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+
+namespace bcclap::graph {
+
+// Erdos-Renyi G(n, p) with integer weights uniform in [1, max_weight],
+// with a random Hamiltonian-path backbone added so the result is connected
+// (required by Laplacian solving).
+Graph random_connected_gnp(std::size_t n, double p, std::int64_t max_weight,
+                           rng::Stream& stream);
+
+// Union of `d` random perfect matchings/permutation cycles — an
+// expander-like d-regular-ish multigraph collapsed to a simple graph.
+Graph random_regularish(std::size_t n, std::size_t d, std::int64_t max_weight,
+                        rng::Stream& stream);
+
+// 2D grid graph (rows x cols) with unit or random weights.
+Graph grid(std::size_t rows, std::size_t cols, std::int64_t max_weight,
+           rng::Stream& stream);
+
+Graph path(std::size_t n);
+Graph cycle(std::size_t n);
+Graph complete(std::size_t n, std::int64_t max_weight, rng::Stream& stream);
+
+// Two cliques of size n/2 joined by a single edge — worst case for
+// unpreconditioned iterative solvers (huge condition number).
+Graph barbell(std::size_t n);
+
+// Random directed flow network: connected DAG-ish layered network from s=0
+// to t=n-1, capacities in [1, max_capacity], costs in [0, max_cost], plus
+// random shortcut arcs. Guarantees at least one s-t path.
+Digraph random_flow_network(std::size_t n, std::size_t extra_arcs,
+                            std::int64_t max_capacity, std::int64_t max_cost,
+                            rng::Stream& stream);
+
+}  // namespace bcclap::graph

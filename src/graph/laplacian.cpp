@@ -1,0 +1,60 @@
+#include "graph/laplacian.h"
+
+#include <cassert>
+
+namespace bcclap::graph {
+
+linalg::CsrMatrix laplacian(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(4 * g.num_edges() + n);
+  for (const Edge& e : g.edges()) {
+    trips.push_back({e.u, e.v, -e.weight});
+    trips.push_back({e.v, e.u, -e.weight});
+    trips.push_back({e.u, e.u, e.weight});
+    trips.push_back({e.v, e.v, e.weight});
+  }
+  return linalg::CsrMatrix(n, n, std::move(trips));
+}
+
+linalg::CsrMatrix incidence(const Graph& g) {
+  const std::size_t m = g.num_edges();
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(2 * m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    trips.push_back({e, ed.v, 1.0});   // head
+    trips.push_back({e, ed.u, -1.0});  // tail
+  }
+  return linalg::CsrMatrix(m, g.num_vertices(), std::move(trips));
+}
+
+linalg::CsrMatrix incidence(const Digraph& g, std::size_t drop_vertex) {
+  const std::size_t m = g.num_arcs();
+  const std::size_t n = g.num_vertices();
+  assert(drop_vertex < n);
+  auto col = [drop_vertex](std::size_t v) {
+    return v < drop_vertex ? v : v - 1;
+  };
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(2 * m);
+  for (std::size_t a = 0; a < m; ++a) {
+    const Arc& arc = g.arc(a);
+    if (arc.head != drop_vertex) trips.push_back({a, col(arc.head), 1.0});
+    if (arc.tail != drop_vertex) trips.push_back({a, col(arc.tail), -1.0});
+  }
+  return linalg::CsrMatrix(m, n - 1, std::move(trips));
+}
+
+linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x) {
+  assert(x.size() == g.num_vertices());
+  linalg::Vec y(x.size(), 0.0);
+  for (const Edge& e : g.edges()) {
+    const double d = e.weight * (x[e.u] - x[e.v]);
+    y[e.u] += d;
+    y[e.v] -= d;
+  }
+  return y;
+}
+
+}  // namespace bcclap::graph

@@ -1,0 +1,30 @@
+// Laplacian and incidence-matrix construction (Section 2.2).
+//
+// L = B^T W B where B is the edge-vertex incidence matrix with
+// B(e, head) = 1, B(e, tail) = -1 and W = diag(edge weights). For an
+// undirected graph each edge is oriented low-id -> high-id; the Laplacian
+// does not depend on the orientation.
+#pragma once
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::graph {
+
+// n x n graph Laplacian in CSR form.
+linalg::CsrMatrix laplacian(const Graph& g);
+
+// m x n incidence matrix B (rows = edges, oriented u -> v with u < v).
+linalg::CsrMatrix incidence(const Graph& g);
+
+// Incidence matrix of a digraph: row per arc, +1 at head, -1 at tail.
+// `drop_vertex` (e.g. the source in Section 5's LP) removes that column.
+linalg::CsrMatrix incidence(const Digraph& g, std::size_t drop_vertex);
+
+// Applies L_G to x directly from adjacency (one "distributed matvec";
+// each vertex needs only neighbouring values — Theorem 1.3's discussion).
+linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x);
+
+}  // namespace bcclap::graph

@@ -1,0 +1,129 @@
+#include "laplacian/bcc_solver.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/encoding.h"
+#include "laplacian/sdd_reduction.h"
+#include "laplacian/solver.h"
+#include "linalg/cholesky.h"
+
+namespace bcclap::laplacian {
+
+namespace {
+
+class ExactSddEngine final : public SddEngine {
+ public:
+  ExactSddEngine(linalg::DenseMatrix m, std::size_t network_n)
+      : network_n_(std::max<std::size_t>(network_n, 2)) {
+    factor_ = linalg::LdltFactor::factor(m);
+    if (!factor_) {
+      // M may be only positive semi-definite in degenerate cases; add a
+      // tiny Tikhonov ridge and retry (documented numerical guard).
+      const std::size_t n = m.rows();
+      double scale = 0.0;
+      for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, m(i, i));
+      for (std::size_t i = 0; i < n; ++i) m(i, i) += 1e-12 * (scale + 1.0);
+      factor_ = linalg::LdltFactor::factor(m);
+    }
+    assert(factor_);
+  }
+
+  linalg::Vec solve(const linalg::Vec& y, double eps) override {
+    // Analytical round model (Lemma 5.1 / Theorem 1.3): one sparsification
+    // (preprocessing) has already been charged per path-following phase by
+    // the caller; each solve costs O(log(1/eps) log(n/eps)) rounds.
+    const double safe = std::max(eps, 1e-12);
+    const double logn = std::log2(static_cast<double>(network_n_));
+    const std::int64_t iters = static_cast<std::int64_t>(
+        std::ceil(std::sqrt(3.0) * std::log2(2.0 / safe))) + 1;
+    const std::int64_t bits = enc::real_bits(
+        static_cast<double>(network_n_) / safe, safe);
+    rounds_ += iters * enc::rounds_for_bits(
+                           bits, static_cast<std::int64_t>(2 * logn) + 2);
+    return factor_->solve(y);
+  }
+
+  std::int64_t rounds_charged() const override { return rounds_; }
+
+ private:
+  std::optional<linalg::LdltFactor> factor_;
+  std::size_t network_n_;
+  std::int64_t rounds_ = 0;
+};
+
+class SparsifiedSddEngine final : public SddEngine {
+ public:
+  SparsifiedSddEngine(linalg::DenseMatrix m, std::uint64_t seed)
+      : matrix_(std::move(m)) {
+    reduction_ = gremban_reduce(matrix_);
+    assert(reduction_.valid && "matrix must be SDD");
+    sparsify::SparsifyOptions opt;
+    opt.epsilon = 0.5;
+    // Gremban virtual graphs here are small (2(n-1) vertices) and rebuilt
+    // on every IPM Newton step; a 2-spanner bundle keeps the per-step cost
+    // bounded (bench-scale constant; see DESIGN.md section 6).
+    opt.k = 2;
+    opt.t = 2;
+    solver_ = std::make_unique<SparsifiedLaplacianSolver>(
+        reduction_.virtual_graph, opt, seed);
+  }
+
+  linalg::Vec solve(const linalg::Vec& y, double eps) override {
+    if (solver_->usable() && !use_fallback_) {
+      SolveStats stats;
+      const auto x12 = solver_->solve(lift_rhs(y), eps, &stats);
+      rounds_ += stats.rounds;
+      auto x = project_solution(x12);
+      // Residual guard: IPM-generated systems near the path's end have
+      // weight spreads beyond double's reach through the Laplacian route;
+      // detect and switch to the dense SDD factorization (LDL^T on a
+      // diagonally dominant matrix is stable at any scaling).
+      const auto r = linalg::sub(matrix_.multiply(x), y);
+      const double rel = linalg::norm2(r) /
+                         std::max(linalg::norm2(y), 1e-300);
+      if (rel <= std::max(eps * 10.0, 1e-6)) return x;
+    }
+    use_fallback_ = true;
+    if (!fallback_) {
+      auto m = matrix_;
+      fallback_ = linalg::LdltFactor::factor(m);
+      if (!fallback_) {
+        double scale = 0.0;
+        for (std::size_t i = 0; i < m.rows(); ++i)
+          scale = std::max(scale, m(i, i));
+        for (std::size_t i = 0; i < m.rows(); ++i)
+          m(i, i) += 1e-12 * (scale + 1.0);
+        fallback_ = linalg::LdltFactor::factor(m);
+      }
+      assert(fallback_);
+    }
+    return fallback_->solve(y);
+  }
+
+  std::int64_t rounds_charged() const override {
+    return rounds_ + solver_->preprocessing_rounds();
+  }
+
+ private:
+  linalg::DenseMatrix matrix_;
+  SddReduction reduction_;
+  std::unique_ptr<SparsifiedLaplacianSolver> solver_;
+  std::optional<linalg::LdltFactor> fallback_;
+  bool use_fallback_ = false;
+  std::int64_t rounds_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SddEngine> make_exact_sdd_engine(linalg::DenseMatrix m,
+                                                 std::size_t network_n) {
+  return std::make_unique<ExactSddEngine>(std::move(m), network_n);
+}
+
+std::unique_ptr<SddEngine> make_sparsified_sdd_engine(linalg::DenseMatrix m,
+                                                      std::uint64_t seed) {
+  return std::make_unique<SparsifiedSddEngine>(std::move(m), seed);
+}
+
+}  // namespace bcclap::laplacian

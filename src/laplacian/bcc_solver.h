@@ -1,0 +1,40 @@
+// SDD system solving for the LP layer (Lemma 5.1).
+//
+// The LP solver needs (A^T D A)^{-1} y for changing positive diagonals D.
+// For the flow constraint matrix, A^T D A is SDD, so the paper's pipeline
+// is: Gremban-reduce to a Laplacian on a 2(n-1)-vertex virtual graph, then
+// run the BCC Laplacian solver (Theorem 1.3) on it.
+//
+// Two interchangeable engines:
+//  - ExactSddEngine: dense LDL^T, zero noise. Rounds are charged with the
+//    analytical cost model of Lemma 5.1 (sparsify + Chebyshev). Default for
+//    the IPM benches, where wall-clock matters.
+//  - SparsifiedSddEngine: the real pipeline — Gremban reduction + spectral
+//    sparsifier + preconditioned Chebyshev. Used by the end-to-end pipeline
+//    experiment (E12) and fidelity tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bcc/round_accountant.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::laplacian {
+
+class SddEngine {
+ public:
+  virtual ~SddEngine() = default;
+  // Solve M x = y to (at least) relative residual `eps`.
+  virtual linalg::Vec solve(const linalg::Vec& y, double eps) = 0;
+  virtual std::int64_t rounds_charged() const = 0;
+};
+
+// Builds an engine for a concrete SDD matrix M (n x n dense).
+std::unique_ptr<SddEngine> make_exact_sdd_engine(linalg::DenseMatrix m,
+                                                 std::size_t network_n);
+std::unique_ptr<SddEngine> make_sparsified_sdd_engine(linalg::DenseMatrix m,
+                                                      std::uint64_t seed);
+
+}  // namespace bcclap::laplacian

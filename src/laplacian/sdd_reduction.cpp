@@ -1,0 +1,59 @@
+#include "laplacian/sdd_reduction.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bcclap::laplacian {
+
+SddReduction gremban_reduce(const linalg::DenseMatrix& m, double tol) {
+  SddReduction out;
+  const std::size_t n = m.rows();
+  if (n == 0 || m.cols() != n) return out;
+  out.virtual_graph = graph::Graph(2 * n);
+
+  for (std::size_t u = 0; u < n; ++u) {
+    double offdiag_abs = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      offdiag_abs += std::abs(m(u, v));
+    }
+    const double slack = m(u, u) - offdiag_abs;
+    if (slack < -1e-9 * std::max(1.0, m(u, u))) return out;  // not SDD
+    // Edge (u, u+n) of weight slack/2 carries the diagonal surplus.
+    if (slack > tol) out.virtual_graph.add_edge(u, u + n, slack / 2.0);
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double val = m(u, v);
+      if (std::abs(val) < tol) continue;
+      if (val < 0.0) {
+        // Negative off-diagonals become intra-copy edges.
+        out.virtual_graph.add_edge(u, v, -val);
+        out.virtual_graph.add_edge(u + n, v + n, -val);
+      } else {
+        // Positive off-diagonals become cross-copy edges.
+        out.virtual_graph.add_edge(u, v + n, val);
+        out.virtual_graph.add_edge(v, u + n, val);
+      }
+    }
+  }
+  out.valid = true;
+  return out;
+}
+
+linalg::Vec lift_rhs(const linalg::Vec& y) {
+  linalg::Vec out(2 * y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = y[i];
+    out[i + y.size()] = -y[i];
+  }
+  return out;
+}
+
+linalg::Vec project_solution(const linalg::Vec& x12) {
+  assert(x12.size() % 2 == 0);
+  const std::size_t n = x12.size() / 2;
+  linalg::Vec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * (x12[i] - x12[i + n]);
+  return x;
+}
+
+}  // namespace bcclap::laplacian

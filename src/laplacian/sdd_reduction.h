@@ -1,0 +1,32 @@
+// Gremban reduction from SDD systems to Laplacian systems (Section 5,
+// following Kelner et al.'s notation).
+//
+// Given symmetric diagonally dominant M (n x n), builds the Laplacian L of
+// a virtual graph on 2n vertices such that solving L [x1; x2] = [y; -y]
+// yields M x = y with x = (x1 - x2) / 2. In the BCC each physical vertex
+// simulates both of its virtual copies (two rounds per virtual round).
+#pragma once
+
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::laplacian {
+
+struct SddReduction {
+  // The 2n-vertex virtual graph whose Laplacian realizes M.
+  graph::Graph virtual_graph;
+  bool valid = false;
+};
+
+// M must be SDD with symmetric structure. Entries with |value| < tol are
+// treated as zero.
+SddReduction gremban_reduce(const linalg::DenseMatrix& m, double tol = 1e-12);
+
+// Convenience: lifts y to [y; -y], solves the Laplacian system exactly
+// (dense factorization; the BCC solver path goes through
+// SparsifiedLaplacianSolver on `virtual_graph`), and projects back.
+linalg::Vec lift_rhs(const linalg::Vec& y);
+linalg::Vec project_solution(const linalg::Vec& x12);
+
+}  // namespace bcclap::laplacian

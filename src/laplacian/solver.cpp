@@ -1,0 +1,142 @@
+#include "laplacian/solver.h"
+
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "common/encoding.h"
+#include "graph/laplacian.h"
+#include "linalg/chebyshev.h"
+
+namespace bcclap::laplacian {
+
+namespace {
+
+// Spanning forest edges of g (BFS per component); used to patch a
+// sparsifier that lost connectivity within some component of G.
+std::vector<graph::EdgeId> spanning_forest(const graph::Graph& g) {
+  std::vector<graph::EdgeId> forest;
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (graph::VertexId root = 0; root < g.num_vertices(); ++root) {
+    if (seen[root]) continue;
+    std::queue<graph::VertexId> q;
+    q.push(root);
+    seen[root] = true;
+    while (!q.empty()) {
+      const auto v = q.front();
+      q.pop();
+      for (graph::EdgeId e : g.incident(v)) {
+        const auto u = g.other_endpoint(e, v);
+        if (!seen[u]) {
+          seen[u] = true;
+          forest.push_back(e);
+          q.push(u);
+        }
+      }
+    }
+  }
+  return forest;
+}
+
+// Removes the per-component mean (projection onto range(L_G)).
+void remove_component_means(linalg::Vec& x,
+                            const std::vector<std::size_t>& labels) {
+  std::size_t k = 0;
+  for (std::size_t l : labels) k = std::max(k, l + 1);
+  std::vector<double> sum(k, 0.0);
+  std::vector<std::size_t> count(k, 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum[labels[i]] += x[i];
+    ++count[labels[i]];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] -= sum[labels[i]] / static_cast<double>(count[labels[i]]);
+  }
+}
+
+}  // namespace
+
+SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
+    const graph::Graph& g, const sparsify::SparsifyOptions& opt,
+    std::uint64_t seed)
+    : g_(g) {
+  bandwidth_ = bcc::Network::default_bandwidth(g.num_vertices());
+  bcc::Network net(bcc::Model::kBroadcastCongest, g, bandwidth_);
+  auto sp = sparsify::spectral_sparsify(g, opt, seed, net);
+  preprocessing_rounds_ = sp.rounds;
+  h_ = std::move(sp.sparsifier);
+  g_components_ = g_.component_labels();
+  weight_bound_ = std::max({g.max_weight(), h_.max_weight(), 1.0});
+
+  if (h_.num_components() > g_.num_components()) {
+    // Guard: with bench-scale bundle constants the sparsifier can lose
+    // connectivity; union a spanning forest of G (each forest edge is one
+    // broadcast, <= n-1 rounds) and refactor.
+    tree_patched_ = true;
+    for (graph::EdgeId e : spanning_forest(g_)) {
+      const auto& ed = g_.edge(e);
+      if (!h_.find_edge(ed.u, ed.v)) h_.add_edge(ed.u, ed.v, ed.weight);
+    }
+    net.charge("laplacian/tree-patch",
+               static_cast<std::int64_t>(g_.num_vertices()));
+    preprocessing_rounds_ += static_cast<std::int64_t>(g_.num_vertices());
+  }
+  h_factor_ = linalg::ComponentLaplacianFactor::factor(graph::laplacian(h_));
+  if (!h_factor_) {
+    // Extreme weight spreads (IPM-generated virtual graphs) can defeat the
+    // sparsifier factorization numerically; fall back to preconditioning
+    // with G itself. Correctness is unchanged (kappa = 1), only the
+    // speedup claim is forfeited for this instance.
+    tree_patched_ = true;
+    h_ = g_;
+    h_factor_ = linalg::ComponentLaplacianFactor::factor(graph::laplacian(h_));
+  }
+  accountant_.charge("laplacian/preprocessing", preprocessing_rounds_);
+}
+
+linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
+                                             SolveStats* stats) {
+  assert(h_factor_ && "sparsifier must be factorizable");
+  linalg::Vec rhs = b;
+  remove_component_means(rhs, g_components_);
+
+  const auto apply_a = [this](const linalg::Vec& x) {
+    return graph::apply_laplacian(g_, x);
+  };
+  // B = (3/2) L_H  =>  B^{-1} r = (2/3) L_H^+ r.
+  const auto solve_b = [this](const linalg::Vec& r) {
+    return linalg::scale(h_factor_->solve(r), 2.0 / 3.0);
+  };
+  const auto res =
+      linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, 3.0, eps);
+
+  // Round accounting (Theorem 1.3): each iteration broadcasts one vector
+  // coordinate per node at O(log(n U / eps)) bits.
+  const int bits = enc::real_bits(
+      static_cast<double>(g_.num_vertices()) * weight_bound_, eps);
+  const std::int64_t per_iter = enc::rounds_for_bits(bits, bandwidth_);
+  const std::int64_t rounds =
+      static_cast<std::int64_t>(res.iterations) * per_iter;
+  accountant_.charge("laplacian/solve", rounds);
+  if (stats) {
+    stats->iterations = res.iterations;
+    stats->rounds = rounds;
+  }
+  linalg::Vec y = res.x;
+  remove_component_means(y, g_components_);
+  return y;
+}
+
+linalg::Vec exact_laplacian_solve(const graph::Graph& g,
+                                  const linalg::Vec& b) {
+  const auto factor = linalg::LaplacianFactor::factor(graph::laplacian(g));
+  assert(factor && "graph must be connected");
+  return factor->solve(b);
+}
+
+double laplacian_norm(const graph::Graph& g, const linalg::Vec& x) {
+  return std::sqrt(
+      std::max(0.0, linalg::dot(x, graph::apply_laplacian(g, x))));
+}
+
+}  // namespace bcclap::laplacian

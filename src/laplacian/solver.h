@@ -1,0 +1,69 @@
+// Sparsifier-preconditioned Laplacian solver (Corollary 2.4 / Theorem 1.3).
+//
+// Preprocessing: compute a (1 +- 1/2) spectral sparsifier H of G (known to
+// every BCC node after the sparsification broadcasts). Per instance (b,
+// eps): preconditioned Chebyshev with A = L_G, B = (3/2) L_H, kappa = 3 —
+// O(log 1/eps) iterations, each one distributed L_G matvec plus a free
+// local solve in L_H.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bcc/round_accountant.h"
+#include "graph/graph.h"
+#include "linalg/cholesky.h"
+#include "linalg/vector_ops.h"
+#include "sparsify/spectral_sparsify.h"
+
+namespace bcclap::laplacian {
+
+struct SolveStats {
+  std::size_t iterations = 0;
+  std::int64_t rounds = 0;
+};
+
+class SparsifiedLaplacianSolver {
+ public:
+  // Builds the preconditioner by spectral sparsification over a Broadcast
+  // CONGEST network on g's topology. If the sparsifier has more connected
+  // components than G (possible with aggressively small bundle constants),
+  // a spanning forest of G is unioned in; `tree_patched()` reports this.
+  // Disconnected inputs are handled per component.
+  SparsifiedLaplacianSolver(const graph::Graph& g,
+                            const sparsify::SparsifyOptions& opt,
+                            std::uint64_t seed);
+
+  // Solves L_G x = b to ||x - y||_{L_G} <= eps ||x||_{L_G}. b is projected
+  // onto range(L_G) (mean removed). Rounds are charged per Theorem 1.3:
+  // O(log(1/eps)) iterations x O(log(n U / eps)) bits per matvec broadcast.
+  linalg::Vec solve(const linalg::Vec& b, double eps, SolveStats* stats = nullptr);
+
+  // False when even the fallback factorization failed (numerically
+  // degenerate input); solve() must not be called in that case.
+  bool usable() const { return h_factor_.has_value(); }
+
+  std::int64_t preprocessing_rounds() const { return preprocessing_rounds_; }
+  const graph::Graph& sparsifier() const { return h_; }
+  bool tree_patched() const { return tree_patched_; }
+  bcc::RoundAccountant& accountant() { return accountant_; }
+
+ private:
+  const graph::Graph& g_;
+  graph::Graph h_;
+  std::vector<std::size_t> g_components_;
+  std::optional<linalg::ComponentLaplacianFactor> h_factor_;
+  std::int64_t preprocessing_rounds_ = 0;
+  bool tree_patched_ = false;
+  bcc::RoundAccountant accountant_;
+  std::int64_t bandwidth_ = 1;
+  double weight_bound_ = 1.0;
+};
+
+// Exact reference solve (dense LDL^T on grounded L_G); test oracle.
+linalg::Vec exact_laplacian_solve(const graph::Graph& g, const linalg::Vec& b);
+
+// Energy norm ||x||_{L_G} = sqrt(x' L_G x).
+double laplacian_norm(const graph::Graph& g, const linalg::Vec& x);
+
+}  // namespace bcclap::laplacian

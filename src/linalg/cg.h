@@ -1,0 +1,29 @@
+// Conjugate gradient solver (optionally preconditioned) against an abstract
+// linear operator. Baseline for the ablation A2 and the fallback solver for
+// sparsifier systems when the dense factorization is too large.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+using LinearOperator = std::function<Vec(const Vec&)>;
+
+struct CgResult {
+  Vec x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+// Solves A x = b for symmetric PSD `apply_a`, stopping when
+// ||A x - b||_2 <= tol * ||b||_2 or after max_iter iterations.
+// `precond` (if given) must apply an SPD approximation of A^{-1}.
+CgResult conjugate_gradient(const LinearOperator& apply_a, const Vec& b,
+                            double tol, std::size_t max_iter,
+                            const LinearOperator* precond = nullptr);
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,59 @@
+#include "linalg/chebyshev.h"
+
+#include <cmath>
+
+namespace bcclap::linalg {
+
+// Standard preconditioned Chebyshev semi-iteration on the pencil B^{-1}A,
+// whose spectrum lies in [1/kappa, 1] when A <= B <= kappa A.
+ChebyshevResult preconditioned_chebyshev_fixed(
+    const std::function<Vec(const Vec&)>& apply_a,
+    const std::function<Vec(const Vec&)>& solve_b, const Vec& b, double kappa,
+    std::size_t iterations) {
+  ChebyshevResult out;
+  const std::size_t n = b.size();
+  const double lmin = 1.0 / kappa;
+  const double lmax = 1.0;
+  const double theta = 0.5 * (lmax + lmin);
+  const double delta = 0.5 * (lmax - lmin);
+
+  out.x = zeros(n);
+  Vec r = b;  // r = b - A x, x = 0
+  Vec p;
+  double alpha = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Vec z = solve_b(r);
+    ++out.b_solves;
+    if (it == 0) {
+      p = z;
+      alpha = 1.0 / theta;
+    } else {
+      double beta;
+      if (it == 1) {
+        beta = 0.5 * (delta * alpha) * (delta * alpha);
+      } else {
+        beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      }
+      alpha = 1.0 / (theta - beta / alpha);
+      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    axpy(out.x, alpha, p);
+    const Vec ap = apply_a(p);
+    ++out.a_multiplies;
+    axpy(r, -alpha, ap);
+    ++out.iterations;
+  }
+  return out;
+}
+
+ChebyshevResult preconditioned_chebyshev(
+    const std::function<Vec(const Vec&)>& apply_a,
+    const std::function<Vec(const Vec&)>& solve_b, const Vec& b, double kappa,
+    double eps) {
+  const double safe_eps = std::max(eps, 1e-16);
+  const auto iters = static_cast<std::size_t>(
+      std::ceil(std::sqrt(kappa) * std::log(2.0 / safe_eps))) + 1;
+  return preconditioned_chebyshev_fixed(apply_a, solve_b, b, kappa, iters);
+}
+
+}  // namespace bcclap::linalg

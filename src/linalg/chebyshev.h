@@ -1,0 +1,42 @@
+// Preconditioned Chebyshev iteration (Theorem 2.3).
+//
+// Given symmetric PSD A, B with A <= B <= kappa*A (Loewner order), solves
+// A x = b to relative A-norm error eps in O(sqrt(kappa) * log(1/eps))
+// iterations, each consisting of one multiply by A, one solve with B, and
+// O(1) vector operations — exactly the primitive the BCC Laplacian solver
+// is built on (Corollary 2.4 instantiates B = (1 + 1/2) L_H, kappa = 3).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+struct ChebyshevResult {
+  Vec x;
+  std::size_t iterations = 0;
+  // Count of A-multiplies and B-solves (they are 1 per iteration; kept
+  // separate so round accounting can charge them differently).
+  std::size_t a_multiplies = 0;
+  std::size_t b_solves = 0;
+};
+
+// apply_a : x -> A x. solve_b : r -> B^{-1} r (to working precision).
+// kappa   : bound with A <= B <= kappa A.
+// The iteration count is ceil(sqrt(kappa) * log(2/eps)) + 1, the explicit
+// form of Theorem 2.3's O(sqrt(kappa) log(1/eps)).
+ChebyshevResult preconditioned_chebyshev(
+    const std::function<Vec(const Vec&)>& apply_a,
+    const std::function<Vec(const Vec&)>& solve_b, const Vec& b, double kappa,
+    double eps);
+
+// Same primitive with an explicit iteration count (used by benches that
+// sweep the iteration budget).
+ChebyshevResult preconditioned_chebyshev_fixed(
+    const std::function<Vec(const Vec&)>& apply_a,
+    const std::function<Vec(const Vec&)>& solve_b, const Vec& b, double kappa,
+    std::size_t iterations);
+
+}  // namespace bcclap::linalg

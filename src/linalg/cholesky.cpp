@@ -1,0 +1,172 @@
+#include "linalg/cholesky.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bcclap::linalg {
+
+std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
+                                             double pivot_tol) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  // Relative pivot threshold: matrices arriving here can be scaled by
+  // anything from barrier Hessians (1e-16 .. 1e16), so an absolute
+  // tolerance would reject legitimately tiny-but-positive pivots.
+  double diag_scale = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    diag_scale = std::max(diag_scale, std::abs(a(j, j)));
+  const double threshold = pivot_tol * std::max(diag_scale, 1e-300);
+  LdltFactor f;
+  f.n_ = n;
+  f.l_ = DenseMatrix(n, n);
+  f.d_.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k)
+      dj -= f.l_(j, k) * f.l_(j, k) * f.d_[k];
+    if (dj <= threshold) return std::nullopt;
+    f.d_[j] = dj;
+    f.l_(j, j) = 1.0;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k)
+        v -= f.l_(i, k) * f.l_(j, k) * f.d_[k];
+      f.l_(i, j) = v / dj;
+    }
+  }
+  return f;
+}
+
+Vec LdltFactor::solve(const Vec& b) const {
+  assert(b.size() == n_);
+  Vec y(b);
+  // Forward: L y = b
+  for (std::size_t i = 0; i < n_; ++i) {
+    double v = y[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+    y[i] = v;
+  }
+  // Diagonal: D z = y
+  for (std::size_t i = 0; i < n_; ++i) y[i] /= d_[i];
+  // Backward: L^T x = z
+  for (std::size_t i = n_; i-- > 0;) {
+    double v = y[i];
+    for (std::size_t k = i + 1; k < n_; ++k) v -= l_(k, i) * y[k];
+    y[i] = v;
+  }
+  return y;
+}
+
+std::optional<LaplacianFactor> LaplacianFactor::factor(
+    const CsrMatrix& laplacian) {
+  assert(laplacian.rows() == laplacian.cols());
+  const std::size_t n = laplacian.rows();
+  if (n < 2) return std::nullopt;
+  // Grounded matrix: drop last row/column.
+  DenseMatrix g(n - 1, n - 1);
+  const auto& rp = laplacian.row_ptr();
+  const auto& ci = laplacian.col_index();
+  const auto& vals = laplacian.values();
+  for (std::size_t r = 0; r + 1 < n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] + 1 < n) g(r, ci[k]) = vals[k];
+    }
+  }
+  auto f = LdltFactor::factor(g);
+  if (!f) return std::nullopt;
+  return LaplacianFactor(n, std::move(*f));
+}
+
+Vec LaplacianFactor::solve(const Vec& b) const {
+  assert(b.size() == n_);
+  Vec rhs(b);
+  remove_mean(rhs);
+  Vec reduced(rhs.begin(), rhs.end() - 1);
+  Vec xr = reduced_.solve(reduced);
+  Vec x(n_, 0.0);
+  for (std::size_t i = 0; i + 1 < n_; ++i) x[i] = xr[i];
+  remove_mean(x);
+  return x;
+}
+
+std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
+    const CsrMatrix& laplacian) {
+  assert(laplacian.rows() == laplacian.cols());
+  const std::size_t n = laplacian.rows();
+  ComponentLaplacianFactor f;
+  f.n_ = n;
+  // Connected components over the nonzero off-diagonal pattern.
+  f.component_of_.assign(n, static_cast<std::size_t>(-1));
+  const auto& rp = laplacian.row_ptr();
+  const auto& ci = laplacian.col_index();
+  const auto& vals = laplacian.values();
+  for (std::size_t start = 0; start < n; ++start) {
+    if (f.component_of_[start] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t comp = f.component_vertices_.size();
+    f.component_vertices_.emplace_back();
+    std::vector<std::size_t> stack{start};
+    f.component_of_[start] = comp;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      f.component_vertices_[comp].push_back(v);
+      for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
+        const std::size_t u = ci[k];
+        if (u == v || vals[k] == 0.0) continue;
+        if (f.component_of_[u] == static_cast<std::size_t>(-1)) {
+          f.component_of_[u] = comp;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  // Factor each component (grounded on its last local vertex).
+  for (auto& verts : f.component_vertices_) {
+    if (verts.size() < 2) {
+      f.factors_.emplace_back(std::nullopt);
+      continue;
+    }
+    std::vector<std::size_t> local(n, static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < verts.size(); ++i) local[verts[i]] = i;
+    const std::size_t dim = verts.size() - 1;
+    DenseMatrix g(dim, dim);
+    for (std::size_t i = 0; i + 1 < verts.size(); ++i) {
+      const std::size_t v = verts[i];
+      for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
+        const std::size_t lu = local[ci[k]];
+        if (lu == static_cast<std::size_t>(-1) || lu >= dim) continue;
+        g(i, lu) += vals[k];
+      }
+    }
+    auto ldlt = LdltFactor::factor(g);
+    if (!ldlt) return std::nullopt;
+    f.factors_.emplace_back(std::move(*ldlt));
+  }
+  return f;
+}
+
+Vec ComponentLaplacianFactor::solve(const Vec& b) const {
+  assert(b.size() == n_);
+  Vec x(n_, 0.0);
+  for (std::size_t c = 0; c < component_vertices_.size(); ++c) {
+    const auto& verts = component_vertices_[c];
+    if (verts.size() < 2) continue;  // singleton: L row is zero, x = 0
+    // Project rhs onto the component's zero-sum subspace.
+    double mean = 0.0;
+    for (std::size_t v : verts) mean += b[v];
+    mean /= static_cast<double>(verts.size());
+    Vec local(verts.size() - 1);
+    for (std::size_t i = 0; i + 1 < verts.size(); ++i)
+      local[i] = b[verts[i]] - mean;
+    const Vec sol = factors_[c]->solve(local);
+    double xmean = 0.0;
+    for (double v : sol) xmean += v;
+    xmean /= static_cast<double>(verts.size());
+    for (std::size_t i = 0; i + 1 < verts.size(); ++i)
+      x[verts[i]] = sol[i] - xmean;
+    x[verts.back()] = -xmean;
+  }
+  return x;
+}
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,87 @@
+// Dense LDL^T factorization for symmetric positive (semi-)definite systems.
+//
+// The reproduction uses this in two places:
+//  - exact reference solves in tests and verification, and
+//  - the "internal computation" each BCC node performs on the globally-known
+//    sparsifier H (Section 3.3): once H is known to every node, solving
+//    L_H y = r costs zero rounds, so a local factorization is the honest
+//    model of that step.
+//
+// Laplacians are rank-deficient (kernel = span{1} for connected graphs), so
+// `LaplacianFactor` grounds the last vertex and solves on the quotient.
+#pragma once
+
+#include <optional>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+class LdltFactor {
+ public:
+  // Factors a symmetric positive definite matrix. Returns nullopt if a pivot
+  // falls below `pivot_tol` (matrix not PD to working precision).
+  static std::optional<LdltFactor> factor(const DenseMatrix& a,
+                                          double pivot_tol = 1e-12);
+
+  Vec solve(const Vec& b) const;
+  std::size_t dim() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  DenseMatrix l_;  // unit lower triangular
+  Vec d_;          // diagonal
+
+  LdltFactor() = default;
+};
+
+// Solver for L x = b where L is the Laplacian of a *connected* graph and
+// b has zero sum. Grounds the last coordinate, factors the reduced matrix,
+// and returns the mean-zero representative of the solution.
+class LaplacianFactor {
+ public:
+  static std::optional<LaplacianFactor> factor(const CsrMatrix& laplacian);
+
+  // Requires sum(b) ~ 0 (the solver projects b to be safe). Returns x with
+  // mean zero satisfying L x = b.
+  Vec solve(const Vec& b) const;
+  std::size_t dim() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  LdltFactor reduced_;
+
+  explicit LaplacianFactor(std::size_t n, LdltFactor reduced)
+      : n_(n), reduced_(std::move(reduced)) {}
+};
+
+// Generalized Laplacian solver for possibly *disconnected* graphs: solves
+// on range(L) by grounding one vertex per connected component and
+// projecting the right-hand side per component. Needed by the Gremban
+// reduction, whose virtual graph is legitimately disconnected when the SDD
+// matrix has zero off-diagonals between some vertex groups.
+class ComponentLaplacianFactor {
+ public:
+  static std::optional<ComponentLaplacianFactor> factor(
+      const CsrMatrix& laplacian);
+
+  // Returns the minimum-norm-style representative: per component, the
+  // solution with zero component mean for the component-projected rhs.
+  Vec solve(const Vec& b) const;
+  std::size_t dim() const { return n_; }
+  std::size_t num_components() const { return component_vertices_.size(); }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> component_of_;
+  std::vector<std::vector<std::size_t>> component_vertices_;
+  // One LDL^T per component of size >= 2 (grounded on its last vertex);
+  // index aligned with component_vertices_, nullopt for singletons.
+  std::vector<std::optional<LdltFactor>> factors_;
+
+  ComponentLaplacianFactor() = default;
+};
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,83 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bcclap::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  for (std::size_t i = 0; i < triplets.size();) {
+    const std::size_t r = triplets[i].row;
+    const std::size_t c = triplets[i].col;
+    assert(r < rows_ && c < cols_);
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r && triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    col_index_.push_back(c);
+    values_.push_back(v);
+    ++row_ptr_[r + 1];
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Vec CsrMatrix::multiply(const Vec& x) const {
+  assert(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += values_[k] * x[col_index_[k]];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vec CsrMatrix::multiply_transpose(const Vec& x) const {
+  assert(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_index_[k]] += values_[k] * xr;
+  }
+  return y;
+}
+
+Vec CsrMatrix::diagonal() const {
+  Vec d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_index_[k] == r) d[r] = values_[k];
+    }
+  }
+  return d;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      trips.push_back({col_index_[k], r, values_[k]});
+  return CsrMatrix(cols_, rows_, std::move(trips));
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_index_[k]) = values_[k];
+  return m;
+}
+
+}  // namespace bcclap::linalg

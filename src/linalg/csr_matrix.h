@@ -1,0 +1,51 @@
+// Compressed sparse row matrix. This is the storage format for Laplacians,
+// incidence matrices and sparsifiers; the distributed algorithms only ever
+// need matvec / transpose-matvec / diagonal extraction from it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  // Builds from triplets; duplicate (row, col) entries are summed.
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  Vec multiply(const Vec& x) const;
+  Vec multiply_transpose(const Vec& x) const;
+  Vec diagonal() const;
+
+  CsrMatrix transpose() const;
+  DenseMatrix to_dense() const;
+
+  // Row access for iteration: entries of row r are
+  // (col_index_[k], values_[k]) for k in [row_ptr_[r], row_ptr_[r+1]).
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_index() const { return col_index_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,44 @@
+// Row-major dense matrix with the handful of operations the reproduction
+// needs: products, transposes, LDL^T solves (via cholesky.h) and symmetric
+// eigensolves (via eigen.h). Used for exact baselines and verification; the
+// distributed algorithms themselves operate on CSR matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  Vec multiply(const Vec& x) const;
+  Vec multiply_transpose(const Vec& x) const;
+  DenseMatrix multiply(const DenseMatrix& other) const;
+  DenseMatrix transpose() const;
+
+  // Frobenius norm of (this - other); used by tests.
+  double diff_frobenius(const DenseMatrix& other) const;
+
+  bool is_symmetric(double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,80 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bcclap::linalg {
+
+Vec symmetric_eigenvalues(DenseMatrix a, int max_sweeps, double tol) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (std::sqrt(off) < tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+      }
+    }
+  }
+  Vec eigs(n);
+  for (std::size_t i = 0; i < n; ++i) eigs[i] = a(i, i);
+  std::sort(eigs.begin(), eigs.end());
+  return eigs;
+}
+
+ExtremeEigs extreme_eigenvalues_power(const DenseMatrix& a,
+                                      std::size_t iterations) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  rng::Stream stream(0x9d2c5680u);
+  Vec v(n);
+  for (double& x : v) x = stream.next_gaussian();
+  double lmax = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Vec w = a.multiply(v);
+    const double nw = norm2(w);
+    if (nw == 0.0) break;
+    lmax = dot(v, w) / dot(v, v);
+    v = scale(w, 1.0 / nw);
+  }
+  // Smallest eigenvalue via power iteration on (lmax*I - A).
+  for (double& x : v) x = stream.next_gaussian();
+  double mu = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Vec w = a.multiply(v);
+    for (std::size_t i = 0; i < n; ++i) w[i] = lmax * v[i] - w[i];
+    const double nw = norm2(w);
+    if (nw == 0.0) break;
+    mu = dot(v, w) / dot(v, v);
+    v = scale(w, 1.0 / nw);
+  }
+  return {lmax - mu, lmax};
+}
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,30 @@
+// Symmetric eigensolvers used for spectral verification.
+//
+// The sparsifier quality check (Definition 2.1) needs the extreme
+// generalized eigenvalues of the pencil (L_G, L_H); we compute them exactly
+// with a cyclic Jacobi sweep on the (small, dense) whitened matrix.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+// Eigenvalues of a symmetric matrix, ascending. Cyclic Jacobi; O(n^3) per
+// sweep, fine for the verification sizes (n <= ~600).
+Vec symmetric_eigenvalues(DenseMatrix a, int max_sweeps = 64,
+                          double tol = 1e-12);
+
+struct ExtremeEigs {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Largest / smallest eigenvalue estimates via power iteration with
+// deflation-free shifting; used when n is too large for Jacobi.
+ExtremeEigs extreme_eigenvalues_power(const DenseMatrix& a,
+                                      std::size_t iterations = 200);
+
+}  // namespace bcclap::linalg

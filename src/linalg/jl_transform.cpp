@@ -1,0 +1,111 @@
+#include "linalg/jl_transform.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bcclap::linalg {
+
+KaneNelsonSketch::KaneNelsonSketch(std::size_t k, std::size_t m, std::size_t s,
+                                   std::uint64_t seed)
+    : k_(k), m_(m), s_(s == 0 ? 1 : s) {
+  if (s_ > k_) s_ = k_;
+  // Round k up so rows split evenly into s blocks.
+  block_rows_ = (k_ + s_ - 1) / s_;
+  k_ = block_rows_ * s_;
+  target_row_.resize(s_ * m_);
+  sign_.resize(s_ * m_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(s_));
+  rng::Stream stream(seed);
+  for (std::size_t col = 0; col < m_; ++col) {
+    // One independent child stream per column keeps the construction a pure
+    // function of (seed, col) — any node can reconstruct any column.
+    rng::Stream cs = stream.child(col);
+    for (std::size_t b = 0; b < s_; ++b) {
+      const std::size_t row_in_block = cs.next_below(block_rows_);
+      target_row_[b * m_ + col] = b * block_rows_ + row_in_block;
+      sign_[b * m_ + col] = cs.next_sign() * scale;
+    }
+  }
+}
+
+Vec KaneNelsonSketch::apply(const Vec& x) const {
+  assert(x.size() == m_);
+  Vec y(k_, 0.0);
+  for (std::size_t col = 0; col < m_; ++col) {
+    const double v = x[col];
+    if (v == 0.0) continue;
+    for (std::size_t b = 0; b < s_; ++b)
+      y[target_row_[b * m_ + col]] += sign_[b * m_ + col] * v;
+  }
+  return y;
+}
+
+Vec KaneNelsonSketch::apply_transpose(const Vec& y) const {
+  assert(y.size() == k_);
+  Vec x(m_, 0.0);
+  for (std::size_t col = 0; col < m_; ++col) {
+    double s = 0.0;
+    for (std::size_t b = 0; b < s_; ++b)
+      s += sign_[b * m_ + col] * y[target_row_[b * m_ + col]];
+    x[col] = s;
+  }
+  return x;
+}
+
+Vec KaneNelsonSketch::row(std::size_t j) const {
+  assert(j < k_);
+  Vec r(m_, 0.0);
+  const std::size_t b = j / block_rows_;
+  for (std::size_t col = 0; col < m_; ++col) {
+    if (target_row_[b * m_ + col] == j) r[col] = sign_[b * m_ + col];
+  }
+  return r;
+}
+
+RademacherSketch::RademacherSketch(std::size_t k, std::size_t m,
+                                   std::uint64_t seed)
+    : k_(k), m_(m), entries_(k * m) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(k_));
+  rng::Stream stream(seed);
+  for (double& e : entries_) e = stream.next_sign() * scale;
+}
+
+Vec RademacherSketch::apply(const Vec& x) const {
+  assert(x.size() == m_);
+  Vec y(k_, 0.0);
+  for (std::size_t j = 0; j < k_; ++j) {
+    double s = 0.0;
+    const double* row = &entries_[j * m_];
+    for (std::size_t col = 0; col < m_; ++col) s += row[col] * x[col];
+    y[j] = s;
+  }
+  return y;
+}
+
+Vec RademacherSketch::apply_transpose(const Vec& y) const {
+  assert(y.size() == k_);
+  Vec x(m_, 0.0);
+  for (std::size_t j = 0; j < k_; ++j) {
+    const double v = y[j];
+    if (v == 0.0) continue;
+    const double* row = &entries_[j * m_];
+    for (std::size_t col = 0; col < m_; ++col) x[col] += row[col] * v;
+  }
+  return x;
+}
+
+Vec RademacherSketch::row(std::size_t j) const {
+  assert(j < k_);
+  return Vec(entries_.begin() + static_cast<std::ptrdiff_t>(j * m_),
+             entries_.begin() + static_cast<std::ptrdiff_t>((j + 1) * m_));
+}
+
+std::size_t jl_dimension(std::size_t m, double eta, double c_jl) {
+  const double k = c_jl * std::log(static_cast<double>(std::max<std::size_t>(m, 2))) /
+                   (eta * eta);
+  return static_cast<std::size_t>(std::ceil(std::max(1.0, k)));
+}
+
+}  // namespace bcclap::linalg

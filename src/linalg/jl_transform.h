@@ -1,0 +1,76 @@
+// Johnson-Lindenstrauss sketches (Section 4.1).
+//
+// The paper's point (Theorem 4.4, Kane-Nelson) is that the sketch matrix Q
+// can be generated from O(log(1/delta) log m) shared random bits, so a BCC
+// leader samples one short seed, broadcasts it, and every node reconstructs
+// the same Q locally. Both constructions here are deterministic functions of
+// a 64-bit seed, which models exactly that: the seed *is* the broadcast.
+//
+//  - KaneNelsonSketch: sparse JL (s blocks of CountSketch rows stacked),
+//    the construction the paper adopts.
+//  - RademacherSketch: dense Achlioptas-style +-1/sqrt(k) baseline, the
+//    construction the paper rejects for BC (needs a coin per edge) but which
+//    is fine in BCC once seeded; used as ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+class KaneNelsonSketch {
+ public:
+  // k: sketch dimension, m: ambient dimension, s: column sparsity
+  // (nonzeros per column; k must be divisible into s blocks, we round
+  // k up to a multiple of s internally).
+  KaneNelsonSketch(std::size_t k, std::size_t m, std::size_t s,
+                   std::uint64_t seed);
+
+  std::size_t sketch_dim() const { return k_; }
+  std::size_t ambient_dim() const { return m_; }
+
+  // Q x (length k) and Q^T y (length m).
+  Vec apply(const Vec& x) const;
+  Vec apply_transpose(const Vec& y) const;
+
+  // Row j of Q as a dense vector (used to form Q^(j) probes, Algorithm 6).
+  Vec row(std::size_t j) const;
+
+  // Number of random bits a leader must broadcast to reproduce this sketch.
+  // Models Theorem 4.4's O(log(1/delta) log m) bound.
+  std::size_t seed_bits() const { return 64; }
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  std::size_t s_;
+  std::size_t block_rows_;
+  // For column i and block b: target row and sign, derived from the seed.
+  std::vector<std::size_t> target_row_;  // s_ * m_
+  std::vector<double> sign_;             // s_ * m_, each +-1/sqrt(s)
+};
+
+class RademacherSketch {
+ public:
+  RademacherSketch(std::size_t k, std::size_t m, std::uint64_t seed);
+
+  std::size_t sketch_dim() const { return k_; }
+  std::size_t ambient_dim() const { return m_; }
+
+  Vec apply(const Vec& x) const;
+  Vec apply_transpose(const Vec& y) const;
+  Vec row(std::size_t j) const;
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  std::vector<double> entries_;  // k_ * m_, +-1/sqrt(k)
+};
+
+// Sketch dimension for accuracy eta and failure probability ~ m^{-c}:
+// k = ceil(c_jl * log(m) / eta^2). `c_jl` is the bench-tunable constant.
+std::size_t jl_dimension(std::size_t m, double eta, double c_jl = 8.0);
+
+}  // namespace bcclap::linalg

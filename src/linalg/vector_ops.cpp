@@ -1,0 +1,163 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bcclap::linalg {
+
+Vec zeros(std::size_t n) { return Vec(n, 0.0); }
+Vec ones(std::size_t n) { return Vec(n, 1.0); }
+Vec constant(std::size_t n, double value) { return Vec(n, value); }
+
+double dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vec& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double norm1(const Vec& a) {
+  double s = 0.0;
+  for (double v : a) s += std::abs(v);
+  return s;
+}
+
+double norm_weighted(const Vec& x, const Vec& w) {
+  assert(x.size() == w.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += w[i] * x[i] * x[i];
+  return std::sqrt(std::max(0.0, s));
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec scale(const Vec& a, double s) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void axpy(Vec& y, double alpha, const Vec& x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vec cw_mul(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vec cw_div(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] / b[i];
+  return out;
+}
+
+Vec cw_inv(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = 1.0 / a[i];
+  return out;
+}
+
+Vec cw_sqrt(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::sqrt(a[i]);
+  return out;
+}
+
+Vec cw_abs(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::abs(a[i]);
+  return out;
+}
+
+Vec cw_log(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::log(a[i]);
+  return out;
+}
+
+Vec cw_exp(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::exp(a[i]);
+  return out;
+}
+
+Vec cw_max(const Vec& a, double floor) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], floor);
+  return out;
+}
+
+Vec cw_median(const Vec& a, const Vec& b, const Vec& c) {
+  assert(a.size() == b.size() && b.size() == c.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::max(std::min(a[i], b[i]),
+                      std::min(std::max(a[i], b[i]), c[i]));
+  }
+  return out;
+}
+
+Vec positive_part(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], 0.0);
+  return out;
+}
+
+Vec negative_part(const Vec& a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], 0.0);
+  return out;
+}
+
+double mean(const Vec& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+void remove_mean(Vec& x) {
+  const double m = mean(x);
+  for (double& v : x) v -= m;
+}
+
+double max_entry(const Vec& a) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : a) m = std::max(m, v);
+  return m;
+}
+
+double min_entry(const Vec& a) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : a) m = std::min(m, v);
+  return m;
+}
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,54 @@
+// Dense vector operations.
+//
+// Vectors are plain std::vector<double>; free functions keep the call sites
+// close to the paper's notation (||x||_M, coordinate-wise products, etc.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bcclap::linalg {
+
+using Vec = std::vector<double>;
+
+Vec zeros(std::size_t n);
+Vec ones(std::size_t n);
+Vec constant(std::size_t n, double value);
+
+double dot(const Vec& a, const Vec& b);
+double norm2(const Vec& a);
+double norm_inf(const Vec& a);
+double norm1(const Vec& a);
+// Weighted 2-norm: sqrt(sum_i w_i x_i^2). w must be nonnegative.
+double norm_weighted(const Vec& x, const Vec& w);
+
+Vec add(const Vec& a, const Vec& b);
+Vec sub(const Vec& a, const Vec& b);
+Vec scale(const Vec& a, double s);
+// y += alpha * x
+void axpy(Vec& y, double alpha, const Vec& x);
+
+// Coordinate-wise operations (paper's scalar-to-vector convention).
+Vec cw_mul(const Vec& a, const Vec& b);
+Vec cw_div(const Vec& a, const Vec& b);
+Vec cw_inv(const Vec& a);
+Vec cw_sqrt(const Vec& a);
+Vec cw_abs(const Vec& a);
+Vec cw_log(const Vec& a);
+Vec cw_exp(const Vec& a);
+Vec cw_max(const Vec& a, double floor);
+// Coordinate-wise median of three vectors (Algorithm 7's median step).
+Vec cw_median(const Vec& a, const Vec& b, const Vec& c);
+// Positive/negative parts (Section 5's a^+ / a^- notation).
+Vec positive_part(const Vec& a);
+Vec negative_part(const Vec& a);
+
+// Subtract the mean from every entry (projects onto 1-perp, the range of a
+// connected graph's Laplacian).
+void remove_mean(Vec& x);
+double mean(const Vec& x);
+
+double max_entry(const Vec& a);
+double min_entry(const Vec& a);
+
+}  // namespace bcclap::linalg

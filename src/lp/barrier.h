@@ -1,0 +1,52 @@
+// Self-concordant barrier functions (Definition 4.1, Section 4.1).
+//
+// Per coordinate domain [l_i, u_i]:
+//  - l finite, u = +inf : phi(x) = -log(x - l)
+//  - l = -inf, u finite : phi(x) = -log(u - x)
+//  - both finite        : phi(x) = -log cos(a x + b), the paper's
+//    trigonometric barrier with a = pi/(u-l), b = -pi/2 (u+l)/(u-l).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace bcclap::lp {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+inline constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+struct CoordinateBarrier {
+  double l = kNegInf;
+  double u = kPosInf;
+
+  bool in_domain(double x) const;
+  double value(double x) const;
+  double d1(double x) const;  // phi'
+  double d2(double x) const;  // phi'' (> 0 on the domain)
+};
+
+// Barrier over R^m with per-coordinate bounds.
+class BarrierSet {
+ public:
+  BarrierSet(linalg::Vec lower, linalg::Vec upper);
+
+  std::size_t dim() const { return coords_.size(); }
+  const CoordinateBarrier& coord(std::size_t i) const { return coords_[i]; }
+
+  bool in_domain(const linalg::Vec& x) const;
+  double value(const linalg::Vec& x) const;
+  linalg::Vec gradient(const linalg::Vec& x) const;   // phi'(x) coordinate-wise
+  linalg::Vec hessian_diag(const linalg::Vec& x) const;  // phi''(x)
+
+  // Largest step s in [0, 1] such that x + s*dx stays strictly inside the
+  // domain (with a safety margin); used by the IPM line search.
+  double max_feasible_step(const linalg::Vec& x, const linalg::Vec& dx,
+                           double margin = 0.99) const;
+
+ private:
+  std::vector<CoordinateBarrier> coords_;
+};
+
+}  // namespace bcclap::lp

@@ -1,0 +1,87 @@
+#include "lp/leverage_scores.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "common/encoding.h"
+#include "linalg/cholesky.h"
+#include "linalg/jl_transform.h"
+
+namespace bcclap::lp {
+
+MatrixOracle dense_oracle(const linalg::DenseMatrix& m) {
+  MatrixOracle o;
+  o.m = m.rows();
+  o.n = m.cols();
+  // Gram matrix and its factorization are shared by the three closures.
+  auto gram = std::make_shared<linalg::DenseMatrix>(m.transpose().multiply(m));
+  auto factor = std::make_shared<std::optional<linalg::LdltFactor>>(
+      linalg::LdltFactor::factor(*gram));
+  if (!factor->has_value()) {
+    // Semi-definite guard: tiny ridge.
+    for (std::size_t i = 0; i < gram->rows(); ++i)
+      (*gram)(i, i) += 1e-12 * ((*gram)(i, i) + 1.0);
+    *factor = linalg::LdltFactor::factor(*gram);
+  }
+  assert(factor->has_value());
+  auto mat = std::make_shared<linalg::DenseMatrix>(m);
+  o.apply = [mat](const linalg::Vec& x) { return mat->multiply(x); };
+  o.apply_t = [mat](const linalg::Vec& y) {
+    return mat->multiply_transpose(y);
+  };
+  o.solve_gram = [factor](const linalg::Vec& y) {
+    return (*factor)->solve(y);
+  };
+  return o;
+}
+
+linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m) {
+  const MatrixOracle o = dense_oracle(m);
+  linalg::Vec sigma(o.m, 0.0);
+  // sigma_i = row_i (M^T M)^{-1} row_i^T: solve per row.
+  for (std::size_t i = 0; i < o.m; ++i) {
+    linalg::Vec row(o.n);
+    for (std::size_t j = 0; j < o.n; ++j) row[j] = m(i, j);
+    const auto z = o.solve_gram(row);
+    sigma[i] = linalg::dot(row, z);
+  }
+  return sigma;
+}
+
+linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
+                               const LeverageOptions& opt,
+                               bcc::RoundAccountant* acct) {
+  const std::size_t k = linalg::jl_dimension(oracle.m, opt.eta,
+                                             opt.jl_constant);
+  const linalg::KaneNelsonSketch sketch(k, oracle.m, opt.sparsity, opt.seed);
+
+  if (acct) {
+    // Leader election (1 round) + seed broadcast: O(log^2 m) random bits.
+    const std::int64_t bw = 2 * enc::id_bits(oracle.n) + 2;
+    acct->charge("leverage/leader", 1);
+    acct->charge_broadcast_bits(
+        "leverage/seed",
+        static_cast<std::int64_t>(sketch.seed_bits()), bw);
+  }
+
+  linalg::Vec sigma(oracle.m, 0.0);
+  for (std::size_t j = 0; j < sketch.sketch_dim(); ++j) {
+    // p^(j) = M (M^T M)^{-1} M^T Q^(j)  (Algorithm 6 line 5).
+    const linalg::Vec qj = sketch.row(j);
+    const linalg::Vec mt_q = oracle.apply_t(qj);
+    const linalg::Vec z = oracle.solve_gram(mt_q);
+    const linalg::Vec pj = oracle.apply(z);
+    for (std::size_t i = 0; i < oracle.m; ++i) sigma[i] += pj[i] * pj[i];
+    if (acct) {
+      // Two matvecs (vector broadcasts) + one Gram solve per probe.
+      const std::int64_t bw = 2 * enc::id_bits(oracle.n) + 2;
+      const int bits = enc::real_bits(static_cast<double>(oracle.m), 1e-9);
+      acct->charge_broadcast_bits("leverage/matvec", 2 * bits, bw);
+      acct->charge("leverage/gram-solve", 1);
+    }
+  }
+  return sigma;
+}
+
+}  // namespace bcclap::lp

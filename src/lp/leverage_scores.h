@@ -1,0 +1,48 @@
+// Leverage scores sigma(M) = diag(M (M^T M)^{-1} M^T) and their
+// Johnson-Lindenstrauss approximation (Algorithm 6 / Lemma 4.5).
+//
+// The BCC twist: the sketch Q is reconstructed by every node from a short
+// leader-broadcast seed (Kane-Nelson, Theorem 4.4) instead of per-edge
+// coin flips, which a broadcast model cannot deliver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "bcc/round_accountant.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::lp {
+
+// Abstract access to M (m x n): multiplies and a solver for (M^T M) z = y.
+struct MatrixOracle {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::function<linalg::Vec(const linalg::Vec&)> apply;        // M x
+  std::function<linalg::Vec(const linalg::Vec&)> apply_t;      // M^T y
+  std::function<linalg::Vec(const linalg::Vec&)> solve_gram;   // (M^T M)^{-1} y
+};
+
+// Builds an oracle for a dense M with an exact dense Gram solve.
+MatrixOracle dense_oracle(const linalg::DenseMatrix& m);
+
+// Exact leverage scores (dense reference).
+linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m);
+
+struct LeverageOptions {
+  double eta = 0.5;          // multiplicative accuracy target
+  double jl_constant = 8.0;  // k = jl_constant * log(m) / eta^2
+  std::size_t sparsity = 4;  // Kane-Nelson column sparsity s
+  std::uint64_t seed = 1;
+};
+
+// Algorithm 6: sigma_apx = sum_j (M (M^T M)^{-1} M^T Q^(j))^2. Charges the
+// leader's seed broadcast and the per-probe communication to `acct` when
+// provided (Lemma 4.5's round accounting).
+linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
+                               const LeverageOptions& opt,
+                               bcc::RoundAccountant* acct = nullptr);
+
+}  // namespace bcclap::lp

@@ -1,0 +1,119 @@
+#include "lp/lewis_weights.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bcclap::lp {
+
+namespace {
+
+linalg::Vec leverage_of(const linalg::DenseMatrix& m, const LewisOptions& opt,
+                        double eta) {
+  if (!opt.use_jl) return leverage_scores_exact(m);
+  LeverageOptions lev = opt.leverage;
+  lev.eta = eta;
+  const MatrixOracle oracle = dense_oracle(m);
+  return leverage_scores_jl(oracle, lev);
+}
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+}  // namespace
+
+double lewis_p_for(std::size_t m_rows) {
+  const double lg = std::log(4.0 * static_cast<double>(std::max<std::size_t>(m_rows, 2)));
+  return 1.0 - 1.0 / lg;
+}
+
+linalg::DenseMatrix row_scaled(const linalg::DenseMatrix& m,
+                               const linalg::Vec& w, double p) {
+  assert(w.size() == m.rows());
+  const double expo = 0.5 - 1.0 / p;
+  linalg::DenseMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double s = std::pow(std::max(w[i], 1e-300), expo);
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = s * m(i, j);
+  }
+  return out;
+}
+
+linalg::Vec lewis_fixed_point(const linalg::DenseMatrix& m, double p,
+                              std::size_t iterations) {
+  linalg::Vec w(m.rows(), 1.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    auto sigma = leverage_scores_exact(row_scaled(m, w, p));
+    // Cohen-Peng damped update: w <- (w^{... } sigma)^{p/2}; the plain
+    // sigma map converges for p < 4 but the half-log step is more robust.
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = std::sqrt(std::max(w[i], 1e-300) * std::max(sigma[i], 1e-300));
+    }
+  }
+  return w;
+}
+
+linalg::Vec compute_apx_weights(const linalg::DenseMatrix& m, double p,
+                                const linalg::Vec& w0, double eta,
+                                const LewisOptions& opt) {
+  const std::size_t n = m.cols();
+  const double big_l = std::max(4.0, 8.0 / p);
+  const double r = opt.trust_constant * p * p * (4.0 - p);
+  const double delta = (4.0 - p) * eta / 256.0;
+
+  std::size_t t_iters = static_cast<std::size_t>(std::ceil(
+      opt.iter_constant * (p / 2.0 + 2.0 / p) *
+      std::log(std::max(2.0, p * static_cast<double>(n) / (32.0 * eta)))));
+  t_iters = std::clamp<std::size_t>(t_iters, 2, opt.max_iterations);
+
+  linalg::Vec w = w0;
+  for (std::size_t j = 0; j + 1 < t_iters; ++j) {
+    const auto sigma = leverage_of(row_scaled(m, w, p), opt, delta / 2.0);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double mid =
+          w[i] - (1.0 / big_l) * (w0[i] - (w0[i] / w[i]) * sigma[i]);
+      w[i] = median3((1.0 - r) * w0[i], mid, (1.0 + r) * w0[i]);
+    }
+  }
+  return w;
+}
+
+linalg::Vec compute_initial_weights(const linalg::DenseMatrix& m,
+                                    double p_target, double eta,
+                                    const LewisOptions& opt) {
+  const std::size_t rows = m.rows();
+  const std::size_t n = m.cols();
+  const double logm = std::log(static_cast<double>(std::max<std::size_t>(rows, 3)));
+  const double ck = 2.0 * std::log(4.0 * static_cast<double>(rows));
+
+  double p = 2.0;
+  linalg::Vec w(rows, 1.0 / (2.0 * ck));
+  // Homotopy: move p toward p_target in trust-region-compatible steps.
+  std::size_t guard = 0;
+  while (p != p_target && guard++ < 100000) {
+    const double r = (1.0 / (1u << 20)) * p * p * (4.0 - p);
+    const double h = opt.step_constant * std::min(2.0, p) * r /
+                     (std::sqrt(static_cast<double>(n)) * logm * M_E * M_E);
+    const double p_new = median3(p - h, p_target, p + h);
+    linalg::Vec warm(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+      warm[i] = std::pow(std::max(w[i], 1e-300), p_new / p);
+    const double call_eta = opt.trust_constant * p * p * (4.0 - p) / 4.0;
+    w = compute_apx_weights(m, p_new, warm, std::max(call_eta, 1e-3), opt);
+    p = p_new;
+  }
+  return compute_apx_weights(m, p_target, w, eta, opt);
+}
+
+double lewis_relative_error(const linalg::DenseMatrix& m, double p,
+                            const linalg::Vec& w) {
+  const auto ref = lewis_fixed_point(m, p, 200);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    worst = std::max(worst, std::abs(ref[i] - w[i]) / std::max(ref[i], 1e-12));
+  }
+  return worst;
+}
+
+}  // namespace bcclap::lp

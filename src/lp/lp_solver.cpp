@@ -1,0 +1,316 @@
+#include "lp/lp_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/encoding.h"
+#include "lp/project_mixed_ball.h"
+
+namespace bcclap::lp {
+
+namespace {
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+// One path-following run (Algorithm 10) shared by both phases.
+class PathFollower {
+ public:
+  PathFollower(const LpProblem& prob, const LpOptions& opt,
+               const linalg::Vec& cost, bcc::RoundAccountant& acct)
+      : prob_(prob),
+        opt_(opt),
+        cost_(cost),
+        acct_(acct),
+        barrier_(prob.lower, prob.upper),
+        m_(prob.a.rows()),
+        n_(prob.a.cols()) {
+    p_lewis_ = lewis_p_for(m_);
+    c0_ = static_cast<double>(n_) / (2.0 * static_cast<double>(m_));
+  }
+
+  // Follows the path from t_start to t_end; x and w updated in place.
+  // Returns false if centering stalls irrecoverably.
+  bool follow(linalg::Vec& x, linalg::Vec& w, double t_start, double t_end,
+              double final_tol, std::size_t* path_steps,
+              std::size_t* newton_steps) {
+    double t = t_start;
+    double alpha = base_alpha();
+    std::size_t steps = 0;
+    while (t != t_end && steps < opt_.max_path_steps) {
+      if (!center(x, w, t, opt_.centering_tol, newton_steps)) return false;
+      const double t_next = median3((1.0 - alpha) * t, t_end,
+                                    (1.0 + alpha) * t);
+      if (opt_.steps == StepMode::kAdaptive) {
+        // Probe the larger step; on centering failure halve and retry.
+        double trial_alpha = alpha;
+        double t_trial = t_next;
+        linalg::Vec x_save = x, w_save = w;
+        bool ok = center(x, w, t_trial, opt_.centering_tol, newton_steps);
+        while (!ok && trial_alpha > 1e-7) {
+          x = x_save;
+          w = w_save;
+          trial_alpha /= 2.0;
+          t_trial = median3((1.0 - trial_alpha) * t, t_end,
+                            (1.0 + trial_alpha) * t);
+          ok = center(x, w, t_trial, opt_.centering_tol, newton_steps);
+        }
+        if (!ok) return false;
+        t = t_trial;
+        alpha = std::min(trial_alpha * 2.0, 0.5);
+      } else {
+        t = t_next;
+      }
+      ++steps;
+      charge_step_rounds();
+    }
+    if (path_steps) *path_steps += steps;
+    // Final polish (Algorithm 10's trailing centering loop).
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (center(x, w, t_end, final_tol, newton_steps)) break;
+    }
+    return t == t_end;
+  }
+
+  linalg::Vec initial_weights() {
+    if (opt_.weights == WeightMode::kVanilla) return linalg::ones(m_);
+    // ComputeInitialWeights would be exact here; for the solver we start
+    // from leverage scores of A (the p = 2 point of the homotopy) and let
+    // the per-step warm-started refinement track the path, which is the
+    // same fixed-point machinery with a cheaper entry point.
+    linalg::Vec w = lewis_fixed_point(prob_.a.to_dense(), p_lewis_, 12);
+    for (double& v : w) v = std::max(v + c0_, c0_);
+    return w;
+  }
+
+ private:
+  double base_alpha() const {
+    const double scale = opt_.weights == WeightMode::kLewis
+                             ? static_cast<double>(n_)
+                             : static_cast<double>(m_);
+    const double logm = std::log2(static_cast<double>(std::max<std::size_t>(m_, 4)));
+    return opt_.alpha_constant / (std::sqrt(scale) * logm);
+  }
+
+  // Newton-centers x for f_t(x) = t cost^T x + sum_i w_i phi_i(x_i) over
+  // A^T x = b, refreshing w each step in Lewis mode (Algorithm 11).
+  bool center(linalg::Vec& x, linalg::Vec& w, double t, double tol,
+              std::size_t* newton_steps) {
+    for (std::size_t it = 0; it < opt_.max_center_steps; ++it) {
+      const linalg::Vec phi1 = barrier_.gradient(x);
+      const linalg::Vec phi2 = barrier_.hessian_diag(x);
+      linalg::Vec grad(m_), hd(m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        grad[i] = t * cost_[i] + w[i] * phi1[i];
+        hd[i] = w[i] * phi2[i];
+      }
+      // Newton direction with equality constraints and infeasibility
+      // correction (keeps A^T x = b against roundoff drift):
+      //   solve (A^T Hd^{-1} A) lam = A^T Hd^{-1} grad + (b - A^T x),
+      //   dx = Hd^{-1} (A lam - grad), so A^T dx = b - A^T x.
+      linalg::Vec hinv_grad(m_);
+      linalg::Vec d(m_);
+      for (std::size_t i = 0; i < m_; ++i) {
+        d[i] = 1.0 / hd[i];
+        hinv_grad[i] = grad[i] * d[i];
+      }
+      linalg::Vec rhs = prob_.a.multiply_transpose(hinv_grad);
+      const linalg::Vec ax = prob_.a.multiply_transpose(x);
+      for (std::size_t j = 0; j < n_; ++j) rhs[j] += prob_.b[j] - ax[j];
+      auto engine = make_engine(assemble_gram(prob_.a, d));
+      const linalg::Vec lam = engine->solve(rhs, 1e-12);
+      acct_.charge("lp/gram-solve", engine->rounds_charged());
+      const linalg::Vec a_lam = prob_.a.multiply(lam);
+      linalg::Vec dx(m_);
+      for (std::size_t i = 0; i < m_; ++i)
+        dx[i] = d[i] * (a_lam[i] - grad[i]);
+
+      const double delta =
+          std::sqrt(std::max(0.0, -linalg::dot(dx, grad)));
+      if (newton_steps) ++*newton_steps;
+      if (delta <= tol) {
+        if (opt_.weights == WeightMode::kLewis) refresh_weights(x, w, delta);
+        return true;
+      }
+      double step = std::min(1.0, 1.0 / (1.0 + delta));
+      step = std::min(step, barrier_.max_feasible_step(x, dx));
+      if (step <= 1e-14) return false;
+      linalg::axpy(x, step, dx);
+      if (opt_.weights == WeightMode::kLewis) refresh_weights(x, w, delta);
+    }
+    return false;
+  }
+
+  // Algorithm 11 lines 4-6: pull w toward the Lewis weights of A_x with a
+  // mixed-norm-ball-projected move in log space.
+  void refresh_weights(const linalg::Vec& x, linalg::Vec& w, double delta) {
+    const linalg::Vec phi2 = barrier_.hessian_diag(x);
+    // A_x = Phi''(x)^{-1/2} A, dense for the weight computation.
+    linalg::DenseMatrix ax(m_, n_);
+    const auto& rp = prob_.a.row_ptr();
+    const auto& ci = prob_.a.col_index();
+    const auto& vals = prob_.a.values();
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double s = 1.0 / std::sqrt(phi2[r]);
+      for (std::size_t kk = rp[r]; kk < rp[r + 1]; ++kk)
+        ax(r, ci[kk]) = s * vals[kk];
+    }
+    LewisOptions lw = opt_.lewis;
+    lw.max_iterations = std::min<std::size_t>(lw.max_iterations, 6);
+    const linalg::Vec target =
+        compute_apx_weights(ax, p_lewis_, w, 0.1, lw);
+
+    const double ck = 2.0 * std::log(4.0 * static_cast<double>(m_));
+    if (!opt_.use_mixed_ball_update) {
+      for (std::size_t i = 0; i < m_; ++i)
+        w[i] = std::max(target[i] + 0.0, c0_);
+      return;
+    }
+    const double big_r = 1.0 / (768.0 * ck * ck *
+                                std::log(36.0 * 4.0 * ck *
+                                         static_cast<double>(m_)));
+    const double cnorm = 24.0 * std::sqrt(4.0 * ck);
+    linalg::Vec v(m_), ball_l(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      v[i] = std::log(std::max(target[i], c0_)) -
+             std::log(std::max(w[i], c0_));
+      ball_l[i] = 1.0 / (cnorm * std::sqrt(std::max(w[i], c0_)));
+    }
+    // Potential gradient of Phi_eta (soft-max direction), eta = 1/(12R).
+    const double eta = std::min(1.0 / (12.0 * big_r), 50.0);
+    linalg::Vec a(m_);
+    for (std::size_t i = 0; i < m_; ++i)
+      a[i] = std::sinh(std::clamp(eta * v[i], -30.0, 30.0));
+    const auto proj = project_mixed_ball(a, ball_l, 1e-10, &acct_);
+    const double scale = (1.0 - 6.0 / (7.0 * ck)) * std::max(delta, 0.05);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double nw = std::exp(std::log(std::max(w[i], c0_)) +
+                                 scale * proj.x[i]);
+      w[i] = std::clamp(nw, c0_, 2.0);
+    }
+  }
+
+  std::unique_ptr<laplacian::SddEngine> make_engine(
+      linalg::DenseMatrix gram) const {
+    if (opt_.gram_factory) return opt_.gram_factory(gram);
+    return laplacian::make_exact_sdd_engine(std::move(gram), n_ + 1);
+  }
+
+  void charge_step_rounds() {
+    // Per path step: O(1) vector broadcasts at O(log(mU/eps)) bits.
+    const std::int64_t bw = 2 * enc::id_bits(std::max<std::size_t>(n_, 2)) + 2;
+    const int bits = enc::real_bits(static_cast<double>(m_) / opt_.epsilon,
+                                    opt_.epsilon);
+    acct_.charge_broadcast_bits("lp/path-step", 4 * bits, bw);
+  }
+
+  const LpProblem& prob_;
+  const LpOptions& opt_;
+  const linalg::Vec& cost_;
+  bcc::RoundAccountant& acct_;
+  BarrierSet barrier_;
+  std::size_t m_;
+  std::size_t n_;
+  double p_lewis_ = 1.0;
+  double c0_ = 0.0;
+};
+
+}  // namespace
+
+linalg::DenseMatrix assemble_gram(const linalg::CsrMatrix& a,
+                                  const linalg::Vec& d) {
+  const std::size_t n = a.cols();
+  linalg::DenseMatrix gram(n, n);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_index();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t i = rp[r]; i < rp[r + 1]; ++i) {
+      for (std::size_t j = rp[r]; j < rp[r + 1]; ++j) {
+        gram(ci[i], ci[j]) += d[r] * vals[i] * vals[j];
+      }
+    }
+  }
+  return gram;
+}
+
+LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
+                  const LpOptions& opt) {
+  const std::size_t m = prob.a.rows();
+  LpResult out;
+  out.x = x0;
+
+  bcc::RoundAccountant acct;
+  double u_bound = 1.0;
+  for (double v : prob.c) u_bound = std::max(u_bound, std::abs(v));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (std::isfinite(prob.lower[i]))
+      u_bound = std::max(u_bound, std::abs(prob.lower[i]));
+    if (std::isfinite(prob.upper[i]))
+      u_bound = std::max(u_bound, std::abs(prob.upper[i]));
+  }
+
+  // Initial weights (Algorithm 9 line 1). A dummy-cost follower is used
+  // only to access the weight initializer; it charges no rounds.
+  const linalg::Vec zero_cost(m, 0.0);
+  linalg::Vec w = PathFollower(prob, opt, zero_cost, acct).initial_weights();
+
+  // Phase 1: recenter x0. With d = -w .* phi'(x0), x0 is the exact t = 1
+  // minimizer of t d^T x + sum w_i phi_i; following d's path down to t1
+  // lands near the weighted analytic center (Algorithm 9 lines 2-3).
+  const double t1 =
+      opt.t_start_scale /
+      (std::pow(static_cast<double>(m), 1.5) * u_bound * u_bound);
+  BarrierSet barrier0(prob.lower, prob.upper);
+  const linalg::Vec phi1_x0 = barrier0.gradient(x0);
+  linalg::Vec d_cost(m);
+  for (std::size_t i = 0; i < m; ++i) d_cost[i] = -w[i] * phi1_x0[i];
+
+  PathFollower phase1(prob, opt, d_cost, acct);
+  if (!phase1.follow(out.x, w, 1.0, t1, opt.centering_tol, &out.path_steps,
+                     &out.newton_steps)) {
+    out.rounds = acct.total();
+    return out;
+  }
+
+  // Phase 2: follow the true cost from t1 to t2 = 4 * sum(w) / epsilon.
+  double w_sum = 0.0;
+  for (double v : w) w_sum += v;
+  const double t2 = 4.0 * std::max(w_sum, 1.0) / opt.epsilon;
+  PathFollower phase2(prob, opt, prob.c, acct);
+  const bool ok = phase2.follow(out.x, w, t1, t2, opt.centering_tol / 4.0,
+                                &out.path_steps, &out.newton_steps);
+
+  // Final feasibility restoration: centering can stop with a residual
+  // A^T x - b of the order of the last Newton decrement; one weighted
+  // least-squares correction removes it without leaving the barrier domain.
+  {
+    BarrierSet barrier(prob.lower, prob.upper);
+    const linalg::Vec phi2 = barrier.hessian_diag(out.x);
+    linalg::Vec d(m);
+    for (std::size_t i = 0; i < m; ++i) d[i] = 1.0 / (w[i] * phi2[i]);
+    const auto gram = assemble_gram(prob.a, d);
+    auto engine = opt.gram_factory
+                      ? opt.gram_factory(gram)
+                      : laplacian::make_exact_sdd_engine(gram,
+                                                         prob.a.cols() + 1);
+    linalg::Vec resid = prob.b;
+    const auto ax = prob.a.multiply_transpose(out.x);
+    for (std::size_t j = 0; j < resid.size(); ++j) resid[j] -= ax[j];
+    const auto lam = engine->solve(resid, 1e-12);
+    const auto a_lam = prob.a.multiply(lam);
+    linalg::Vec dx(m);
+    for (std::size_t i = 0; i < m; ++i) dx[i] = d[i] * a_lam[i];
+    const double step = barrier.max_feasible_step(out.x, dx, 0.999);
+    linalg::axpy(out.x, step, dx);
+  }
+
+  out.converged = ok;
+  out.objective = linalg::dot(prob.c, out.x);
+  out.rounds = acct.total();
+  return out;
+}
+
+}  // namespace bcclap::lp

@@ -1,0 +1,90 @@
+// Interior-point LP solver in the Broadcast Congested Clique
+// (Section 4.2, Theorem 1.4; Lee-Sidford weighted path finding).
+//
+// Solves   min c^T x  s.t.  A^T x = b,  l <= x <= u   (A is m x n, m >= n)
+// by weighted path following: x_t = argmin_{A^T x = b} t c^T x + sum_i
+// g_i(x) phi_i(x_i). Each step is a projected Newton step whose linear
+// system is A^T D A for positive diagonal D — the primitive the BCC
+// Laplacian solver provides for flow-structured A (Lemma 5.1).
+//
+// Weight modes:
+//  - kVanilla: g == 1 (classical log-barrier path following, O(sqrt(m))
+//    iterations) — the baseline the paper improves on.
+//  - kLewis: g = regularized ell_p Lewis weights (Definition 4.3),
+//    recomputed each step via Algorithm 7 with warm start and moved through
+//    the mixed-norm-ball projection (Algorithm 11) — O(sqrt(n) polylog)
+//    iterations.
+//
+// Step modes:
+//  - kShortStep: fixed multiplicative t-step alpha = alpha_constant /
+//    (sqrt(scale) * log m), scale = n (Lewis) or m (vanilla): the paper's
+//    schedule shape with a bench-tunable constant.
+//  - kAdaptive: doubling/halving t-steps gated on centering success; used
+//    when the goal is the answer, not the iteration-count experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "bcc/round_accountant.h"
+#include "laplacian/bcc_solver.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/vector_ops.h"
+#include "lp/barrier.h"
+#include "lp/lewis_weights.h"
+
+namespace bcclap::lp {
+
+struct LpProblem {
+  linalg::CsrMatrix a;  // m x n, full column rank
+  linalg::Vec b;        // n
+  linalg::Vec c;        // m
+  linalg::Vec lower;    // m (may contain -inf)
+  linalg::Vec upper;    // m (may contain +inf)
+};
+
+enum class WeightMode { kVanilla, kLewis };
+enum class StepMode { kShortStep, kAdaptive };
+
+// Factory for the (A^T D A)-system solver; default builds the exact SDD
+// engine; the pipeline experiment swaps in the sparsified engine.
+using GramSolverFactory =
+    std::function<std::unique_ptr<laplacian::SddEngine>(
+        const linalg::DenseMatrix& gram)>;
+
+struct LpOptions {
+  WeightMode weights = WeightMode::kVanilla;
+  StepMode steps = StepMode::kAdaptive;
+  double epsilon = 1e-6;         // additive objective error target
+  double alpha_constant = 0.5;   // short-step scale (paper: R/1600)
+  double centering_tol = 0.25;   // Newton decrement target
+  std::size_t max_center_steps = 60;
+  std::size_t max_path_steps = 100000;
+  double t_start_scale = 1e-4;   // t1 = t_start_scale / (m^{3/2} U^2)
+  bool use_mixed_ball_update = true;
+  LewisOptions lewis;
+  GramSolverFactory gram_factory;  // empty = exact engine
+  std::uint64_t seed = 7;
+};
+
+struct LpResult {
+  linalg::Vec x;
+  double objective = 0.0;
+  bool converged = false;
+  std::size_t path_steps = 0;    // t-updates across both phases
+  std::size_t newton_steps = 0;  // total centering steps
+  std::int64_t rounds = 0;       // accounted BCC rounds
+};
+
+// LPSolve (Algorithm 9): phase 1 re-centers x0, phase 2 follows the real
+// cost to t2 ~ m/epsilon. x0 must satisfy A^T x0 = b strictly inside the
+// box.
+LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
+                  const LpOptions& opt);
+
+// Assembles A^T D A (n x n dense) for diagonal D given as a vector.
+linalg::DenseMatrix assemble_gram(const linalg::CsrMatrix& a,
+                                  const linalg::Vec& d);
+
+}  // namespace bcclap::lp

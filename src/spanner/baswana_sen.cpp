@@ -1,0 +1,168 @@
+#include "spanner/baswana_sen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace bcclap::spanner {
+
+namespace {
+constexpr std::size_t kUnclustered = std::numeric_limits<std::size_t>::max();
+
+// (weight, neighbour-id) lexicographic order used for "lightest edge" with
+// deterministic tie-breaking, matching Appendix A's tie-break rule.
+struct Lightest {
+  double weight = std::numeric_limits<double>::infinity();
+  graph::VertexId u = 0;
+  graph::EdgeId e = 0;
+  bool valid = false;
+
+  void offer(double w, graph::VertexId cand_u, graph::EdgeId cand_e) {
+    if (!valid || w < weight || (w == weight && cand_u < u)) {
+      weight = w;
+      u = cand_u;
+      e = cand_e;
+      valid = true;
+    }
+  }
+};
+}  // namespace
+
+BaswanaSenResult baswana_sen(const graph::Graph& g, std::size_t k,
+                             rng::Stream& stream) {
+  const std::size_t n = g.num_vertices();
+  const double mark_prob = std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
+
+  std::vector<std::size_t> cluster(n);
+  for (std::size_t v = 0; v < n; ++v) cluster[v] = v;  // singleton clusters
+  std::set<graph::EdgeId> spanner;
+  // Edges still under consideration (E' in Baswana-Sen).
+  std::vector<bool> alive(g.num_edges(), true);
+
+  for (std::size_t phase = 1; phase < k; ++phase) {
+    // (a) Mark clusters.
+    std::set<std::size_t> centers;
+    for (std::size_t v = 0; v < n; ++v)
+      if (cluster[v] != kUnclustered) centers.insert(cluster[v]);
+    std::map<std::size_t, bool> marked;
+    for (std::size_t c : centers) marked[c] = stream.bernoulli(mark_prob);
+
+    std::vector<std::size_t> next_cluster(cluster);
+    // All vertices act on the phase-start edge set (the algorithm is
+    // parallel); discards are applied to `alive`, reads go to the snapshot.
+    const std::vector<bool> alive_snapshot(alive);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (cluster[v] == kUnclustered) continue;
+      if (marked[cluster[v]]) continue;  // stays in its (marked) cluster
+      // Q_v: lightest alive edge from v to each adjacent cluster.
+      std::map<std::size_t, Lightest> lightest;
+      for (graph::EdgeId e : g.incident(v)) {
+        if (!alive_snapshot[e]) continue;
+        const graph::VertexId u = g.other_endpoint(e, v);
+        if (cluster[u] == kUnclustered || cluster[u] == cluster[v]) continue;
+        lightest[cluster[u]].offer(g.edge(e).weight, u, e);
+      }
+      // Closest marked cluster, if any.
+      Lightest best_marked;
+      for (const auto& [c, item] : lightest) {
+        if (marked.at(c)) {
+          if (!best_marked.valid ||
+              item.weight < best_marked.weight ||
+              (item.weight == best_marked.weight && item.u < best_marked.u)) {
+            best_marked = item;
+          }
+        }
+      }
+      if (!best_marked.valid) {
+        // (ii) add lightest edge to EVERY adjacent cluster; discard the rest.
+        for (const auto& [c, item] : lightest) {
+          spanner.insert(item.e);
+          for (graph::EdgeId e : g.incident(v)) {
+            if (alive[e] && cluster[g.other_endpoint(e, v)] == c) alive[e] = false;
+          }
+        }
+        next_cluster[v] = kUnclustered;
+      } else {
+        // (iii) join the closest marked cluster; add edges lighter than it.
+        spanner.insert(best_marked.e);
+        next_cluster[v] = cluster[best_marked.u];
+        for (const auto& [c, item] : lightest) {
+          if (c == cluster[best_marked.u]) continue;
+          if (marked.at(c)) continue;
+          const bool lighter =
+              item.weight < best_marked.weight ||
+              (item.weight == best_marked.weight && item.u < best_marked.u);
+          if (lighter) {
+            spanner.insert(item.e);
+            for (graph::EdgeId e : g.incident(v)) {
+              if (alive[e] && cluster[g.other_endpoint(e, v)] == c)
+                alive[e] = false;
+            }
+          }
+        }
+        // Edges from v into the joined cluster are settled.
+        for (graph::EdgeId e : g.incident(v)) {
+          if (alive[e] &&
+              cluster[g.other_endpoint(e, v)] == cluster[best_marked.u])
+            alive[e] = false;
+        }
+      }
+    }
+    // Intra-cluster edges never enter the spanner; drop them as settled.
+    cluster = next_cluster;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!alive[e]) continue;
+      const auto& ed = g.edge(e);
+      if (cluster[ed.u] != kUnclustered && cluster[ed.u] == cluster[ed.v])
+        alive[e] = false;
+    }
+  }
+
+  // Final vertex-cluster joining: lightest alive edge to each R_k cluster.
+  const std::vector<bool> alive_final(alive);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::map<std::size_t, Lightest> lightest;
+    for (graph::EdgeId e : g.incident(v)) {
+      if (!alive_final[e]) continue;
+      const graph::VertexId u = g.other_endpoint(e, v);
+      if (cluster[u] == kUnclustered || cluster[u] == cluster[v]) continue;
+      lightest[cluster[u]].offer(g.edge(e).weight, u, e);
+    }
+    for (const auto& [c, item] : lightest) {
+      spanner.insert(item.e);
+      for (graph::EdgeId e : g.incident(v)) {
+        if (alive[e] && cluster[g.other_endpoint(e, v)] == c) alive[e] = false;
+      }
+    }
+  }
+
+  BaswanaSenResult out;
+  out.spanner_edges.assign(spanner.begin(), spanner.end());
+  out.final_cluster = cluster;
+  return out;
+}
+
+bool verify_stretch(const graph::Graph& g,
+                    const std::vector<graph::EdgeId>& spanner_edges,
+                    double stretch) {
+  graph::Graph s(g.num_vertices());
+  for (graph::EdgeId e : spanner_edges) {
+    const auto& ed = g.edge(e);
+    s.add_edge(ed.u, ed.v, ed.weight);
+  }
+  // It suffices to check stretch on edges of G: any path in G is a
+  // concatenation of edges, so edge-wise stretch implies pairwise stretch.
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const auto dist_s = s.shortest_paths(v);
+    for (graph::EdgeId e : g.incident(v)) {
+      const auto& ed = g.edge(e);
+      const graph::VertexId u = g.other_endpoint(e, v);
+      if (dist_s[u] > stretch * ed.weight * (1.0 + 1e-12)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bcclap::spanner

@@ -1,0 +1,32 @@
+// Baswana-Sen (2k-1)-spanner, the Appendix A baseline.
+//
+// This is the deterministic-edge algorithm the probabilistic spanner of
+// Section 3.1 reduces to when p == 1; it is implemented independently (and
+// centralized — we only need it as a correctness oracle and size baseline,
+// not as a distributed program).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace bcclap::spanner {
+
+struct BaswanaSenResult {
+  std::vector<graph::EdgeId> spanner_edges;
+  // cluster_of[v] after the final phase; SIZE_MAX = unclustered.
+  std::vector<std::size_t> final_cluster;
+};
+
+BaswanaSenResult baswana_sen(const graph::Graph& g, std::size_t k,
+                             rng::Stream& stream);
+
+// Verifies d_S(u,v) <= stretch * d_G(u,v) for all vertex pairs (exact, via
+// Dijkstra from every vertex — test-sized graphs only).
+bool verify_stretch(const graph::Graph& g,
+                    const std::vector<graph::EdgeId>& spanner_edges,
+                    double stretch);
+
+}  // namespace bcclap::spanner

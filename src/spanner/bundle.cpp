@@ -1,0 +1,35 @@
+#include "spanner/bundle.h"
+
+namespace bcclap::spanner {
+
+BundleResult bundle_spanner(const graph::Graph& g,
+                            const std::vector<bool>& available,
+                            const std::vector<double>& weights, std::size_t k,
+                            std::size_t t, const ExistenceOracle& oracle,
+                            rng::Stream& mark_stream, bcc::Network& net) {
+  BundleResult out;
+  std::vector<bool> avail = available;
+  const std::int64_t start = net.accountant().mark();
+  for (std::size_t i = 0; i < t; ++i) {
+    ProbabilisticSpannerOptions opt;
+    opt.k = k;
+    opt.available = avail;
+    opt.weights = weights;
+    auto res =
+        spanner_with_probabilistic_edges(g, opt, oracle, mark_stream, net);
+    out.deduction_consistent &= res.deduction_consistent;
+    for (std::size_t j = 0; j < res.f_plus.size(); ++j) {
+      out.bundle_edges.push_back(res.f_plus[j]);
+      out.out_vertex.push_back(res.out_vertex[j]);
+      avail[res.f_plus[j]] = false;
+    }
+    for (graph::EdgeId e : res.f_minus) {
+      out.deleted_edges.push_back(e);
+      avail[e] = false;
+    }
+  }
+  out.rounds = net.accountant().since(start);
+  return out;
+}
+
+}  // namespace bcclap::spanner

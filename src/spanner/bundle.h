@@ -1,0 +1,30 @@
+// t-bundle spanner (Algorithm 3): t successive spanners, each computed on
+// the edge set remaining after removing everything the previous spanners
+// decided (F+ and F-).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/network.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "spanner/probabilistic_spanner.h"
+
+namespace bcclap::spanner {
+
+struct BundleResult {
+  std::vector<graph::EdgeId> bundle_edges;   // B = union of F+_i
+  std::vector<graph::EdgeId> deleted_edges;  // C = union of F-_i
+  std::vector<graph::VertexId> out_vertex;   // orientation per bundle edge
+  bool deduction_consistent = true;
+  std::int64_t rounds = 0;
+};
+
+BundleResult bundle_spanner(const graph::Graph& g,
+                            const std::vector<bool>& available,
+                            const std::vector<double>& weights, std::size_t k,
+                            std::size_t t, const ExistenceOracle& oracle,
+                            rng::Stream& mark_stream, bcc::Network& net);
+
+}  // namespace bcclap::spanner

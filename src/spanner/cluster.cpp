@@ -1,0 +1,22 @@
+#include "spanner/cluster.h"
+
+#include <set>
+
+namespace bcclap::spanner {
+
+std::size_t count_clusters(const std::vector<std::size_t>& cluster_of) {
+  std::set<std::size_t> centers;
+  for (std::size_t c : cluster_of)
+    if (c != kNoCluster) centers.insert(c);
+  return centers.size();
+}
+
+std::vector<std::size_t> out_degrees(
+    std::size_t n, const std::vector<std::size_t>& out_vertex) {
+  std::vector<std::size_t> deg(n, 0);
+  for (std::size_t v : out_vertex)
+    if (v < n) ++deg[v];
+  return deg;
+}
+
+}  // namespace bcclap::spanner

@@ -1,0 +1,20 @@
+// Small shared cluster utilities for the spanner algorithms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace bcclap::spanner {
+
+inline constexpr std::size_t kNoCluster =
+    std::numeric_limits<std::size_t>::max();
+
+// Number of distinct active cluster centers in a membership vector.
+std::size_t count_clusters(const std::vector<std::size_t>& cluster_of);
+
+// Out-degree histogram for an orientation (Lemma 3.1 / Theorem 1.2).
+std::vector<std::size_t> out_degrees(std::size_t n,
+                                     const std::vector<std::size_t>& out_vertex);
+
+}  // namespace bcclap::spanner

@@ -1,0 +1,45 @@
+// The Connect procedure (Algorithm 2).
+//
+// Given the candidate neighbours of a vertex inside one target cluster,
+// sorted ascending by (edge weight, neighbour id), Connect walks the list
+// sampling each edge's existence; the first accepted edge is returned and
+// every edge rejected before it is reported deleted. Candidates after the
+// accepted one are left untouched (they stay probabilistic).
+//
+// Edge existence is sampled through a callback so the caller controls the
+// coupling: the standalone spanner uses a fresh Bernoulli(p_e) draw, while
+// the sparsifier uses per-iteration survival coins, which makes the ad-hoc
+// algorithm *bitwise* equal to the a-priori one under a shared seed — the
+// constructive form of Lemma 3.3.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bcclap::spanner {
+
+struct Candidate {
+  graph::VertexId u;
+  graph::EdgeId e;
+  double weight;
+};
+
+struct ConnectResult {
+  std::optional<Candidate> accepted;
+  std::vector<Candidate> rejected;  // the N^- set
+};
+
+// `exists` is invoked at most once per candidate, in sorted order, until one
+// returns true. It must encapsulate the "already decided to exist" case by
+// returning true deterministically.
+ConnectResult connect(std::vector<Candidate> candidates,
+                      const std::function<bool(graph::EdgeId)>& exists);
+
+// The (weight, id) candidate order used throughout Section 3.1; exposed for
+// the deduction rules, which must replay the same comparisons.
+bool candidate_less(const Candidate& a, const Candidate& b);
+
+}  // namespace bcclap::spanner

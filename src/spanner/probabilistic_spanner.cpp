@@ -1,0 +1,456 @@
+#include "spanner/probabilistic_spanner.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/encoding.h"
+#include "spanner/connect.h"
+
+namespace bcclap::spanner {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Wire format of the per-step broadcasts. We model them as bcc::Message
+// field sequences; `bits_w` is the (global) weight width, so one message is
+// O(log n + log W) bits exactly as in Lemma 3.2.
+//
+// Step 2 message:    [has(1)] [joined_cluster(id)] [u(id)] [w(bits_w)]
+//                    or [has=0] meaning (bot, W_v = inf).
+// Step 3/4 message:  [cluster X(id)] [has(1)] [u(id)] [w(bits_w)]
+struct Decoded {
+  bool has = false;
+  std::size_t cluster = kNone;
+  std::size_t u = kNone;
+  double w = kInf;
+};
+
+class SpannerRun {
+ public:
+  SpannerRun(const graph::Graph& g, const ProbabilisticSpannerOptions& opt,
+             const ExistenceOracle& oracle, rng::Stream& mark_stream,
+             bcc::Network& net)
+      : g_(g),
+        oracle_(oracle),
+        mark_stream_(mark_stream),
+        net_(net),
+        n_(g.num_vertices()),
+        m_(g.num_edges()),
+        k_(opt.k) {
+    avail_ = opt.available.empty() ? std::vector<bool>(m_, true)
+                                   : opt.available;
+    weights_.resize(m_);
+    for (std::size_t e = 0; e < m_; ++e) {
+      weights_[e] =
+          opt.weights.empty() ? g_.edge(e).weight : opt.weights[e];
+    }
+    double wmax = 1.0;
+    for (std::size_t e = 0; e < m_; ++e)
+      if (avail_[e]) wmax = std::max(wmax, weights_[e]);
+    bits_w_ = enc::bit_width_u64(static_cast<std::uint64_t>(
+        std::llround(wmax)));
+    decision_.assign(m_, EdgeDecision::kUndecided);
+    in_f_plus_.assign(m_, false);
+    belief_.assign(m_, {EdgeDecision::kUndecided, EdgeDecision::kUndecided});
+    cluster_.resize(n_);
+    for (std::size_t v = 0; v < n_; ++v) cluster_[v] = v;
+    marked_.assign(n_, false);
+    w_threshold_.assign(n_, kInf);
+    w_threshold_seen_.assign(n_, kInf);
+  }
+
+  ProbabilisticSpannerResult run() {
+    const std::int64_t start = net_.accountant().mark();
+    const double mark_prob =
+        std::pow(static_cast<double>(n_), -1.0 / static_cast<double>(k_));
+
+    for (std::size_t phase = 1; phase < k_; ++phase) {
+      step1_mark_clusters(mark_prob, phase);
+      step2_connect_to_marked();
+      step3_connect_unmarked(/*lower_ids=*/true);
+      step3_connect_unmarked(/*lower_ids=*/false);
+      apply_pending_joins();
+    }
+    step4_final_joining();
+
+    result_.rounds = net_.accountant().since(start);
+    check_belief_consistency();
+    return std::move(result_);
+  }
+
+ private:
+  // --- shared helpers ---------------------------------------------------
+
+  double weight(graph::EdgeId e) const { return weights_[e]; }
+
+  bool edge_usable(graph::EdgeId e) const {
+    return avail_[e] && decision_[e] != EdgeDecision::kDeleted;
+  }
+
+  // The existence sampler passed to Connect. Decides undecided edges
+  // through the oracle and records the decision (decider side of the
+  // belief table is filled by the caller).
+  bool sample_exists(graph::EdgeId e) {
+    if (decision_[e] == EdgeDecision::kExists) return true;
+    assert(decision_[e] == EdgeDecision::kUndecided);
+    const bool exists = oracle_(e);
+    decision_[e] = exists ? EdgeDecision::kExists : EdgeDecision::kDeleted;
+    if (!exists) result_.f_minus.push_back(e);
+    return exists;
+  }
+
+  void record_decider_belief(graph::VertexId v, graph::EdgeId e) {
+    belief_[e][side_of(e, v)] = decision_[e];
+  }
+
+  int side_of(graph::EdgeId e, graph::VertexId v) const {
+    return g_.edge(e).u == v ? 0 : 1;
+  }
+
+  void accept_edge(graph::VertexId v, const Candidate& c) {
+    record_decider_belief(v, c.e);
+    if (!in_f_plus_[c.e]) {
+      in_f_plus_[c.e] = true;
+      result_.f_plus.push_back(c.e);
+      result_.out_vertex.push_back(v);
+    }
+  }
+
+  void note_rejections(graph::VertexId v, const std::vector<Candidate>& ns) {
+    for (const Candidate& c : ns) record_decider_belief(v, c.e);
+  }
+
+  bool in_unmarked_cluster(graph::VertexId v) const {
+    return cluster_[v] != kNone && !marked_[cluster_[v]];
+  }
+  bool in_marked_cluster(graph::VertexId v) const {
+    return cluster_[v] != kNone && marked_[cluster_[v]];
+  }
+
+  // --- message encoding --------------------------------------------------
+
+  bcc::Message encode_step2(const std::optional<Candidate>& acc,
+                            graph::VertexId /*v*/) const {
+    bcc::Message msg;
+    if (!acc) {
+      msg.push_flag(false);
+      return msg;
+    }
+    msg.push_flag(true);
+    msg.push_id(cluster_[acc->u], n_);
+    msg.push_id(acc->u, n_);
+    msg.push(static_cast<std::uint64_t>(std::llround(acc->weight)), bits_w_);
+    return msg;
+  }
+
+  Decoded decode_step2(const bcc::Message& msg) const {
+    Decoded d;
+    d.has = msg.field(0) != 0;
+    if (d.has) {
+      d.cluster = msg.field(1);
+      d.u = msg.field(2);
+      d.w = static_cast<double>(msg.field(3));
+    }
+    return d;
+  }
+
+  bcc::Message encode_cluster_msg(std::size_t x,
+                                  const std::optional<Candidate>& acc) const {
+    bcc::Message msg;
+    msg.push_id(x, n_);
+    if (!acc) {
+      msg.push_flag(false);
+      return msg;
+    }
+    msg.push_flag(true);
+    msg.push_id(acc->u, n_);
+    msg.push(static_cast<std::uint64_t>(std::llround(acc->weight)), bits_w_);
+    return msg;
+  }
+
+  Decoded decode_cluster_msg(const bcc::Message& msg) const {
+    Decoded d;
+    d.cluster = msg.field(0);
+    d.has = msg.field(1) != 0;
+    if (d.has) {
+      d.u = msg.field(2);
+      d.w = static_cast<double>(msg.field(3));
+    }
+    return d;
+  }
+
+  // --- deduction (the receiving side of Section 3.1) ---------------------
+  //
+  // Receiver u, sender v, edge e = (u, v), u eligible (u in the candidate
+  // set N that v ran Connect over). The three rules of the paper:
+  //   1. v broadcast bot           -> (u,v) deleted
+  //   2. accepted u' with (w', u') after (w, u) in candidate order
+  //                                -> (u,v) deleted
+  //      (the sort would have reached u first, so u was sampled and failed)
+  //   3. accepted u' == u          -> (u,v) exists
+  //   otherwise (u' before u)      -> no information, edge stays undecided.
+  void deduce(graph::VertexId u, graph::VertexId /*v*/, graph::EdgeId e,
+              const Decoded& d) {
+    auto& slot = belief_[e][side_of(e, u)];
+    if (!d.has) {
+      slot = EdgeDecision::kDeleted;
+      return;
+    }
+    if (d.u == u) {
+      slot = EdgeDecision::kExists;
+      return;
+    }
+    const Candidate mine{u, e, weight(e)};
+    const Candidate theirs{d.u, kNone, d.w};
+    if (candidate_less(mine, theirs)) slot = EdgeDecision::kDeleted;
+    // else: u' precedes u, nothing learned.
+  }
+
+  // --- step 1: cluster marking -------------------------------------------
+
+  void step1_mark_clusters(double mark_prob, std::size_t phase) {
+    std::fill(marked_.begin(), marked_.end(), false);
+    // Marking bits are drawn center-by-center in id order; this ordering is
+    // what lets the a-priori sparsifier replay the identical bit stream
+    // (Lemma 3.3's shared-randomness assumption).
+    for (std::size_t c = 0; c < n_; ++c) {
+      if (!is_active_center(c)) continue;
+      marked_[c] = mark_stream_.bernoulli(mark_prob);
+    }
+    // The center pushes the bit down its cluster tree: depth <= phase.
+    net_.charge("spanner/step1", static_cast<std::int64_t>(phase));
+  }
+
+  bool is_active_center(std::size_t c) const {
+    // A center is active if some vertex belongs to it. Cluster ids are
+    // center vertex ids, so scan is O(n) overall via the cached counts.
+    return center_population_cache_.empty()
+               ? cluster_[c] == c
+               : center_population_cache_[c] > 0;
+  }
+
+  void refresh_center_population() {
+    center_population_cache_.assign(n_, 0);
+    for (std::size_t v = 0; v < n_; ++v)
+      if (cluster_[v] != kNone) ++center_population_cache_[cluster_[v]];
+  }
+
+  // --- step 2: connect to marked clusters ---------------------------------
+
+  void step2_connect_to_marked() {
+    std::fill(w_threshold_.begin(), w_threshold_.end(), kInf);
+    std::fill(w_threshold_seen_.begin(), w_threshold_seen_.end(), kInf);
+    pending_join_.assign(n_, kNone);
+
+    std::vector<std::vector<bcc::Message>> outboxes(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (!in_unmarked_cluster(v)) continue;
+      std::vector<Candidate> cands;
+      for (graph::EdgeId e : g_.incident(v)) {
+        if (!edge_usable(e)) continue;
+        const graph::VertexId u = g_.other_endpoint(e, v);
+        if (in_marked_cluster(u)) cands.push_back({u, e, weight(e)});
+      }
+      const ConnectResult res =
+          connect(std::move(cands),
+                  [this](graph::EdgeId e) { return sample_exists(e); });
+      note_rejections(v, res.rejected);
+      if (res.accepted) {
+        accept_edge(v, *res.accepted);
+        w_threshold_[v] = res.accepted->weight;
+        pending_join_[v] = cluster_[res.accepted->u];
+      }
+      outboxes[v].push_back(encode_step2(res.accepted, v));
+    }
+
+    const auto inboxes = net_.exchange(outboxes, "spanner/step2");
+    for (std::size_t u = 0; u < n_; ++u) {
+      for (const auto& rm : inboxes[u]) {
+        const Decoded d = decode_step2(rm.message);
+        // Every neighbour learns W_v (needed for step-3 eligibility).
+        w_threshold_seen_from_[{u, rm.sender}] = d.has ? d.w : kInf;
+        // Deduction applies only if u was in v's candidate set: u in a
+        // marked cluster and the edge not already settled as deleted.
+        const auto eid = g_.find_edge(u, rm.sender);
+        if (!eid) continue;
+        if (!in_marked_cluster(u)) continue;
+        if (!avail_[*eid]) continue;
+        if (belief_[*eid][side_of(*eid, u)] == EdgeDecision::kDeleted)
+          continue;
+        deduce(u, rm.sender, *eid, d);
+      }
+    }
+  }
+
+  // --- step 3: connections between unmarked clusters ----------------------
+
+  void step3_connect_unmarked(bool lower_ids) {
+    std::vector<std::vector<bcc::Message>> outboxes(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (!in_unmarked_cluster(v)) continue;
+      const std::size_t own = cluster_[v];
+      // Group eligible candidates by target cluster.
+      std::map<std::size_t, std::vector<Candidate>> by_cluster;
+      for (graph::EdgeId e : g_.incident(v)) {
+        if (!edge_usable(e)) continue;
+        if (weight(e) > w_threshold_[v]) continue;
+        const graph::VertexId u = g_.other_endpoint(e, v);
+        if (!in_unmarked_cluster(u)) continue;
+        const std::size_t x = cluster_[u];
+        if (x == own) continue;
+        if (lower_ids ? (x > own) : (x < own)) continue;
+        by_cluster[x].push_back({u, e, weight(e)});
+      }
+      for (auto& [x, cands] : by_cluster) {
+        const ConnectResult res =
+            connect(std::move(cands),
+                    [this](graph::EdgeId e) { return sample_exists(e); });
+        note_rejections(v, res.rejected);
+        if (res.accepted) accept_edge(v, *res.accepted);
+        outboxes[v].push_back(encode_cluster_msg(x, res.accepted));
+      }
+    }
+
+    const auto inboxes = net_.exchange(
+        outboxes, lower_ids ? "spanner/step3.1" : "spanner/step3.2");
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (!in_unmarked_cluster(u)) continue;
+      for (const auto& rm : inboxes[u]) {
+        const Decoded d = decode_cluster_msg(rm.message);
+        if (d.cluster != cluster_[u]) continue;
+        const auto eid = g_.find_edge(u, rm.sender);
+        if (!eid || !avail_[*eid]) continue;
+        // Eligibility: w(u,v) <= W_v, learned from v's step-2 broadcast.
+        const auto it = w_threshold_seen_from_.find({u, rm.sender});
+        const double wv = it == w_threshold_seen_from_.end() ? kInf
+                                                             : it->second;
+        if (weight(*eid) > wv) continue;
+        if (belief_[*eid][side_of(*eid, u)] == EdgeDecision::kDeleted)
+          continue;
+        deduce(u, rm.sender, *eid, d);
+      }
+    }
+  }
+
+  void apply_pending_joins() {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (!in_unmarked_cluster(v)) continue;
+      cluster_[v] = pending_join_[v];  // kNone if v failed to join
+    }
+    refresh_center_population();
+  }
+
+  // --- step 4: final joining to R_k clusters -------------------------------
+
+  void step4_final_joining() {
+    // Substep 4.1: unclustered vertices; 4.2: clustered, lower ids;
+    // 4.3: clustered, higher ids.
+    for (int sub = 1; sub <= 3; ++sub) {
+      std::vector<std::vector<bcc::Message>> outboxes(n_);
+      for (std::size_t v = 0; v < n_; ++v) {
+        const bool clustered = cluster_[v] != kNone;
+        if (sub == 1 && clustered) continue;
+        if (sub != 1 && !clustered) continue;
+        std::map<std::size_t, std::vector<Candidate>> by_cluster;
+        for (graph::EdgeId e : g_.incident(v)) {
+          if (!edge_usable(e)) continue;
+          const graph::VertexId u = g_.other_endpoint(e, v);
+          if (cluster_[u] == kNone) continue;
+          const std::size_t x = cluster_[u];
+          if (clustered) {
+            if (x == cluster_[v]) continue;
+            if (sub == 2 && x > cluster_[v]) continue;
+            if (sub == 3 && x < cluster_[v]) continue;
+          }
+          by_cluster[x].push_back({u, e, weight(e)});
+        }
+        for (auto& [x, cands] : by_cluster) {
+          const ConnectResult res =
+              connect(std::move(cands),
+                      [this](graph::EdgeId e) { return sample_exists(e); });
+          note_rejections(v, res.rejected);
+          if (res.accepted) accept_edge(v, *res.accepted);
+          outboxes[v].push_back(encode_cluster_msg(x, res.accepted));
+        }
+      }
+      const auto inboxes = net_.exchange(outboxes, "spanner/step4");
+      for (std::size_t u = 0; u < n_; ++u) {
+        if (cluster_[u] == kNone) continue;
+        for (const auto& rm : inboxes[u]) {
+          const Decoded d = decode_cluster_msg(rm.message);
+          if (d.cluster != cluster_[u]) continue;
+          const auto eid = g_.find_edge(u, rm.sender);
+          if (!eid || !avail_[*eid]) continue;
+          if (belief_[*eid][side_of(*eid, u)] == EdgeDecision::kDeleted)
+            continue;
+          deduce(u, rm.sender, *eid, d);
+        }
+      }
+    }
+  }
+
+  // --- end-of-run verification ---------------------------------------------
+
+  void check_belief_consistency() {
+    for (std::size_t e = 0; e < m_; ++e) {
+      if (!avail_[e]) continue;
+      if (decision_[e] == EdgeDecision::kUndecided) {
+        if (belief_[e][0] != EdgeDecision::kUndecided ||
+            belief_[e][1] != EdgeDecision::kUndecided) {
+          result_.deduction_consistent = false;
+        }
+        continue;
+      }
+      if (belief_[e][0] != decision_[e] || belief_[e][1] != decision_[e]) {
+        result_.deduction_consistent = false;
+      }
+    }
+  }
+
+  const graph::Graph& g_;
+  const ExistenceOracle& oracle_;
+  rng::Stream& mark_stream_;
+  bcc::Network& net_;
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t k_;
+  int bits_w_ = 1;
+
+  std::vector<bool> avail_;
+  std::vector<double> weights_;
+  std::vector<EdgeDecision> decision_;
+  std::vector<bool> in_f_plus_;
+  // belief_[e][side]: what each endpoint believes about e's existence,
+  // maintained exclusively through own decisions and deductions.
+  std::vector<std::array<EdgeDecision, 2>> belief_;
+
+  std::vector<std::size_t> cluster_;  // center id or kNone
+  std::vector<bool> marked_;          // indexed by center id
+  std::vector<std::size_t> pending_join_;
+  std::vector<double> w_threshold_;       // W_v^(i), decider view
+  std::vector<double> w_threshold_seen_;  // unused slot kept for layout
+  // (receiver u, sender v) -> W_v observed from v's step-2 broadcast.
+  std::map<std::pair<std::size_t, std::size_t>, double>
+      w_threshold_seen_from_;
+  std::vector<std::size_t> center_population_cache_;
+
+  ProbabilisticSpannerResult result_;
+};
+
+}  // namespace
+
+ProbabilisticSpannerResult spanner_with_probabilistic_edges(
+    const graph::Graph& g, const ProbabilisticSpannerOptions& opt,
+    const ExistenceOracle& oracle, rng::Stream& mark_stream,
+    bcc::Network& net) {
+  SpannerRun run(g, opt, oracle, mark_stream, net);
+  return run.run();
+}
+
+}  // namespace bcclap::spanner

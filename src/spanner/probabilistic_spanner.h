@@ -1,0 +1,66 @@
+// Spanner computation on a graph with probabilistic edges (Section 3.1).
+//
+// Input: a graph whose edges exist only with probability p_e (maintained by
+// the sparsifier), a stretch parameter k. The algorithm decides edge
+// existence lazily inside Connect and communicates each decision
+// *implicitly*: a vertex broadcasts only which edge it connected with, and
+// every neighbour deduces from that broadcast (plus the shared candidate
+// order) whether its own edge was sampled away. The run returns
+//   F+ : edges decided to exist (they form the spanner),
+//   F- : edges decided not to exist,
+// and S = (V, F+) is a (2k-1)-spanner of (V, F+ u E'') for any E'' subset
+// of the still-undecided edges (Lemma 3.1).
+//
+// The implementation runs as a bulk-synchronous program on a Broadcast
+// CONGEST network and *replays the paper's deduction rules at every
+// receiving vertex*; `deduction_consistent` reports whether every deduced
+// edge state matched the decider's, i.e. it machine-checks the paper's
+// implicit-communication claim on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bcc/network.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace bcclap::spanner {
+
+enum class EdgeDecision : std::uint8_t { kUndecided, kExists, kDeleted };
+
+// Existence oracle: called exactly once per undecided edge, when Connect
+// first samples it. The sparsifier supplies survival-coin sampling here
+// (which realizes the Lemma 3.3 coupling); standalone callers supply a
+// plain Bernoulli(p_e).
+using ExistenceOracle = std::function<bool(graph::EdgeId)>;
+
+struct ProbabilisticSpannerOptions {
+  std::size_t k = 2;
+  // Edges eligible for this run (empty = all). Ineligible edges are
+  // invisible to the algorithm.
+  std::vector<bool> available;
+  // Current (possibly rescaled) integer weights; empty = graph weights.
+  std::vector<double> weights;
+};
+
+struct ProbabilisticSpannerResult {
+  std::vector<graph::EdgeId> f_plus;
+  std::vector<graph::EdgeId> f_minus;
+  // out_vertex[i] is the endpoint that added f_plus[i]; this is the
+  // orientation of Lemma 3.1 (bounded out-degree).
+  std::vector<graph::VertexId> out_vertex;
+  // True iff every neighbour's deduced edge state matched the actual
+  // decision at the end of the run (the Section 3.1 claim).
+  bool deduction_consistent = true;
+  // Rounds charged on the network by this run.
+  std::int64_t rounds = 0;
+};
+
+ProbabilisticSpannerResult spanner_with_probabilistic_edges(
+    const graph::Graph& g, const ProbabilisticSpannerOptions& opt,
+    const ExistenceOracle& oracle, rng::Stream& mark_stream,
+    bcc::Network& net);
+
+}  // namespace bcclap::spanner

@@ -1,0 +1,129 @@
+#include "sparsify/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/rng.h"
+#include "graph/laplacian.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/eigen.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::sparsify {
+
+namespace {
+
+// Grounded dense Laplacian (drop last row/column).
+linalg::DenseMatrix grounded_laplacian(const graph::Graph& g) {
+  const std::size_t n = g.num_vertices();
+  linalg::DenseMatrix l(n - 1, n - 1);
+  for (const auto& e : g.edges()) {
+    if (e.u < n - 1) l(e.u, e.u) += e.weight;
+    if (e.v < n - 1) l(e.v, e.v) += e.weight;
+    if (e.u < n - 1 && e.v < n - 1) {
+      l(e.u, e.v) -= e.weight;
+      l(e.v, e.u) -= e.weight;
+    }
+  }
+  return l;
+}
+
+// Plain dense Cholesky A = R R^T (lower R); nullopt if not PD.
+std::optional<linalg::DenseMatrix> cholesky(const linalg::DenseMatrix& a) {
+  const std::size_t n = a.rows();
+  linalg::DenseMatrix r(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= r(j, k) * r(j, k);
+    if (d <= 1e-12) return std::nullopt;
+    r(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= r(i, k) * r(j, k);
+      r(i, j) = v / r(j, j);
+    }
+  }
+  return r;
+}
+
+// Solves R x = b (forward substitution, lower triangular R).
+linalg::Vec forward_solve(const linalg::DenseMatrix& r, linalg::Vec b) {
+  const std::size_t n = r.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= r(i, k) * b[k];
+    b[i] = v / r(i, i);
+  }
+  return b;
+}
+
+}  // namespace
+
+double SpectralCheck::achieved_epsilon() const {
+  if (!valid) return std::numeric_limits<double>::infinity();
+  return std::max(lambda_max - 1.0, 1.0 - lambda_min);
+}
+
+bool SpectralCheck::within(double eps) const {
+  return valid && achieved_epsilon() <= eps + 1e-9;
+}
+
+SpectralCheck check_sparsifier(const graph::Graph& g, const graph::Graph& h) {
+  SpectralCheck out;
+  if (g.num_vertices() != h.num_vertices() || g.num_vertices() < 2) return out;
+  const auto lg = grounded_laplacian(g);
+  const auto lh = grounded_laplacian(h);
+  const auto r = cholesky(lh);
+  if (!r) return out;  // H disconnected: infinitely bad sparsifier
+  const std::size_t n = lg.rows();
+  // S = R^{-1} L_G R^{-T}: column c of Y = R^{-1} L_G, then S = Y R^{-T}
+  // computed as rows of R^{-1} Y^T.
+  linalg::DenseMatrix y(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    linalg::Vec col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = lg(i, c);
+    const auto sol = forward_solve(*r, std::move(col));
+    for (std::size_t i = 0; i < n; ++i) y(i, c) = sol[i];
+  }
+  linalg::DenseMatrix s(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    linalg::Vec row(n);
+    for (std::size_t i = 0; i < n; ++i) row[i] = y(c, i);  // row c of Y
+    const auto sol = forward_solve(*r, std::move(row));
+    for (std::size_t i = 0; i < n; ++i) s(c, i) = sol[i];
+  }
+  // Symmetrize against roundoff before the eigensolve.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (s(i, j) + s(j, i));
+      s(i, j) = v;
+      s(j, i) = v;
+    }
+  const auto eigs = linalg::symmetric_eigenvalues(std::move(s));
+  out.lambda_min = eigs.front();
+  out.lambda_max = eigs.back();
+  out.valid = true;
+  return out;
+}
+
+double sampled_epsilon_lower_bound(const graph::Graph& g,
+                                   const graph::Graph& h,
+                                   std::size_t samples, std::uint64_t seed) {
+  rng::Stream stream(seed);
+  double worst = 0.0;
+  const std::size_t n = g.num_vertices();
+  for (std::size_t s = 0; s < samples; ++s) {
+    linalg::Vec x(n);
+    for (double& v : x) v = stream.next_gaussian();
+    linalg::remove_mean(x);
+    const double qg = linalg::dot(x, graph::apply_laplacian(g, x));
+    const double qh = linalg::dot(x, graph::apply_laplacian(h, x));
+    if (qh <= 0.0) return std::numeric_limits<double>::infinity();
+    const double ratio = qg / qh;
+    worst = std::max({worst, ratio - 1.0, 1.0 - ratio});
+  }
+  return worst;
+}
+
+}  // namespace bcclap::sparsify

@@ -1,0 +1,35 @@
+// Spectral-quality verification (Definition 2.1).
+//
+// H is a (1 +- eps) spectral sparsifier of G iff every generalized
+// eigenvalue of the pencil (L_G, L_H) restricted to range(L_H) lies in
+// [1-eps, 1+eps]. For connected G, grounding one vertex reduces this to an
+// ordinary symmetric eigenproblem on R^{-1} L_G' R^{-T}, where R is a
+// Cholesky factor of the grounded L_H'.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace bcclap::sparsify {
+
+struct SpectralCheck {
+  // Extreme generalized eigenvalues of (L_G, L_H).
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  bool valid = false;  // false if H is disconnected / not factorizable
+
+  // The smallest eps for which Definition 2.1 holds:
+  // (1-eps) x'L_H x <= x'L_G x <= (1+eps) x'L_H x.
+  double achieved_epsilon() const;
+  bool within(double eps) const;
+};
+
+// Exact (dense) verification; intended for n up to a few hundred.
+SpectralCheck check_sparsifier(const graph::Graph& g, const graph::Graph& h);
+
+// Monte-Carlo lower bound on achieved epsilon via random quadratic forms
+// x'L_G x / x'L_H x (cheap; any violation it finds is a real violation).
+double sampled_epsilon_lower_bound(const graph::Graph& g,
+                                   const graph::Graph& h,
+                                   std::size_t samples, std::uint64_t seed);
+
+}  // namespace bcclap::sparsify

@@ -1,0 +1,78 @@
+#include "spanner/baswana_sen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace bcclap::spanner {
+namespace {
+
+struct Case {
+  std::size_t n;
+  double p;
+  std::int64_t w;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class BaswanaSenStretch : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BaswanaSenStretch, ProducesValidSpanner) {
+  const Case c = GetParam();
+  rng::Stream gstream(c.seed);
+  const auto g = graph::random_connected_gnp(c.n, c.p, c.w, gstream);
+  rng::Stream astream(c.seed ^ 0xabcdef);
+  const auto res = baswana_sen(g, c.k, astream);
+  EXPECT_TRUE(verify_stretch(g, res.spanner_edges,
+                             static_cast<double>(2 * c.k - 1)));
+  EXPECT_LE(res.spanner_edges.size(), g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaswanaSenStretch,
+    ::testing::Values(Case{20, 0.3, 1, 2, 1}, Case{20, 0.3, 1, 3, 2},
+                      Case{40, 0.2, 8, 2, 3}, Case{40, 0.2, 8, 3, 4},
+                      Case{60, 0.15, 5, 4, 5}, Case{30, 0.5, 10, 2, 6},
+                      Case{30, 0.5, 10, 5, 7}, Case{50, 0.1, 3, 3, 8}));
+
+TEST(BaswanaSen, SpannerSparsifiesDenseGraphs) {
+  rng::Stream gstream(11);
+  const auto g = graph::complete(60, 4, gstream);
+  rng::Stream astream(12);
+  const auto res = baswana_sen(g, 3, astream);
+  // |F| = O(k n^{1+1/k}): for n=60, k=3 that's ~ 3*60^{4/3} ~ 700, far
+  // below the 1770 edges of K60. Use a loose factor for randomness.
+  EXPECT_LT(res.spanner_edges.size(), g.num_edges());
+  EXPECT_LT(res.spanner_edges.size(), 1200u);
+}
+
+TEST(BaswanaSen, K1WouldBeWholeGraphSoPathIsPreserved) {
+  // On a path, every edge is a bridge: any spanner must keep all edges.
+  const auto g = graph::path(12);
+  rng::Stream astream(5);
+  const auto res = baswana_sen(g, 3, astream);
+  EXPECT_EQ(res.spanner_edges.size(), g.num_edges());
+}
+
+TEST(BaswanaSen, DeterministicGivenStream) {
+  rng::Stream gstream(21);
+  const auto g = graph::random_connected_gnp(25, 0.3, 6, gstream);
+  rng::Stream a1(99), a2(99);
+  const auto r1 = baswana_sen(g, 3, a1);
+  const auto r2 = baswana_sen(g, 3, a2);
+  EXPECT_EQ(r1.spanner_edges, r2.spanner_edges);
+  EXPECT_EQ(r1.final_cluster, r2.final_cluster);
+}
+
+TEST(BaswanaSen, VerifyStretchDetectsBadSpanner) {
+  // Missing bridge: not a spanner at any stretch.
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(verify_stretch(g, {0, 2}, 100.0));
+  EXPECT_TRUE(verify_stretch(g, {0, 1, 2}, 1.0));
+}
+
+}  // namespace
+}  // namespace bcclap::spanner

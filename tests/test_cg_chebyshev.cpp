@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/laplacian.h"
+#include "linalg/cg.h"
+#include "linalg/chebyshev.h"
+#include "linalg/cholesky.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+namespace {
+
+// Diagonal SPD operator with controllable condition number.
+LinearOperator diag_op(const Vec& d) {
+  return [d](const Vec& x) {
+    Vec y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = d[i] * x[i];
+    return y;
+  };
+}
+
+TEST(Cg, SolvesDiagonalSystem) {
+  const Vec d{1, 2, 3, 4};
+  const Vec b{1, 1, 1, 1};
+  const auto res = conjugate_gradient(diag_op(d), b, 1e-10, 100);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(res.x[i], 1.0 / d[i], 1e-8);
+}
+
+TEST(Cg, ExactInNIterations) {
+  const Vec d{1, 10, 100};
+  const auto res = conjugate_gradient(diag_op(d), Vec{1, 1, 1}, 1e-12, 10);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 3u);  // CG is exact after n steps
+}
+
+TEST(Cg, PreconditionedConvergesFaster) {
+  rng::Stream stream(5);
+  const std::size_t n = 50;
+  Vec d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 + 999.0 * i / (n - 1);
+  Vec b(n);
+  for (auto& v : b) v = stream.next_gaussian();
+  const auto plain = conjugate_gradient(diag_op(d), b, 1e-10, 1000);
+  LinearOperator precond = diag_op(cw_inv(d));  // perfect preconditioner
+  const auto pre = conjugate_gradient(diag_op(d), b, 1e-10, 1000, &precond);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+  EXPECT_LE(pre.iterations, 3u);
+}
+
+TEST(Chebyshev, ExactPreconditionerConvergesImmediately) {
+  const Vec d{2, 3, 5};
+  const Vec b{1, 2, 3};
+  // B = A: kappa = 1.
+  const auto res = preconditioned_chebyshev(diag_op(d), diag_op(cw_inv(d)),
+                                            b, 1.0, 1e-12);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(res.x[i], b[i] / d[i], 1e-9);
+}
+
+TEST(Chebyshev, Kappa3LaplacianPair) {
+  // A = L_G, B = (3/2) L_H with H = G: A <= B <= 3A trivially holds.
+  rng::Stream stream(9);
+  const auto g = graph::random_connected_gnp(24, 0.3, 5, stream);
+  const auto lap = graph::laplacian(g);
+  const auto factor = LaplacianFactor::factor(lap);
+  ASSERT_TRUE(factor);
+  Vec b(24);
+  for (auto& v : b) v = stream.next_gaussian();
+  remove_mean(b);
+  const auto apply_a = [&](const Vec& x) { return lap.multiply(x); };
+  const auto solve_b = [&](const Vec& r) {
+    return scale(factor->solve(r), 2.0 / 3.0);
+  };
+  const auto res = preconditioned_chebyshev(apply_a, solve_b, b, 3.0, 1e-10);
+  const Vec exact = factor->solve(b);
+  Vec diff = sub(res.x, exact);
+  remove_mean(diff);
+  const double err = std::sqrt(std::max(0.0, dot(diff, lap.multiply(diff))));
+  const double ref = std::sqrt(std::max(0.0, dot(exact, lap.multiply(exact))));
+  EXPECT_LT(err, 1e-8 * ref);
+}
+
+TEST(Chebyshev, IterationCountScalesWithSqrtKappa) {
+  // Theorem 2.3's O(sqrt(kappa) log(1/eps)) shape: the builtin schedule.
+  const Vec b{1.0};
+  const auto one = [](const Vec& x) { return x; };
+  const auto r1 = preconditioned_chebyshev(one, one, b, 4.0, 1e-6);
+  const auto r2 = preconditioned_chebyshev(one, one, b, 64.0, 1e-6);
+  const double ratio = static_cast<double>(r2.iterations) /
+                       static_cast<double>(r1.iterations);
+  EXPECT_NEAR(ratio, 4.0, 1.0);  // sqrt(64/4) = 4
+}
+
+TEST(Chebyshev, ErrorDecreasesWithIterations) {
+  Vec d{1.0, 0.5, 0.34};  // spectrum within [1/3, 1]
+  const Vec b{1, 1, 1};
+  const auto a_op = diag_op(d);
+  const auto id = [](const Vec& x) { return x; };
+  double prev = 1e9;
+  for (std::size_t iters : {2u, 6u, 12u, 24u}) {
+    const auto res = preconditioned_chebyshev_fixed(a_op, id, b, 3.0, iters);
+    Vec err(3);
+    for (std::size_t i = 0; i < 3; ++i) err[i] = res.x[i] - b[i] / d[i];
+    const double e = norm2(err);
+    EXPECT_LT(e, prev + 1e-12);
+    prev = e;
+  }
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(Chebyshev, CountsPrimitiveOperations) {
+  const Vec b{1.0, 2.0};
+  const auto id = [](const Vec& x) { return x; };
+  const auto res = preconditioned_chebyshev_fixed(id, id, b, 2.0, 7);
+  EXPECT_EQ(res.iterations, 7u);
+  EXPECT_EQ(res.a_multiplies, 7u);
+  EXPECT_EQ(res.b_solves, 7u);
+}
+
+}  // namespace
+}  // namespace bcclap::linalg

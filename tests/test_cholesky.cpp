@@ -1,0 +1,104 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/laplacian.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+namespace {
+
+DenseMatrix random_spd(std::size_t n, rng::Stream& stream) {
+  DenseMatrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = stream.next_gaussian();
+  auto a = b.transpose().multiply(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Ldlt, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  const auto f = LdltFactor::factor(a);
+  ASSERT_TRUE(f);
+  const Vec x = f->solve(Vec{1, 2});
+  // Check A x = b.
+  EXPECT_NEAR(4 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(Ldlt, RandomSpdResidual) {
+  rng::Stream stream(7);
+  for (std::size_t n : {3u, 10u, 40u}) {
+    const auto a = random_spd(n, stream);
+    const auto f = LdltFactor::factor(a);
+    ASSERT_TRUE(f);
+    Vec b(n);
+    for (auto& v : b) v = stream.next_gaussian();
+    const Vec x = f->solve(b);
+    const Vec r = sub(a.multiply(x), b);
+    EXPECT_LT(norm2(r), 1e-8 * norm2(b));
+  }
+}
+
+TEST(Ldlt, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(LdltFactor::factor(a));
+}
+
+TEST(LaplacianFactor, SolvesOnPathGraph) {
+  const auto g = graph::path(5);
+  const auto lap = graph::laplacian(g);
+  const auto f = LaplacianFactor::factor(lap);
+  ASSERT_TRUE(f);
+  Vec b{1, 0, 0, 0, -1};
+  const Vec x = f->solve(b);
+  const Vec lx = lap.multiply(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(lx[i], b[i], 1e-9);
+  EXPECT_NEAR(mean(x), 0.0, 1e-12);
+}
+
+TEST(LaplacianFactor, ProjectsRhs) {
+  const auto g = graph::cycle(6);
+  const auto lap = graph::laplacian(g);
+  const auto f = LaplacianFactor::factor(lap);
+  ASSERT_TRUE(f);
+  // b with nonzero mean: solver projects; solution satisfies L x = proj(b).
+  Vec b{2, 0, 0, 0, 0, 0};
+  const Vec x = f->solve(b);
+  Vec proj = b;
+  remove_mean(proj);
+  const Vec lx = lap.multiply(x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(lx[i], proj[i], 1e-9);
+}
+
+TEST(LaplacianFactor, RandomConnectedGraphs) {
+  rng::Stream stream(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto child = stream.child(trial);
+    const auto g = graph::random_connected_gnp(20, 0.2, 10, child);
+    const auto lap = graph::laplacian(g);
+    const auto f = LaplacianFactor::factor(lap);
+    ASSERT_TRUE(f);
+    Vec b(20);
+    for (auto& v : b) v = child.next_gaussian();
+    remove_mean(b);
+    const Vec x = f->solve(b);
+    const Vec r = sub(lap.multiply(x), b);
+    EXPECT_LT(norm2(r), 1e-8);
+  }
+}
+
+TEST(LaplacianFactor, FailsOnDisconnected) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(LaplacianFactor::factor(graph::laplacian(g)));
+}
+
+}  // namespace
+}  // namespace bcclap::linalg

@@ -1,0 +1,47 @@
+#include "spanner/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace bcclap::spanner {
+namespace {
+
+TEST(ClusterUtils, CountClusters) {
+  EXPECT_EQ(count_clusters({0, 0, 1, kNoCluster, 1}), 2u);
+  EXPECT_EQ(count_clusters({kNoCluster, kNoCluster}), 0u);
+  EXPECT_EQ(count_clusters({}), 0u);
+  EXPECT_EQ(count_clusters({3, 3, 3}), 1u);
+}
+
+TEST(ClusterUtils, OutDegrees) {
+  const auto deg = out_degrees(4, {0, 0, 2, 3, 3, 3});
+  EXPECT_EQ(deg, (std::vector<std::size_t>{2, 0, 1, 3}));
+}
+
+TEST(ClusterUtils, OutDegreesIgnoresOutOfRange) {
+  const auto deg = out_degrees(2, {0, 5, 1});
+  EXPECT_EQ(deg, (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(GraphComponents, Labels) {
+  graph::Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto labels = g.component_labels();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(g.num_components(), 3u);
+}
+
+TEST(GraphComponents, ConnectedGraphHasOneComponent) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_EQ(g.num_components(), 1u);
+}
+
+}  // namespace
+}  // namespace bcclap::spanner

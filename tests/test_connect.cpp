@@ -1,0 +1,71 @@
+#include "spanner/connect.h"
+
+#include <gtest/gtest.h>
+
+namespace bcclap::spanner {
+namespace {
+
+TEST(Connect, EmptyCandidatesReturnsBot) {
+  const auto res = connect({}, [](graph::EdgeId) { return true; });
+  EXPECT_FALSE(res.accepted.has_value());
+  EXPECT_TRUE(res.rejected.empty());
+}
+
+TEST(Connect, AcceptsLightestWhenAllExist) {
+  std::vector<Candidate> cands{{5, 0, 3.0}, {2, 1, 1.0}, {9, 2, 2.0}};
+  const auto res = connect(cands, [](graph::EdgeId) { return true; });
+  ASSERT_TRUE(res.accepted.has_value());
+  EXPECT_EQ(res.accepted->u, 2u);  // weight 1.0 first
+  EXPECT_TRUE(res.rejected.empty());
+}
+
+TEST(Connect, TieBrokenBySmallerId) {
+  std::vector<Candidate> cands{{7, 0, 1.0}, {3, 1, 1.0}, {5, 2, 1.0}};
+  const auto res = connect(cands, [](graph::EdgeId) { return true; });
+  ASSERT_TRUE(res.accepted.has_value());
+  EXPECT_EQ(res.accepted->u, 3u);
+}
+
+TEST(Connect, RejectedPrefixReportedInOrder) {
+  std::vector<Candidate> cands{{1, 10, 1.0}, {2, 11, 2.0}, {3, 12, 3.0}};
+  int calls = 0;
+  const auto res = connect(cands, [&calls](graph::EdgeId) {
+    return ++calls == 3;  // first two rejected, third accepted
+  });
+  ASSERT_TRUE(res.accepted.has_value());
+  EXPECT_EQ(res.accepted->e, 12u);
+  ASSERT_EQ(res.rejected.size(), 2u);
+  EXPECT_EQ(res.rejected[0].e, 10u);
+  EXPECT_EQ(res.rejected[1].e, 11u);
+}
+
+TEST(Connect, AllRejectedReturnsBotWithFullNMinus) {
+  std::vector<Candidate> cands{{1, 0, 1.0}, {2, 1, 2.0}};
+  const auto res = connect(cands, [](graph::EdgeId) { return false; });
+  EXPECT_FALSE(res.accepted.has_value());
+  EXPECT_EQ(res.rejected.size(), 2u);
+}
+
+TEST(Connect, StopsSamplingAfterAcceptance) {
+  // Candidates after the accepted one must not be sampled (they stay
+  // probabilistic — the key for the coupling argument).
+  std::vector<Candidate> cands{{1, 0, 1.0}, {2, 1, 2.0}, {3, 2, 3.0}};
+  std::vector<graph::EdgeId> sampled;
+  const auto res = connect(cands, [&sampled](graph::EdgeId e) {
+    sampled.push_back(e);
+    return e == 1;  // reject edge 0, accept edge 1
+  });
+  ASSERT_TRUE(res.accepted.has_value());
+  EXPECT_EQ(res.accepted->e, 1u);
+  EXPECT_EQ(sampled, (std::vector<graph::EdgeId>{0, 1}));  // edge 2 untouched
+}
+
+TEST(Connect, CandidateOrderIsTotal) {
+  EXPECT_TRUE(candidate_less({1, 0, 1.0}, {2, 0, 2.0}));
+  EXPECT_TRUE(candidate_less({1, 0, 1.0}, {2, 0, 1.0}));
+  EXPECT_FALSE(candidate_less({2, 0, 1.0}, {1, 0, 1.0}));
+  EXPECT_FALSE(candidate_less({1, 0, 1.0}, {1, 0, 1.0}));
+}
+
+}  // namespace
+}  // namespace bcclap::spanner

@@ -1,0 +1,46 @@
+#include "common/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace bcclap::enc {
+namespace {
+
+TEST(Encoding, BitWidthU64) {
+  EXPECT_EQ(bit_width_u64(0), 1);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(2), 2);
+  EXPECT_EQ(bit_width_u64(3), 2);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+}
+
+TEST(Encoding, BitWidthI64) {
+  EXPECT_EQ(bit_width_i64(0), 2);   // sign + 1
+  EXPECT_EQ(bit_width_i64(-1), 2);
+  EXPECT_EQ(bit_width_i64(7), 4);
+  EXPECT_EQ(bit_width_i64(-8), 5);
+}
+
+TEST(Encoding, IdBits) {
+  EXPECT_EQ(id_bits(1), 1);
+  EXPECT_EQ(id_bits(2), 1);
+  EXPECT_EQ(id_bits(3), 2);
+  EXPECT_EQ(id_bits(1024), 10);
+  EXPECT_EQ(id_bits(1025), 11);
+}
+
+TEST(Encoding, RealBitsGrowsWithPrecision) {
+  EXPECT_LT(real_bits(100.0, 1e-3), real_bits(100.0, 1e-9));
+  EXPECT_LT(real_bits(10.0, 1e-6), real_bits(1e6, 1e-6));
+}
+
+TEST(Encoding, RoundsForBits) {
+  EXPECT_EQ(rounds_for_bits(0, 16), 0);
+  EXPECT_EQ(rounds_for_bits(1, 16), 1);
+  EXPECT_EQ(rounds_for_bits(16, 16), 1);
+  EXPECT_EQ(rounds_for_bits(17, 16), 2);
+  EXPECT_EQ(rounds_for_bits(10, 0), 10);  // degenerate bandwidth clamps to 1
+}
+
+}  // namespace
+}  // namespace bcclap::enc

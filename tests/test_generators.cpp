@@ -1,0 +1,108 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcclap::graph {
+namespace {
+
+TEST(Generators, GnpIsConnectedAndDeterministic) {
+  rng::Stream s1(42), s2(42);
+  const auto g1 = random_connected_gnp(30, 0.1, 10, s1);
+  const auto g2 = random_connected_gnp(30, 0.1, 10, s2);
+  EXPECT_TRUE(g1.is_connected());
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  for (std::size_t e = 0; e < g1.num_edges(); ++e) {
+    EXPECT_EQ(g1.edge(e).u, g2.edge(e).u);
+    EXPECT_EQ(g1.edge(e).v, g2.edge(e).v);
+    EXPECT_DOUBLE_EQ(g1.edge(e).weight, g2.edge(e).weight);
+  }
+}
+
+TEST(Generators, GnpDensityScales) {
+  rng::Stream s(7);
+  const auto sparse = random_connected_gnp(40, 0.05, 1, s);
+  const auto dense = random_connected_gnp(40, 0.5, 1, s);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(Generators, GnpWeightsInRange) {
+  rng::Stream s(3);
+  const auto g = random_connected_gnp(20, 0.3, 7, s);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 7.0);
+    EXPECT_DOUBLE_EQ(e.weight, std::floor(e.weight));  // integral
+  }
+}
+
+TEST(Generators, RegularishConnectedAndBoundedDegree) {
+  rng::Stream s(11);
+  const auto g = random_regularish(50, 4, 5, s);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_LE(g.max_degree(), 2 * 4 + 2u);  // d permutations + backbone
+}
+
+TEST(Generators, GridShape) {
+  rng::Stream s(1);
+  const auto g = grid(4, 5, 1, s);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 3u * 5);  // horizontal + vertical
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, PathCycleComplete) {
+  EXPECT_EQ(path(5).num_edges(), 4u);
+  EXPECT_EQ(cycle(5).num_edges(), 5u);
+  rng::Stream s(2);
+  EXPECT_EQ(complete(6, 1, s).num_edges(), 15u);
+  EXPECT_TRUE(complete(6, 1, s).is_connected());
+}
+
+TEST(Generators, BarbellStructure) {
+  const auto g = barbell(10);
+  EXPECT_TRUE(g.is_connected());
+  // Two K5s plus the bridge.
+  EXPECT_EQ(g.num_edges(), 2u * 10 + 1);
+}
+
+TEST(Generators, FlowNetworkHasStPath) {
+  rng::Stream s(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto c = s.child(trial);
+    const auto g = random_flow_network(12, 20, 8, 5, c);
+    // BFS from s over arcs.
+    std::vector<bool> seen(g.num_vertices(), false);
+    std::vector<std::size_t> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const auto v = stack.back();
+      stack.pop_back();
+      for (auto a : g.out_arcs(v)) {
+        const auto h = g.arc(a).head;
+        if (!seen[h]) {
+          seen[h] = true;
+          stack.push_back(h);
+        }
+      }
+    }
+    EXPECT_TRUE(seen[g.num_vertices() - 1]);
+  }
+}
+
+TEST(Generators, FlowNetworkBoundsRespected) {
+  rng::Stream s(17);
+  const auto g = random_flow_network(10, 30, 9, 4, s);
+  for (const auto& a : g.arcs()) {
+    EXPECT_GE(a.capacity, 1);
+    EXPECT_LE(a.capacity, 9);
+    EXPECT_GE(a.cost, 0);
+    EXPECT_LE(a.cost, 4);
+    EXPECT_NE(a.tail, g.num_vertices() - 1);  // nothing leaves t
+    EXPECT_NE(a.head, 0u);                    // nothing enters s
+  }
+}
+
+}  // namespace
+}  // namespace bcclap::graph

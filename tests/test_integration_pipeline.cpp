@@ -1,0 +1,126 @@
+// End-to-end integration across the Figure 1 pipeline:
+// spanner -> sparsifier -> Laplacian solver -> SDD engine -> LP -> flow.
+#include <gtest/gtest.h>
+
+#include "flow/mcmf_solver.h"
+#include "flow/ssp.h"
+#include "graph/generators.h"
+#include "laplacian/bcc_solver.h"
+#include "laplacian/solver.h"
+#include "lp/lp_solver.h"
+#include "sparsify/verifier.h"
+
+namespace bcclap {
+namespace {
+
+TEST(Pipeline, SparsifierFeedsLaplacianSolver) {
+  rng::Stream gstream(1);
+  const auto g = graph::complete(32, 6, gstream);
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = 4;
+  laplacian::SparsifiedLaplacianSolver solver(g, opt, 404);
+  // The preconditioner is a genuine sparsifier of G.
+  const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
+  ASSERT_TRUE(check.valid);
+  EXPECT_GT(check.lambda_min, 0.0);
+  // And the solver built on it reaches high precision.
+  linalg::Vec b(32, 0.0);
+  b[0] = 1.0;
+  b[31] = -1.0;
+  const auto y = solver.solve(b, 1e-9);
+  const auto x = laplacian::exact_laplacian_solve(g, b);
+  EXPECT_LE(laplacian::laplacian_norm(g, linalg::sub(x, y)),
+            1e-9 * laplacian::laplacian_norm(g, x) + 1e-12);
+}
+
+TEST(Pipeline, SparsifiedSddEngineMatchesExact) {
+  // Gremban + sparsifier + Chebyshev vs dense LDL^T on the same SDD system.
+  rng::Stream stream(2);
+  linalg::DenseMatrix m(10, 10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      if (stream.next_double() < 0.6) {
+        const double v = -1.0 - 2.0 * stream.next_double();
+        m(i, j) = v;
+        m(j, i) = v;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 10; ++j)
+      if (j != i) s += std::abs(m(i, j));
+    m(i, i) = s + 1.0;
+  }
+  linalg::Vec y(10);
+  for (auto& v : y) v = stream.next_gaussian();
+
+  auto exact = laplacian::make_exact_sdd_engine(m, 10);
+  auto sparsified = laplacian::make_sparsified_sdd_engine(m, 777);
+  const auto xe = exact->solve(y, 1e-10);
+  const auto xs = sparsified->solve(y, 1e-10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(xs[i], xe[i], 1e-6);
+  EXPECT_GT(sparsified->rounds_charged(), 0);
+}
+
+TEST(Pipeline, LpWithSparsifiedGramFactory) {
+  // The full Theorem 1.4 wiring: the IPM's (A^T D A)-solves go through the
+  // Gremban + sparsifier + Chebyshev stack instead of dense LDL^T.
+  lp::LpProblem p;
+  p.a = linalg::CsrMatrix(
+      4, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}, {3, 1, 1.0}});
+  p.b = {1.0, 1.0};
+  p.c = {1.0, 3.0, 2.0, 1.0};
+  p.lower = {0.0, 0.0, 0.0, 0.0};
+  p.upper = {1.0, 1.0, 1.0, 1.0};
+  lp::LpOptions opt;
+  opt.epsilon = 1e-4;
+  std::uint64_t counter = 0;
+  opt.gram_factory = [&counter](const linalg::DenseMatrix& gram) {
+    return laplacian::make_sparsified_sdd_engine(gram, 1000 + counter++);
+  };
+  const auto res = lp::lp_solve(p, {0.5, 0.5, 0.5, 0.5}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, 2.0, 5e-2);
+}
+
+TEST(Pipeline, FlowOnGridLikeNetwork) {
+  // A structured (non-random) instance through the whole stack.
+  graph::Digraph g(6);
+  g.add_arc(0, 1, 3, 1);
+  g.add_arc(0, 2, 2, 2);
+  g.add_arc(1, 3, 2, 1);
+  g.add_arc(1, 4, 2, 3);
+  g.add_arc(2, 4, 2, 1);
+  g.add_arc(3, 5, 3, 1);
+  g.add_arc(4, 5, 3, 1);
+  const auto baseline = flow::min_cost_max_flow_ssp(g, 0, 5);
+  flow::McmfOptions opt;
+  const auto ipm = flow::min_cost_max_flow_ipm(g, 0, 5, opt);
+  ASSERT_TRUE(ipm.exact);
+  EXPECT_EQ(ipm.flow.value, baseline.value);
+  EXPECT_EQ(ipm.flow.cost, baseline.cost);
+}
+
+TEST(Pipeline, RoundAccountingAccumulatesAcrossLayers) {
+  rng::Stream gstream(3);
+  const auto g = graph::complete(20, 2, gstream);
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 1.0;
+  opt.k = 2;
+  opt.t = 2;
+  laplacian::SparsifiedLaplacianSolver solver(g, opt, 55);
+  const auto pre = solver.preprocessing_rounds();
+  EXPECT_GT(pre, 0);
+  linalg::Vec b(20, 0.0);
+  b[0] = 1.0;
+  b[1] = -1.0;
+  laplacian::SolveStats st;
+  solver.solve(b, 1e-4, &st);
+  EXPECT_EQ(solver.accountant().total(), pre + st.rounds);
+}
+
+}  // namespace
+}  // namespace bcclap

@@ -1,0 +1,114 @@
+#include "linalg/jl_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+namespace {
+
+class JlNormPreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JlNormPreservation, KaneNelsonPreservesNorms) {
+  const std::size_t m = 200;
+  const std::size_t k = jl_dimension(m, 0.5, 8.0);
+  const KaneNelsonSketch q(k, m, 4, GetParam());
+  rng::Stream stream(GetParam() ^ 0x1234);
+  int good = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Vec x(m);
+    for (auto& v : x) v = stream.next_gaussian();
+    const double nx = norm2(x);
+    const double nq = norm2(q.apply(x));
+    if (nq >= 0.5 * nx && nq <= 1.5 * nx) ++good;
+  }
+  EXPECT_GE(good, trials - 2);  // eta = 0.5 with small failure probability
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JlNormPreservation,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(JlTransform, KaneNelsonDeterministicInSeed) {
+  const KaneNelsonSketch a(16, 50, 4, 7);
+  const KaneNelsonSketch b(16, 50, 4, 7);
+  Vec x(50, 1.0);
+  EXPECT_EQ(a.apply(x), b.apply(x));
+}
+
+TEST(JlTransform, KaneNelsonRowsMatchApply) {
+  const KaneNelsonSketch q(12, 30, 3, 5);
+  rng::Stream stream(3);
+  Vec x(30);
+  for (auto& v : x) v = stream.next_gaussian();
+  const Vec qx = q.apply(x);
+  for (std::size_t j = 0; j < q.sketch_dim(); ++j) {
+    EXPECT_NEAR(dot(q.row(j), x), qx[j], 1e-12);
+  }
+}
+
+TEST(JlTransform, KaneNelsonTransposeAdjoint) {
+  const KaneNelsonSketch q(10, 25, 2, 11);
+  rng::Stream stream(4);
+  Vec x(25), y(q.sketch_dim());
+  for (auto& v : x) v = stream.next_gaussian();
+  for (auto& v : y) v = stream.next_gaussian();
+  // <Qx, y> == <x, Q^T y>
+  EXPECT_NEAR(dot(q.apply(x), y), dot(x, q.apply_transpose(y)), 1e-10);
+}
+
+TEST(JlTransform, KaneNelsonColumnSparsity) {
+  // Each column has exactly s nonzeros: Q e_i has s entries of +-1/sqrt(s).
+  const std::size_t s = 4;
+  const KaneNelsonSketch q(16, 40, s, 13);
+  for (std::size_t i = 0; i < 40; ++i) {
+    Vec e(40, 0.0);
+    e[i] = 1.0;
+    const Vec col = q.apply(e);
+    std::size_t nnz = 0;
+    for (double v : col) {
+      if (v != 0.0) {
+        ++nnz;
+        EXPECT_NEAR(std::abs(v), 1.0 / std::sqrt(double(s)), 1e-12);
+      }
+    }
+    EXPECT_LE(nnz, s);  // collisions inside a block can cancel
+    EXPECT_GE(nnz, 1u);
+  }
+}
+
+TEST(JlTransform, RademacherPreservesNorms) {
+  const std::size_t m = 150;
+  const std::size_t k = jl_dimension(m, 0.5, 8.0);
+  const RademacherSketch q(k, m, 23);
+  rng::Stream stream(29);
+  int good = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Vec x(m);
+    for (auto& v : x) v = stream.next_gaussian();
+    const double r = norm2(q.apply(x)) / norm2(x);
+    if (r >= 0.5 && r <= 1.5) ++good;
+  }
+  EXPECT_GE(good, trials - 2);
+}
+
+TEST(JlTransform, RademacherAdjoint) {
+  const RademacherSketch q(8, 20, 31);
+  rng::Stream stream(6);
+  Vec x(20), y(8);
+  for (auto& v : x) v = stream.next_gaussian();
+  for (auto& v : y) v = stream.next_gaussian();
+  EXPECT_NEAR(dot(q.apply(x), y), dot(x, q.apply_transpose(y)), 1e-10);
+}
+
+TEST(JlTransform, DimensionFormula) {
+  EXPECT_GT(jl_dimension(1000, 0.1), jl_dimension(1000, 0.5));
+  EXPECT_GE(jl_dimension(2, 10.0), 1u);
+}
+
+}  // namespace
+}  // namespace bcclap::linalg

@@ -1,0 +1,93 @@
+#include "graph/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::graph {
+namespace {
+
+TEST(LaplacianMatrix, TriangleEntries) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const auto l = laplacian(g).to_dense();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(l(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(l(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(l(1, 2), -3.0);
+  EXPECT_DOUBLE_EQ(l(0, 2), 0.0);
+}
+
+TEST(LaplacianMatrix, RowSumsZero) {
+  rng::Stream s(1);
+  const auto g = random_connected_gnp(15, 0.3, 9, s);
+  const auto l = laplacian(g);
+  const auto row_sums = l.multiply(linalg::ones(15));
+  for (double v : row_sums) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(LaplacianMatrix, EqualsIncidenceForm) {
+  // L = B^T W B (Section 2.2).
+  rng::Stream s(2);
+  const auto g = random_connected_gnp(12, 0.4, 5, s);
+  const auto l = laplacian(g).to_dense();
+  const auto b = incidence(g);
+  // Compute B^T W B column by column.
+  for (std::size_t c = 0; c < 12; ++c) {
+    linalg::Vec e(12, 0.0);
+    e[c] = 1.0;
+    linalg::Vec be = b.multiply(e);
+    for (std::size_t k = 0; k < g.num_edges(); ++k)
+      be[k] *= g.edge(k).weight;
+    const auto col = b.multiply_transpose(be);
+    for (std::size_t r = 0; r < 12; ++r) EXPECT_NEAR(l(r, c), col[r], 1e-12);
+  }
+}
+
+TEST(LaplacianMatrix, ApplyMatchesCsr) {
+  rng::Stream s(3);
+  const auto g = random_connected_gnp(20, 0.25, 7, s);
+  const auto l = laplacian(g);
+  linalg::Vec x(20);
+  for (auto& v : x) v = s.next_gaussian();
+  const auto a = apply_laplacian(g, x);
+  const auto b = l.multiply(x);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
+}
+
+TEST(LaplacianMatrix, QuadraticFormIsEdgeSum) {
+  // x' L x = sum_e w_e (x_u - x_v)^2 >= 0.
+  rng::Stream s(4);
+  const auto g = random_connected_gnp(10, 0.5, 3, s);
+  linalg::Vec x(10);
+  for (auto& v : x) v = s.next_gaussian();
+  double expected = 0.0;
+  for (const auto& e : g.edges()) {
+    const double d = x[e.u] - x[e.v];
+    expected += e.weight * d * d;
+  }
+  EXPECT_NEAR(linalg::dot(x, apply_laplacian(g, x)), expected, 1e-9);
+  EXPECT_GE(expected, 0.0);
+}
+
+TEST(LaplacianMatrix, DigraphIncidenceDropsVertex) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1, 0);
+  g.add_arc(1, 2, 1, 0);
+  const auto b = incidence(g, /*drop_vertex=*/0);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 2u);
+  const auto d = b.to_dense();
+  // Arc 0: 0->1: +1 at column of vertex 1 (=0 after drop).
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  // Arc 1: 1->2: -1 at col(1)=0, +1 at col(2)=1.
+  EXPECT_DOUBLE_EQ(d(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace bcclap::graph

@@ -1,0 +1,116 @@
+#include "laplacian/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::laplacian {
+namespace {
+
+sparsify::SparsifyOptions solver_opts() {
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = 4;
+  return opt;
+}
+
+class LaplacianSolverEps : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplacianSolverEps, MeetsEnergyNormError) {
+  const double eps = GetParam();
+  rng::Stream gstream(17);
+  const auto g = graph::complete(28, 5, gstream);
+  SparsifiedLaplacianSolver solver(g, solver_opts(), 1234);
+
+  rng::Stream bstream(18);
+  linalg::Vec b(g.num_vertices());
+  for (auto& v : b) v = bstream.next_gaussian();
+  linalg::remove_mean(b);
+
+  SolveStats stats;
+  const auto y = solver.solve(b, eps, &stats);
+  const auto x = exact_laplacian_solve(g, b);
+  const auto diff = linalg::sub(x, y);
+  EXPECT_LE(laplacian_norm(g, diff), eps * laplacian_norm(g, x) + 1e-12)
+      << "eps = " << eps;
+  EXPECT_GT(stats.iterations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, LaplacianSolverEps,
+                         ::testing::Values(0.5, 1e-2, 1e-4, 1e-6, 1e-8,
+                                           1e-10));
+
+TEST(LaplacianSolver, IterationCountIsLogOneOverEps) {
+  // Corollary 2.4: O(log(1/eps)) iterations with kappa = 3.
+  rng::Stream gstream(19);
+  const auto g = graph::complete(24, 3, gstream);
+  SparsifiedLaplacianSolver solver(g, solver_opts(), 55);
+  linalg::Vec b(g.num_vertices(), 0.0);
+  b[0] = 1.0;
+  b[5] = -1.0;
+  SolveStats s1, s2;
+  solver.solve(b, 1e-2, &s1);
+  solver.solve(b, 1e-8, &s2);
+  // 4x more digits should cost ~4x iterations (linear in log(1/eps)).
+  const double ratio =
+      static_cast<double>(s2.iterations) / static_cast<double>(s1.iterations);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(LaplacianSolver, PreprocessingVsInstanceRounds) {
+  // Theorem 1.3's split: preprocessing dominates a single solve.
+  rng::Stream gstream(23);
+  const auto g = graph::complete(24, 3, gstream);
+  SparsifiedLaplacianSolver solver(g, solver_opts(), 77);
+  EXPECT_GT(solver.preprocessing_rounds(), 0);
+  linalg::Vec b(g.num_vertices(), 0.0);
+  b[1] = 1.0;
+  b[2] = -1.0;
+  SolveStats stats;
+  solver.solve(b, 1e-6, &stats);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_LT(stats.rounds, solver.preprocessing_rounds());
+}
+
+TEST(LaplacianSolver, SparsifierIsSparserOnDenseInput) {
+  rng::Stream gstream(29);
+  const auto g = graph::complete(64, 2, gstream);
+  auto opt = solver_opts();
+  opt.t = 1;  // single-spanner bundles so K64 actually compresses
+  SparsifiedLaplacianSolver solver(g, opt, 91);
+  EXPECT_LT(solver.sparsifier().num_edges(), g.num_edges());
+}
+
+TEST(LaplacianSolver, WorksOnSparseGraphs) {
+  rng::Stream gstream(31);
+  const auto g = graph::random_connected_gnp(30, 0.15, 4, gstream);
+  SparsifiedLaplacianSolver solver(g, solver_opts(), 101);
+  rng::Stream bstream(32);
+  linalg::Vec b(g.num_vertices());
+  for (auto& v : b) v = bstream.next_gaussian();
+  linalg::remove_mean(b);
+  const auto y = solver.solve(b, 1e-8);
+  const auto x = exact_laplacian_solve(g, b);
+  EXPECT_LE(laplacian_norm(g, linalg::sub(x, y)),
+            1e-8 * laplacian_norm(g, x) + 1e-12);
+}
+
+TEST(LaplacianSolver, NonZeroMeanRhsIsProjected) {
+  rng::Stream gstream(37);
+  const auto g = graph::complete(16, 1, gstream);
+  SparsifiedLaplacianSolver solver(g, solver_opts(), 111);
+  linalg::Vec b(16, 1.0);  // pure kernel component
+  b[0] = 2.0;
+  const auto y = solver.solve(b, 1e-8);
+  linalg::Vec proj = b;
+  linalg::remove_mean(proj);
+  const auto x = exact_laplacian_solve(g, proj);
+  EXPECT_LE(laplacian_norm(g, linalg::sub(x, y)),
+            1e-7 * (laplacian_norm(g, x) + 1.0));
+}
+
+}  // namespace
+}  // namespace bcclap::laplacian

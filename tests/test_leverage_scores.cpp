@@ -1,0 +1,111 @@
+#include "lp/leverage_scores.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/laplacian.h"
+
+namespace bcclap::lp {
+namespace {
+
+linalg::DenseMatrix random_tall(std::size_t m, std::size_t n,
+                                rng::Stream& stream) {
+  linalg::DenseMatrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = stream.next_gaussian();
+  return a;
+}
+
+TEST(LeverageScores, SumEqualsRank) {
+  rng::Stream stream(1);
+  const auto a = random_tall(40, 7, stream);
+  const auto sigma = leverage_scores_exact(a);
+  double sum = 0.0;
+  for (double s : sigma) {
+    EXPECT_GE(s, -1e-10);
+    EXPECT_LE(s, 1.0 + 1e-10);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 7.0, 1e-8);  // sum sigma = rank(A)
+}
+
+TEST(LeverageScores, OrthogonalMatrixUniformScores) {
+  // For A with orthonormal columns scaled rows... identity block: scores
+  // are exactly 1 on the identity rows, 0 elsewhere.
+  linalg::DenseMatrix a(5, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const auto sigma = leverage_scores_exact(a);
+  EXPECT_NEAR(sigma[0], 1.0, 1e-10);
+  EXPECT_NEAR(sigma[1], 1.0, 1e-10);
+  EXPECT_NEAR(sigma[2], 0.0, 1e-10);
+}
+
+TEST(LeverageScores, IncidenceMatrixScoresAreEffectiveResistances) {
+  // For the incidence matrix B of an unweighted graph,
+  // sigma_e = effective resistance of e. On a tree every edge has
+  // resistance 1; on a cycle of length L, 1 - 1/L... = (L-1)/L.
+  const auto tree = graph::path(6);
+  const auto bt = graph::incidence(tree).to_dense();
+  // Grounded: drop a column to make full rank.
+  linalg::DenseMatrix btg(bt.rows(), bt.cols() - 1);
+  for (std::size_t r = 0; r < bt.rows(); ++r)
+    for (std::size_t c = 0; c + 1 < bt.cols(); ++c) btg(r, c) = bt(r, c);
+  const auto sigma_tree = leverage_scores_exact(btg);
+  for (double s : sigma_tree) EXPECT_NEAR(s, 1.0, 1e-9);
+
+  const auto cyc = graph::cycle(5);
+  const auto bc = graph::incidence(cyc).to_dense();
+  linalg::DenseMatrix bcg(bc.rows(), bc.cols() - 1);
+  for (std::size_t r = 0; r < bc.rows(); ++r)
+    for (std::size_t c = 0; c + 1 < bc.cols(); ++c) bcg(r, c) = bc(r, c);
+  const auto sigma_cyc = leverage_scores_exact(bcg);
+  for (double s : sigma_cyc) EXPECT_NEAR(s, 4.0 / 5.0, 1e-9);
+}
+
+class JlLeverage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JlLeverage, ApproximatesExactScores) {
+  rng::Stream stream(GetParam());
+  const auto a = random_tall(80, 6, stream);
+  const auto exact = leverage_scores_exact(a);
+  LeverageOptions opt;
+  opt.eta = 0.5;
+  opt.jl_constant = 24.0;  // generous k for a deterministic test bound
+  opt.seed = GetParam() * 31 + 7;
+  const auto approx = leverage_scores_jl(dense_oracle(a), opt);
+  int good = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (approx[i] >= (1 - 0.6) * exact[i] && approx[i] <= (1 + 0.6) * exact[i])
+      ++good;
+  }
+  // Allow a few outliers (JL is probabilistic per coordinate).
+  EXPECT_GE(good, static_cast<int>(exact.size()) - 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JlLeverage, ::testing::Values(1, 2, 3, 4));
+
+TEST(LeverageScores, JlChargesSeedBroadcastRounds) {
+  rng::Stream stream(9);
+  const auto a = random_tall(30, 4, stream);
+  bcc::RoundAccountant acct;
+  LeverageOptions opt;
+  opt.eta = 0.9;
+  (void)leverage_scores_jl(dense_oracle(a), opt, &acct);
+  EXPECT_GT(acct.total_for("leverage/seed"), 0);
+  EXPECT_GT(acct.total_for("leverage/matvec"), 0);
+  EXPECT_GT(acct.total_for("leverage/gram-solve"), 0);
+}
+
+TEST(LeverageScores, JlDeterministicInSeed) {
+  rng::Stream stream(10);
+  const auto a = random_tall(25, 3, stream);
+  LeverageOptions opt;
+  opt.seed = 77;
+  const auto o = dense_oracle(a);
+  EXPECT_EQ(leverage_scores_jl(o, opt), leverage_scores_jl(o, opt));
+}
+
+}  // namespace
+}  // namespace bcclap::lp

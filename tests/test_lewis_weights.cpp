@@ -1,0 +1,100 @@
+#include "lp/lewis_weights.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcclap::lp {
+namespace {
+
+linalg::DenseMatrix random_tall(std::size_t m, std::size_t n,
+                                rng::Stream& stream) {
+  linalg::DenseMatrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = stream.next_gaussian();
+  return a;
+}
+
+TEST(LewisWeights, PEquals2IsLeverageScores) {
+  rng::Stream stream(1);
+  const auto a = random_tall(30, 5, stream);
+  const auto sigma = leverage_scores_exact(a);
+  const auto w = lewis_fixed_point(a, 2.0, 60);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], sigma[i], 1e-6);
+  }
+}
+
+TEST(LewisWeights, FixedPointResidualSmall) {
+  rng::Stream stream(2);
+  const auto a = random_tall(40, 6, stream);
+  const double p = lewis_p_for(40);
+  const auto w = lewis_fixed_point(a, p, 200);
+  // Check w ~ sigma(W^{1/2-1/p} A).
+  const auto sigma = leverage_scores_exact(row_scaled(a, w, p));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(sigma[i] / std::max(w[i], 1e-12), 1.0, 1e-3);
+  }
+}
+
+TEST(LewisWeights, SumScalesWithRank) {
+  // sum of ell_p Lewis weights = n for p = 2; stays Theta(n) nearby.
+  rng::Stream stream(3);
+  const auto a = random_tall(50, 8, stream);
+  const auto w = lewis_fixed_point(a, lewis_p_for(50), 150);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_GT(sum, 4.0);
+  EXPECT_LT(sum, 16.0);
+}
+
+TEST(LewisWeights, ApxWeightsRefinesWarmStart) {
+  rng::Stream stream(4);
+  const auto a = random_tall(36, 5, stream);
+  const double p = lewis_p_for(36);
+  const auto truth = lewis_fixed_point(a, p, 200);
+  // Perturb the truth and refine.
+  linalg::Vec warm = truth;
+  auto child = stream.child("noise");
+  for (auto& v : warm) v *= (1.0 + 0.05 * child.next_gaussian());
+  LewisOptions opt;
+  opt.max_iterations = 32;
+  const auto refined = compute_apx_weights(a, p, warm, 0.05, opt);
+  double err_warm = 0.0, err_refined = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    err_warm += std::abs(warm[i] - truth[i]);
+    err_refined += std::abs(refined[i] - truth[i]);
+  }
+  EXPECT_LT(err_refined, err_warm);
+}
+
+TEST(LewisWeights, InitialWeightsLandNearFixedPoint) {
+  rng::Stream stream(5);
+  const auto a = random_tall(32, 4, stream);
+  const double p = lewis_p_for(32);
+  LewisOptions opt;
+  const auto w = compute_initial_weights(a, p, 0.05, opt);
+  const double err = lewis_relative_error(a, p, w);
+  EXPECT_LT(err, 0.5) << "homotopy should land within trust distance";
+}
+
+TEST(LewisWeights, RowScaledShapes) {
+  rng::Stream stream(6);
+  const auto a = random_tall(10, 3, stream);
+  const linalg::Vec w(10, 4.0);
+  // p = 2: exponent 0 -> unchanged.
+  const auto s2 = row_scaled(a, w, 2.0);
+  EXPECT_NEAR(s2(3, 1), a(3, 1), 1e-12);
+  // p = 1: exponent -1/2 -> rows scaled by 1/2.
+  const auto s1 = row_scaled(a, w, 1.0);
+  EXPECT_NEAR(s1(3, 1), 0.5 * a(3, 1), 1e-12);
+}
+
+TEST(LewisWeights, PForFormula) {
+  EXPECT_LT(lewis_p_for(100), 1.0);
+  EXPECT_GT(lewis_p_for(100), 0.8);
+  EXPECT_GT(lewis_p_for(1000000), lewis_p_for(100));
+}
+
+}  // namespace
+}  // namespace bcclap::lp

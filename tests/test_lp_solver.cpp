@@ -1,0 +1,129 @@
+#include "lp/lp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcclap::lp {
+namespace {
+
+// min c^T x  s.t.  x_1 + x_2 = 1, 0 <= x <= 1.
+LpProblem simplex2(double c1, double c2) {
+  LpProblem p;
+  p.a = linalg::CsrMatrix(2, 1, {{0, 0, 1.0}, {1, 0, 1.0}});
+  p.b = {1.0};
+  p.c = {c1, c2};
+  p.lower = {0.0, 0.0};
+  p.upper = {1.0, 1.0};
+  return p;
+}
+
+TEST(LpSolver, TwoVariableSimplexVanilla) {
+  const auto prob = simplex2(1.0, 2.0);
+  LpOptions opt;
+  opt.weights = WeightMode::kVanilla;
+  opt.epsilon = 1e-6;
+  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, 1.0, 1e-4);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-3);
+  EXPECT_NEAR(res.x[0] + res.x[1], 1.0, 1e-7);  // feasibility maintained
+}
+
+TEST(LpSolver, TwoVariableSimplexLewis) {
+  const auto prob = simplex2(2.0, 1.0);
+  LpOptions opt;
+  opt.weights = WeightMode::kLewis;
+  opt.epsilon = 1e-5;
+  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, 1.0, 1e-3);
+  EXPECT_NEAR(res.x[1], 1.0, 5e-3);
+}
+
+TEST(LpSolver, DegenerateTieStaysFeasible) {
+  // c1 == c2: every feasible point optimal; check feasibility + objective.
+  const auto prob = simplex2(1.0, 1.0);
+  LpOptions opt;
+  opt.epsilon = 1e-6;
+  const auto res = lp_solve(prob, {0.3, 0.7}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, 1.0, 1e-6);
+  EXPECT_NEAR(res.x[0] + res.x[1], 1.0, 1e-7);
+}
+
+// Random transportation-style LP: x >= 0, column-sum constraints, compare
+// against brute-force over vertices (small sizes).
+TEST(LpSolver, BoxConstrainedKnownOptimum) {
+  // min -x1 - 2 x2 s.t. x1 + x2 = 1.5, 0 <= x <= 1 -> x = (0.5, 1).
+  LpProblem p;
+  p.a = linalg::CsrMatrix(2, 1, {{0, 0, 1.0}, {1, 0, 1.0}});
+  p.b = {1.5};
+  p.c = {-1.0, -2.0};
+  p.lower = {0.0, 0.0};
+  p.upper = {1.0, 1.0};
+  LpOptions opt;
+  opt.epsilon = 1e-6;
+  const auto res = lp_solve(p, {0.75, 0.75}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, -2.5, 1e-4);
+  EXPECT_NEAR(res.x[0], 0.5, 1e-3);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-3);
+}
+
+TEST(LpSolver, MultiConstraintDiamond) {
+  // Variables x in R^4 with A^T x = b enforcing two sums:
+  //   x1 + x2 = 1, x3 + x4 = 1, minimize x1 + 3x2 + 2x3 + x4 -> (1,0,0,1).
+  LpProblem p;
+  p.a = linalg::CsrMatrix(
+      4, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}, {3, 1, 1.0}});
+  p.b = {1.0, 1.0};
+  p.c = {1.0, 3.0, 2.0, 1.0};
+  p.lower = {0.0, 0.0, 0.0, 0.0};
+  p.upper = {1.0, 1.0, 1.0, 1.0};
+  LpOptions opt;
+  opt.epsilon = 1e-6;
+  const auto res = lp_solve(p, {0.5, 0.5, 0.5, 0.5}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, 2.0, 1e-3);
+  EXPECT_NEAR(res.x[0], 1.0, 5e-3);
+  EXPECT_NEAR(res.x[3], 1.0, 5e-3);
+}
+
+TEST(LpSolver, ShortStepModeConverges) {
+  const auto prob = simplex2(1.0, 4.0);
+  LpOptions opt;
+  opt.steps = StepMode::kShortStep;
+  opt.alpha_constant = 2.0;
+  opt.epsilon = 1e-4;
+  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.objective, 1.0, 1e-2);
+  EXPECT_GT(res.path_steps, 10u);  // short steps take many path steps
+}
+
+TEST(LpSolver, ReportsAccounting) {
+  const auto prob = simplex2(1.0, 2.0);
+  LpOptions opt;
+  opt.epsilon = 1e-4;
+  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  EXPECT_GT(res.rounds, 0);
+  EXPECT_GT(res.newton_steps, 0u);
+  EXPECT_GT(res.path_steps, 0u);
+}
+
+TEST(LpSolver, GramAssembly) {
+  // A = [1 0; 1 1; 0 2], D = diag(1,2,3):
+  // A^T D A = [[1+2, 2],[2, 2+12]].
+  linalg::CsrMatrix a(3, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0},
+                             {2, 1, 2.0}});
+  const auto gram = assemble_gram(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(gram(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(gram(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(gram(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(gram(1, 1), 14.0);
+}
+
+}  // namespace
+}  // namespace bcclap::lp

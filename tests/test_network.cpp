@@ -1,0 +1,107 @@
+#include "bcc/network.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace bcclap::bcc {
+namespace {
+
+TEST(Message, FieldsAndBits) {
+  Message m;
+  m.push_flag(true).push_id(5, 16).push(100, 7);
+  EXPECT_EQ(m.num_fields(), 3u);
+  EXPECT_EQ(m.field(0), 1u);
+  EXPECT_EQ(m.field(1), 5u);
+  EXPECT_EQ(m.field(2), 100u);
+  EXPECT_EQ(m.total_bits(), 1 + 4 + 7);
+}
+
+TEST(RoundAccountant, ChargesAndBreaksDown) {
+  RoundAccountant acct;
+  acct.charge("a", 3);
+  acct.charge("b", 2);
+  acct.charge("a", 1);
+  EXPECT_EQ(acct.total(), 6);
+  EXPECT_EQ(acct.total_for("a"), 4);
+  EXPECT_EQ(acct.total_for("b"), 2);
+  EXPECT_EQ(acct.total_for("missing"), 0);
+  const auto mark = acct.mark();
+  acct.charge_broadcast_bits("c", 33, 16);  // ceil(33/16) = 3
+  EXPECT_EQ(acct.since(mark), 3);
+  acct.reset();
+  EXPECT_EQ(acct.total(), 0);
+}
+
+TEST(Network, BccDeliversToEveryone) {
+  Network net(Model::kBroadcastCongestedClique, std::size_t{4},
+              Network::default_bandwidth(4));
+  std::vector<std::vector<Message>> out(4);
+  out[1].push_back(Message().push_flag(true));
+  const auto in = net.exchange(out, "step");
+  EXPECT_TRUE(in[1].empty());  // no self-delivery
+  for (std::size_t v : {0u, 2u, 3u}) {
+    ASSERT_EQ(in[v].size(), 1u);
+    EXPECT_EQ(in[v][0].sender, 1u);
+  }
+  EXPECT_EQ(net.accountant().total(), 1);
+}
+
+TEST(Network, BcDeliversAlongEdgesOnly) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  Network net(Model::kBroadcastCongest, g, Network::default_bandwidth(4));
+  std::vector<std::vector<Message>> out(4);
+  out[1].push_back(Message().push_flag(false));
+  const auto in = net.exchange(out, "step");
+  EXPECT_EQ(in[0].size(), 1u);
+  EXPECT_EQ(in[2].size(), 1u);
+  EXPECT_TRUE(in[3].empty());  // not a neighbour of 1
+}
+
+TEST(Network, RoundsAreMaxOverNodes) {
+  Network net(Model::kBroadcastCongestedClique, std::size_t{3}, 8);
+  std::vector<std::vector<Message>> out(3);
+  // Node 0 sends two 8-bit messages (2 rounds), node 1 one (1 round).
+  out[0].push_back(Message().push(1, 8));
+  out[0].push_back(Message().push(2, 8));
+  out[1].push_back(Message().push(3, 8));
+  net.exchange(out, "step");
+  EXPECT_EQ(net.accountant().total(), 2);
+}
+
+TEST(Network, WideMessageCostsMultipleRounds) {
+  Network net(Model::kBroadcastCongestedClique, std::size_t{2}, 8);
+  std::vector<std::vector<Message>> out(2);
+  out[0].push_back(Message().push(0, 20));  // 20 bits over B=8: 3 rounds
+  net.exchange(out, "w");
+  EXPECT_EQ(net.accountant().total(), 3);
+}
+
+TEST(Network, EmptySuperstepIsFree) {
+  Network net(Model::kBroadcastCongestedClique, std::size_t{3}, 8);
+  net.exchange(std::vector<std::vector<Message>>(3), "idle");
+  EXPECT_EQ(net.accountant().total(), 0);
+}
+
+TEST(Network, DefaultBandwidthIsThetaLogN) {
+  EXPECT_EQ(Network::default_bandwidth(1024), 2 * 10 + 2);
+  EXPECT_GE(Network::default_bandwidth(2), 4);
+}
+
+TEST(Network, MessagesOrderedBySender) {
+  Network net(Model::kBroadcastCongestedClique, std::size_t{4}, 32);
+  std::vector<std::vector<Message>> out(4);
+  out[3].push_back(Message().push(3, 4));
+  out[0].push_back(Message().push(0, 4));
+  out[2].push_back(Message().push(2, 4));
+  const auto in = net.exchange(out, "step");
+  ASSERT_EQ(in[1].size(), 3u);
+  EXPECT_EQ(in[1][0].sender, 0u);
+  EXPECT_EQ(in[1][1].sender, 2u);
+  EXPECT_EQ(in[1][2].sender, 3u);
+}
+
+}  // namespace
+}  // namespace bcclap::bcc

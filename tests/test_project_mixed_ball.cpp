@@ -1,0 +1,123 @@
+#include "lp/project_mixed_ball.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::lp {
+namespace {
+
+struct Case {
+  std::size_t m;
+  double l_scale;
+  std::uint64_t seed;
+};
+
+class MixedBall : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MixedBall, FastMatchesReferenceAndIsFeasible) {
+  const Case c = GetParam();
+  rng::Stream stream(c.seed);
+  linalg::Vec a(c.m), l(c.m);
+  for (auto& v : a) v = stream.next_gaussian();
+  for (auto& v : l) v = c.l_scale * (0.1 + stream.next_double());
+
+  const auto fast = project_mixed_ball(a, l);
+  const auto ref = project_mixed_ball_reference(a, l, 5000);
+
+  EXPECT_LE(mixed_norm(fast.x, l), 1.0 + 1e-6);
+  EXPECT_NEAR(fast.value, ref.value, 1e-4 * (1.0 + std::abs(ref.value)));
+  // The fast result is itself a feasible point achieving its value.
+  EXPECT_NEAR(linalg::dot(a, fast.x), fast.value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MixedBall,
+    ::testing::Values(Case{5, 1.0, 1}, Case{20, 1.0, 2}, Case{20, 0.01, 3},
+                      Case{20, 100.0, 4}, Case{100, 1.0, 5},
+                      Case{100, 0.1, 6}, Case{3, 10.0, 7},
+                      Case{50, 0.5, 8}));
+
+TEST(MixedBall, ZeroVectorGivesZero) {
+  const linalg::Vec a(10, 0.0), l(10, 1.0);
+  const auto res = project_mixed_ball(a, l);
+  EXPECT_DOUBLE_EQ(res.value, 0.0);
+  EXPECT_EQ(res.x, linalg::zeros(10));
+}
+
+TEST(MixedBall, SingleCoordinate) {
+  // m=1: max a*x s.t. |x| + |x|/l <= 1 -> x = sign(a) * l/(l+1).
+  const linalg::Vec a{3.0}, l{2.0};
+  const auto res = project_mixed_ball(a, l);
+  EXPECT_NEAR(res.x[0], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(res.value, 2.0, 1e-5);
+}
+
+TEST(MixedBall, HugeLReducesToEuclideanBall) {
+  // l -> inf: constraint is just ||x||_2 <= 1; optimum = ||a||_2.
+  rng::Stream stream(11);
+  linalg::Vec a(15);
+  for (auto& v : a) v = stream.next_gaussian();
+  const linalg::Vec l(15, 1e9);
+  const auto res = project_mixed_ball(a, l);
+  EXPECT_NEAR(res.value, linalg::norm2(a), 1e-4 * linalg::norm2(a));
+  EXPECT_NEAR(res.t, 0.0, 1e-3);
+}
+
+TEST(MixedBall, TinyLForcesInfinityBudget) {
+  // l -> 0: the infinity term dominates unless t ~ its share; the optimum
+  // is far below the Euclidean bound.
+  rng::Stream stream(12);
+  linalg::Vec a(15);
+  for (auto& v : a) v = stream.next_gaussian();
+  const linalg::Vec l(15, 1e-4);
+  const auto res = project_mixed_ball(a, l);
+  EXPECT_LT(res.value, 0.01 * linalg::norm2(a));
+  EXPECT_LE(mixed_norm(res.x, l), 1.0 + 1e-6);
+}
+
+TEST(MixedBall, NegativeEntriesHandledBySign) {
+  const linalg::Vec a{-5.0, 0.0, 5.0};
+  const linalg::Vec l{1.0, 1.0, 1.0};
+  const auto res = project_mixed_ball(a, l);
+  EXPECT_LT(res.x[0], 0.0);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+  EXPECT_GT(res.x[2], 0.0);
+  EXPECT_NEAR(res.x[0], -res.x[2], 1e-6);
+}
+
+TEST(MixedBall, TiesInRatioAreFine) {
+  // All |a_i| l_i equal: exercises the tie-handling of the ordering.
+  const linalg::Vec a{1.0, 1.0, 1.0, 1.0};
+  const linalg::Vec l{1.0, 1.0, 1.0, 1.0};
+  const auto fast = project_mixed_ball(a, l);
+  const auto ref = project_mixed_ball_reference(a, l, 4000);
+  // The grid reference is only accurate to its resolution; the fast
+  // solver may legitimately beat it slightly.
+  EXPECT_NEAR(fast.value, ref.value, 1e-3);
+  EXPECT_GE(fast.value, ref.value - 1e-9);
+}
+
+TEST(MixedBall, ProbeCountIsLogarithmic) {
+  rng::Stream stream(13);
+  linalg::Vec a(200), l(200);
+  for (auto& v : a) v = stream.next_gaussian();
+  for (auto& v : l) v = 0.1 + stream.next_double();
+  const auto res = project_mixed_ball(a, l, 1e-12);
+  // Ternary search: ~2 * log_{3/2}(1/tol) ~ 140 probes, not O(m).
+  EXPECT_LT(res.probes, 200u);
+  EXPECT_GT(res.probes, 20u);
+}
+
+TEST(MixedBall, ChargesRounds) {
+  rng::Stream stream(14);
+  linalg::Vec a(30), l(30, 1.0);
+  for (auto& v : a) v = stream.next_gaussian();
+  bcc::RoundAccountant acct;
+  (void)project_mixed_ball(a, l, 1e-10, &acct);
+  EXPECT_GT(acct.total_for("mixed-ball/probe"), 0);
+}
+
+}  // namespace
+}  // namespace bcclap::lp

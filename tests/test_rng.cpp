@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace bcclap::rng {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Stream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Stream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChildIndependentOfParentState) {
+  Stream parent(7);
+  Stream c1 = parent.child("x");
+  (void)parent.next_u64();
+  Stream c2 = parent.child("x");
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());  // child depends on seed only
+}
+
+TEST(Rng, ChildrenWithDifferentLabelsDiffer) {
+  Stream parent(7);
+  EXPECT_NE(parent.child("a").next_u64(), parent.child("b").next_u64());
+  EXPECT_NE(parent.child(std::uint64_t{1}).next_u64(),
+            parent.child(std::uint64_t{2}).next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Stream s(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(s.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Stream s(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(s.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Stream s(3);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = s.next_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    hit_lo |= (v == -2);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Stream s(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = s.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliStatistics) {
+  Stream s(13);
+  int count = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) count += s.bernoulli(0.25);
+  EXPECT_NEAR(count / static_cast<double>(trials), 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Stream s(17);
+  EXPECT_FALSE(s.bernoulli(0.0));
+  EXPECT_FALSE(s.bernoulli(-1.0));
+  EXPECT_TRUE(s.bernoulli(1.0));
+  EXPECT_TRUE(s.bernoulli(2.0));
+}
+
+TEST(Rng, GaussianMoments) {
+  Stream s(19);
+  double sum = 0.0, sumsq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double g = s.next_gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.05);
+}
+
+TEST(Rng, SignIsBalanced) {
+  Stream s(23);
+  int pos = 0;
+  for (int i = 0; i < 10000; ++i) pos += (s.next_sign() > 0);
+  EXPECT_NEAR(pos / 10000.0, 0.5, 0.03);
+}
+
+TEST(Rng, BitsPacking) {
+  Stream s(29);
+  const auto bits = s.next_bits(37);
+  EXPECT_EQ(bits.size(), 5u);  // ceil(37/8)
+}
+
+TEST(Rng, DeriveSeedSensitivity) {
+  EXPECT_NE(derive_seed(1, "abc"), derive_seed(1, "abd"));
+  EXPECT_NE(derive_seed(1, "abc"), derive_seed(2, "abc"));
+  EXPECT_EQ(derive_seed(1, "abc"), derive_seed(1, "abc"));
+}
+
+}  // namespace
+}  // namespace bcclap::rng

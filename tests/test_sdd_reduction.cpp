@@ -1,0 +1,104 @@
+#include "laplacian/sdd_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/laplacian.h"
+#include "linalg/cholesky.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::laplacian {
+namespace {
+
+// Random SDD matrix with strictly positive slack and mixed-sign
+// off-diagonals.
+linalg::DenseMatrix random_sdd(std::size_t n, bool with_positive,
+                               rng::Stream& stream) {
+  linalg::DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (stream.next_double() < 0.5) continue;
+      double v = -1.0 - 3.0 * stream.next_double();
+      if (with_positive && stream.next_double() < 0.3) v = -v;
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) s += std::abs(m(i, j));
+    m(i, i) = s + 0.5 + stream.next_double();  // strict dominance
+  }
+  return m;
+}
+
+TEST(SddReduction, VirtualGraphIsLaplacianOfM) {
+  rng::Stream stream(1);
+  const auto m = random_sdd(6, false, stream);
+  const auto red = gremban_reduce(m);
+  ASSERT_TRUE(red.valid);
+  EXPECT_EQ(red.virtual_graph.num_vertices(), 12u);
+  // L [x; -x] = [M x; -M x] for any x.
+  linalg::Vec x(6);
+  for (auto& v : x) v = stream.next_gaussian();
+  const auto lifted = graph::apply_laplacian(red.virtual_graph, lift_rhs(x));
+  const auto mx = m.multiply(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(lifted[i], mx[i], 1e-9);
+    EXPECT_NEAR(lifted[i + 6], -mx[i], 1e-9);
+  }
+}
+
+TEST(SddReduction, SolveRoundTripNegativeOffdiag) {
+  rng::Stream stream(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto child = stream.child(trial);
+    const auto m = random_sdd(8, false, child);
+    const auto red = gremban_reduce(m);
+    ASSERT_TRUE(red.valid);
+    const auto factor =
+        linalg::LaplacianFactor::factor(graph::laplacian(red.virtual_graph));
+    ASSERT_TRUE(factor);
+    linalg::Vec y(8);
+    for (auto& v : y) v = child.next_gaussian();
+    const auto x = project_solution(factor->solve(lift_rhs(y)));
+    const auto r = linalg::sub(m.multiply(x), y);
+    EXPECT_LT(linalg::norm2(r), 1e-7 * (linalg::norm2(y) + 1.0));
+  }
+}
+
+TEST(SddReduction, SolveRoundTripMixedSigns) {
+  // Positive off-diagonals exercise the cross-copy edges.
+  rng::Stream stream(3);
+  const auto m = random_sdd(10, true, stream);
+  const auto red = gremban_reduce(m);
+  ASSERT_TRUE(red.valid);
+  const auto factor =
+      linalg::LaplacianFactor::factor(graph::laplacian(red.virtual_graph));
+  ASSERT_TRUE(factor);
+  linalg::Vec y(10);
+  for (auto& v : y) v = stream.next_gaussian();
+  const auto x = project_solution(factor->solve(lift_rhs(y)));
+  const auto r = linalg::sub(m.multiply(x), y);
+  EXPECT_LT(linalg::norm2(r), 1e-7 * (linalg::norm2(y) + 1.0));
+}
+
+TEST(SddReduction, RejectsNonSdd) {
+  linalg::DenseMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = -5.0;
+  m(1, 0) = -5.0;
+  m(1, 1) = 1.0;
+  EXPECT_FALSE(gremban_reduce(m).valid);
+}
+
+TEST(SddReduction, LiftProjectInverse) {
+  const linalg::Vec y{1, -2, 3};
+  const auto lifted = lift_rhs(y);
+  EXPECT_EQ(lifted.size(), 6u);
+  EXPECT_EQ(project_solution(lifted), y);
+}
+
+}  // namespace
+}  // namespace bcclap::laplacian

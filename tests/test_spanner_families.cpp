@@ -1,0 +1,110 @@
+// Property sweep: the probabilistic spanner's guarantees (stretch,
+// deduction consistency, F+/F- partition) across structurally different
+// graph families — grids, cycles, expander-ish, barbell — not just G(n,p).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "spanner/baswana_sen.h"
+#include "spanner/probabilistic_spanner.h"
+
+namespace bcclap::spanner {
+namespace {
+
+enum class Family { kGrid, kCycle, kRegularish, kBarbell, kComplete };
+
+struct Case {
+  Family family;
+  std::size_t n;
+  std::size_t k;
+  double pe;
+  std::uint64_t seed;
+};
+
+graph::Graph make_graph(Family family, std::size_t n, rng::Stream& stream) {
+  switch (family) {
+    case Family::kGrid:
+      return graph::grid(n / 4, 4, 5, stream);
+    case Family::kCycle:
+      return graph::cycle(n);
+    case Family::kRegularish:
+      return graph::random_regularish(n, 6, 4, stream);
+    case Family::kBarbell:
+      return graph::barbell(n);
+    case Family::kComplete:
+      return graph::complete(n, 3, stream);
+  }
+  return graph::path(n);
+}
+
+class SpannerFamilies : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SpannerFamilies, InvariantsHold) {
+  const Case c = GetParam();
+  rng::Stream gstream(c.seed);
+  const auto g = make_graph(c.family, c.n, gstream);
+  bcc::Network net(bcc::Model::kBroadcastCongest, g,
+                   bcc::Network::default_bandwidth(g.num_vertices()));
+  rng::Stream marks(c.seed ^ 0xa5a5);
+  rng::Stream coins(c.seed ^ 0x5a5a);
+  ProbabilisticSpannerOptions opt;
+  opt.k = c.k;
+  const ExistenceOracle oracle = [&](graph::EdgeId) {
+    return coins.bernoulli(c.pe);
+  };
+  const auto res =
+      spanner_with_probabilistic_edges(g, opt, oracle, marks, net);
+
+  // Implicit communication must hold on every family.
+  EXPECT_TRUE(res.deduction_consistent);
+  // F+ and F- partition the decided edges.
+  std::set<graph::EdgeId> fp(res.f_plus.begin(), res.f_plus.end());
+  for (graph::EdgeId e : res.f_minus) EXPECT_EQ(fp.count(e), 0u);
+  EXPECT_EQ(fp.size(), res.f_plus.size());
+
+  // Stretch on the surviving graph (Lemma 3.1 with E'' = undecided).
+  std::set<graph::EdgeId> fm(res.f_minus.begin(), res.f_minus.end());
+  graph::Graph survivors(g.num_vertices());
+  std::vector<graph::EdgeId> mapped;
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    if (fm.count(e)) continue;
+    const auto& ed = g.edge(e);
+    const auto id = survivors.add_edge(ed.u, ed.v, ed.weight);
+    if (fp.count(e)) mapped.push_back(id);
+  }
+  EXPECT_TRUE(verify_stretch(survivors, mapped,
+                             static_cast<double>(2 * c.k - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SpannerFamilies,
+    ::testing::Values(
+        Case{Family::kGrid, 32, 2, 1.0, 1}, Case{Family::kGrid, 32, 3, 0.5, 2},
+        Case{Family::kCycle, 24, 2, 0.5, 3},
+        Case{Family::kCycle, 24, 4, 0.25, 4},
+        Case{Family::kRegularish, 40, 2, 0.75, 5},
+        Case{Family::kRegularish, 40, 3, 0.5, 6},
+        Case{Family::kBarbell, 20, 2, 0.5, 7},
+        Case{Family::kBarbell, 20, 3, 1.0, 8},
+        Case{Family::kComplete, 20, 2, 0.25, 9},
+        Case{Family::kComplete, 20, 5, 0.5, 10}));
+
+TEST(SpannerFamilies, CycleWithProbabilityOneKeepsConnectivityWitness) {
+  // A cycle has exactly one redundant edge per cycle; the spanner with
+  // k = 2 (stretch 3) may drop long-detour edges only when the detour is
+  // within stretch. For a triangle, any two edges suffice.
+  const auto g = graph::cycle(3);
+  bcc::Network net(bcc::Model::kBroadcastCongest, g,
+                   bcc::Network::default_bandwidth(3));
+  rng::Stream marks(1);
+  ProbabilisticSpannerOptions opt;
+  opt.k = 2;
+  const ExistenceOracle always = [](graph::EdgeId) { return true; };
+  const auto res = spanner_with_probabilistic_edges(g, opt, always, marks, net);
+  EXPECT_GE(res.f_plus.size(), 2u);
+  EXPECT_TRUE(verify_stretch(g, res.f_plus, 3.0));
+}
+
+}  // namespace
+}  // namespace bcclap::spanner

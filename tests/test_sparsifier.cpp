@@ -1,0 +1,130 @@
+#include "sparsify/spectral_sparsify.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sparsify/verifier.h"
+#include "spanner/cluster.h"
+
+namespace bcclap::sparsify {
+namespace {
+
+bcc::Network make_net(const graph::Graph& g) {
+  return bcc::Network(bcc::Model::kBroadcastCongest, g,
+                      bcc::Network::default_bandwidth(g.num_vertices()));
+}
+
+SparsifyOptions test_options() {
+  SparsifyOptions opt;
+  opt.epsilon = 1.0;
+  opt.k = 2;
+  opt.t = 3;  // bench-scale bundle size (DESIGN.md section 6)
+  return opt;
+}
+
+TEST(Sparsifier, OutputIsSubsetReweighted) {
+  rng::Stream gstream(1);
+  const auto g = graph::complete(30, 4, gstream);
+  auto net = make_net(g);
+  const auto res = spectral_sparsify(g, test_options(), 99, net);
+  EXPECT_TRUE(res.deduction_consistent);
+  EXPECT_LE(res.sparsifier.num_edges(), g.num_edges());
+  ASSERT_EQ(res.original_edge.size(), res.sparsifier.num_edges());
+  for (std::size_t i = 0; i < res.original_edge.size(); ++i) {
+    const auto& se = res.sparsifier.edge(i);
+    const auto& oe = g.edge(res.original_edge[i]);
+    EXPECT_EQ(se.u, oe.u);
+    EXPECT_EQ(se.v, oe.v);
+    // Weight is the original scaled by a power of 4 (the resampling
+    // reweighting of Algorithms 4/5).
+    double ratio = se.weight / oe.weight;
+    while (ratio > 1.5) ratio /= 4.0;
+    EXPECT_NEAR(ratio, 1.0, 1e-9);
+  }
+}
+
+TEST(Sparsifier, DeterministicInSeed) {
+  rng::Stream gstream(2);
+  const auto g = graph::complete(24, 3, gstream);
+  auto net1 = make_net(g);
+  auto net2 = make_net(g);
+  const auto r1 = spectral_sparsify(g, test_options(), 7, net1);
+  const auto r2 = spectral_sparsify(g, test_options(), 7, net2);
+  EXPECT_EQ(r1.original_edge, r2.original_edge);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+}
+
+TEST(Sparsifier, DifferentSeedsGiveDifferentSamples) {
+  rng::Stream gstream(3);
+  const auto g = graph::complete(24, 3, gstream);
+  auto net1 = make_net(g);
+  auto net2 = make_net(g);
+  const auto r1 = spectral_sparsify(g, test_options(), 7, net1);
+  const auto r2 = spectral_sparsify(g, test_options(), 8, net2);
+  EXPECT_NE(r1.original_edge, r2.original_edge);
+}
+
+TEST(Sparsifier, SparsifiesDenseGraphs) {
+  // With a single-spanner bundle, the last bundle holds O(k n^{1+1/k})
+  // edges and the leftovers decay by 1/4 per iteration, so K64 (2016
+  // edges) must compress substantially.
+  rng::Stream gstream(4);
+  const auto g = graph::complete(64, 2, gstream);
+  SparsifyOptions opt = test_options();
+  opt.t = 1;
+  auto net = make_net(g);
+  const auto res = spectral_sparsify(g, opt, 21, net);
+  EXPECT_LT(res.sparsifier.num_edges(), (3 * g.num_edges()) / 4);
+}
+
+TEST(Sparsifier, SpectralQualityOnDenseGraph) {
+  rng::Stream gstream(5);
+  const auto g = graph::complete(36, 1, gstream);
+  SparsifyOptions opt = test_options();
+  opt.t = 6;  // more bundles -> better quality
+  auto net = make_net(g);
+  const auto res = spectral_sparsify(g, opt, 31, net);
+  const auto check = check_sparsifier(g, res.sparsifier);
+  ASSERT_TRUE(check.valid);
+  // With bench-scale t the constant-factor guarantee is loose; assert a
+  // sane bound and positivity (connectivity).
+  EXPECT_GT(check.lambda_min, 0.05);
+  EXPECT_LT(check.achieved_epsilon(), 4.0);
+}
+
+TEST(Sparsifier, OrientationMatchesEdges) {
+  rng::Stream gstream(6);
+  const auto g = graph::complete(20, 2, gstream);
+  auto net = make_net(g);
+  const auto res = spectral_sparsify(g, test_options(), 41, net);
+  ASSERT_EQ(res.out_vertex.size(), res.sparsifier.num_edges());
+  for (std::size_t i = 0; i < res.out_vertex.size(); ++i) {
+    const auto& ed = res.sparsifier.edge(i);
+    EXPECT_TRUE(res.out_vertex[i] == ed.u || res.out_vertex[i] == ed.v);
+  }
+}
+
+TEST(Sparsifier, ResolveOptionsPaperDefaults) {
+  rng::Stream gstream(7);
+  const auto g = graph::complete(16, 1, gstream);
+  SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.t_constant = 400.0;  // paper constant
+  const auto resolved = resolve_options(g, opt);
+  EXPECT_EQ(resolved.k, 4u);  // ceil(log2 16)
+  // t = 400 log^2(n) / eps^2 = 400 * 16 / 0.25 = 25600.
+  EXPECT_EQ(resolved.t, 25600u);
+  EXPECT_EQ(resolved.iterations, 7u);  // ceil(log2 120)
+}
+
+TEST(Sparsifier, ChargesRounds) {
+  rng::Stream gstream(8);
+  const auto g = graph::complete(20, 3, gstream);
+  auto net = make_net(g);
+  const auto res = spectral_sparsify(g, test_options(), 51, net);
+  EXPECT_GT(res.rounds, 0);
+  EXPECT_EQ(res.rounds, net.accountant().total());
+}
+
+}  // namespace
+}  // namespace bcclap::sparsify

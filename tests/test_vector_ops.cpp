@@ -1,0 +1,78 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcclap::linalg {
+namespace {
+
+TEST(VectorOps, DotAndNorms) {
+  const Vec a{1, 2, 3};
+  const Vec b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  EXPECT_DOUBLE_EQ(norm1(b), 15.0);
+}
+
+TEST(VectorOps, WeightedNorm) {
+  const Vec x{1, 2};
+  const Vec w{4, 1};
+  EXPECT_DOUBLE_EQ(norm_weighted(x, w), std::sqrt(4.0 + 4.0));
+}
+
+TEST(VectorOps, AddSubScaleAxpy) {
+  Vec y{1, 1};
+  axpy(y, 2.0, Vec{3, -1});
+  EXPECT_EQ(y, (Vec{7, -1}));
+  EXPECT_EQ(add(Vec{1, 2}, Vec{3, 4}), (Vec{4, 6}));
+  EXPECT_EQ(sub(Vec{1, 2}, Vec{3, 4}), (Vec{-2, -2}));
+  EXPECT_EQ(scale(Vec{1, 2}, -2.0), (Vec{-2, -4}));
+}
+
+TEST(VectorOps, CoordinateWise) {
+  EXPECT_EQ(cw_mul(Vec{2, 3}, Vec{4, 5}), (Vec{8, 15}));
+  EXPECT_EQ(cw_div(Vec{8, 15}, Vec{4, 5}), (Vec{2, 3}));
+  EXPECT_EQ(cw_inv(Vec{2, 4}), (Vec{0.5, 0.25}));
+  EXPECT_EQ(cw_abs(Vec{-2, 3}), (Vec{2, 3}));
+  EXPECT_EQ(cw_sqrt(Vec{4, 9}), (Vec{2, 3}));
+  EXPECT_EQ(cw_max(Vec{-1, 5}, 0.0), (Vec{0, 5}));
+}
+
+TEST(VectorOps, MedianOfThree) {
+  const Vec m = cw_median(Vec{1, 5, 9}, Vec{2, 4, 7}, Vec{3, 6, 8});
+  EXPECT_EQ(m, (Vec{2, 5, 8}));
+}
+
+TEST(VectorOps, PositiveNegativeParts) {
+  const Vec a{-2, 0, 3};
+  EXPECT_EQ(positive_part(a), (Vec{0, 0, 3}));
+  EXPECT_EQ(negative_part(a), (Vec{-2, 0, 0}));
+  // a = a^+ + a^- identity (Section 5 notation).
+  const Vec sum = add(positive_part(a), negative_part(a));
+  EXPECT_EQ(sum, a);
+}
+
+TEST(VectorOps, MeanRemoval) {
+  Vec x{1, 2, 3, 6};
+  EXPECT_DOUBLE_EQ(mean(x), 3.0);
+  remove_mean(x);
+  EXPECT_DOUBLE_EQ(mean(x), 0.0);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+TEST(VectorOps, LogExpRoundTrip) {
+  const Vec a{0.5, 1.0, 7.0};
+  const Vec b = cw_exp(cw_log(a));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(VectorOps, MinMaxEntries) {
+  const Vec a{3, -1, 4};
+  EXPECT_DOUBLE_EQ(max_entry(a), 4.0);
+  EXPECT_DOUBLE_EQ(min_entry(a), -1.0);
+}
+
+}  // namespace
+}  // namespace bcclap::linalg

@@ -1,0 +1,89 @@
+#include "sparsify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace bcclap::sparsify {
+namespace {
+
+TEST(Verifier, IdenticalGraphIsPerfectSparsifier) {
+  rng::Stream s(1);
+  const auto g = graph::random_connected_gnp(20, 0.3, 5, s);
+  const auto check = check_sparsifier(g, g);
+  ASSERT_TRUE(check.valid);
+  EXPECT_NEAR(check.lambda_min, 1.0, 1e-6);
+  EXPECT_NEAR(check.lambda_max, 1.0, 1e-6);
+  EXPECT_LT(check.achieved_epsilon(), 1e-6);
+  EXPECT_TRUE(check.within(0.01));
+}
+
+TEST(Verifier, UniformlyScaledWeightsShiftEigenvalues) {
+  rng::Stream s(2);
+  const auto g = graph::random_connected_gnp(15, 0.4, 3, s);
+  graph::Graph h(g.num_vertices());
+  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, 2.0 * e.weight);
+  // L_G = 0.5 L_H: all pencil eigenvalues are exactly 0.5.
+  const auto check = check_sparsifier(g, h);
+  ASSERT_TRUE(check.valid);
+  EXPECT_NEAR(check.lambda_min, 0.5, 1e-6);
+  EXPECT_NEAR(check.lambda_max, 0.5, 1e-6);
+  EXPECT_NEAR(check.achieved_epsilon(), 0.5, 1e-6);
+  EXPECT_FALSE(check.within(0.4));
+  EXPECT_TRUE(check.within(0.51));
+}
+
+TEST(Verifier, DisconnectedSparsifierIsInvalid) {
+  const auto g = graph::path(6);
+  graph::Graph h(6);
+  h.add_edge(0, 1, 1.0);
+  h.add_edge(2, 3, 1.0);  // missing bridge 1-2
+  h.add_edge(3, 4, 1.0);
+  h.add_edge(4, 5, 1.0);
+  const auto check = check_sparsifier(g, h);
+  EXPECT_FALSE(check.valid);
+  EXPECT_TRUE(std::isinf(check.achieved_epsilon()));
+}
+
+TEST(Verifier, SubgraphSparsifierDetectsSpread) {
+  // Complete graph vs its star subgraph: known-poor sparsifier with a
+  // spread pencil spectrum; eigenvalue range must contain 1-ish values.
+  rng::Stream s(3);
+  const auto g = graph::complete(10, 1, s);
+  graph::Graph h(10);
+  for (std::size_t v = 1; v < 10; ++v) h.add_edge(0, v, 1.0);
+  const auto check = check_sparsifier(g, h);
+  ASSERT_TRUE(check.valid);
+  EXPECT_GT(check.lambda_max, check.lambda_min + 0.5);
+}
+
+TEST(Verifier, SampledLowerBoundNeverExceedsExact) {
+  rng::Stream s(4);
+  const auto g = graph::random_connected_gnp(18, 0.3, 4, s);
+  graph::Graph h(g.num_vertices());
+  // Random reweighting.
+  auto child = s.child("w");
+  for (const auto& e : g.edges()) {
+    h.add_edge(e.u, e.v, e.weight * (0.5 + child.next_double()));
+  }
+  const auto exact = check_sparsifier(g, h);
+  ASSERT_TRUE(exact.valid);
+  const double sampled = sampled_epsilon_lower_bound(g, h, 200, 5);
+  EXPECT_LE(sampled, exact.achieved_epsilon() + 1e-9);
+  EXPECT_GT(sampled, 0.0);
+}
+
+TEST(Verifier, SampledBoundExactForUniformScaling) {
+  // L_G = 0.5 L_H pointwise: every quadratic-form ratio is exactly 0.5,
+  // so the sampled bound equals the true epsilon deterministically.
+  rng::Stream s(8);
+  const auto g = graph::random_connected_gnp(12, 0.4, 2, s);
+  graph::Graph h(g.num_vertices());
+  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, 2.0 * e.weight);
+  EXPECT_NEAR(sampled_epsilon_lower_bound(g, h, 30, 6), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace bcclap::sparsify
