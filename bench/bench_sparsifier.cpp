@@ -41,7 +41,7 @@ void BM_SparsifierSize(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
   state.counters["m"] = static_cast<double>(g.num_edges());
   state.counters["size"] = size / r;
-  state.counters["size_per_nlog"] = size / r / (n * logn);
+  state.counters["size_per_nlog"] = size / r / (static_cast<double>(n) * logn);
   state.counters["rounds"] = rounds / r;
   state.counters["max_outdeg"] = outdeg / r;
 }

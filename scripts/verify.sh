@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The tier-1 verification entrypoint (ROADMAP.md). Builders and CI run this
+# one script; it is exactly the roadmap command, nothing more:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# Environment knobs:
+#   BCCLAP_SANITIZE=ON   build + run the suites under ASan+UBSan
+#   BUILD_DIR=<path>     build tree location (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j

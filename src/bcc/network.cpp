@@ -1,7 +1,6 @@
 #include "bcc/network.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 
 #include "common/encoding.h"

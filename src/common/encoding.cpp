@@ -1,13 +1,27 @@
 #include "common/encoding.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 namespace bcclap::enc {
 
+namespace {
+
+// C++17 stand-in for std::bit_width (C++20): position of the highest set bit
+// plus one, i.e. the number of bits needed to represent v > 0.
+int bit_width_nonzero(std::uint64_t v) {
+  int width = 0;
+  while (v != 0) {
+    ++width;
+    v >>= 1;
+  }
+  return width;
+}
+
+}  // namespace
+
 int bit_width_u64(std::uint64_t v) {
-  return v == 0 ? 1 : std::bit_width(v);
+  return v == 0 ? 1 : bit_width_nonzero(v);
 }
 
 int bit_width_i64(std::int64_t v) {
@@ -17,7 +31,7 @@ int bit_width_i64(std::int64_t v) {
 }
 
 int id_bits(std::size_t n) {
-  return n <= 1 ? 1 : std::bit_width(n - 1);
+  return n <= 1 ? 1 : bit_width_nonzero(n - 1);
 }
 
 int real_bits(double max_abs, double eps) {

@@ -109,7 +109,7 @@ class SpannerRun {
     belief_[e][side_of(e, v)] = decision_[e];
   }
 
-  int side_of(graph::EdgeId e, graph::VertexId v) const {
+  std::size_t side_of(graph::EdgeId e, graph::VertexId v) const {
     return g_.edge(e).u == v ? 0 : 1;
   }
 

@@ -1,0 +1,61 @@
+#include "support/comparators.h"
+
+#include <cmath>
+
+#include "laplacian/solver.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::testsupport {
+
+::testing::AssertionResult VecNear(const linalg::Vec& a, const linalg::Vec& b,
+                                   double tol) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = std::abs(a[i] - b[i]);
+    if (!(diff <= tol))
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": " << a[i] << " vs " << b[i] << " (|diff| "
+             << diff << " > tol " << tol << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult EnergyNormWithin(const graph::Graph& g,
+                                            const linalg::Vec& approx,
+                                            const linalg::Vec& exact,
+                                            double eps, double slack) {
+  const double err = laplacian::laplacian_norm(g, linalg::sub(exact, approx));
+  const double ref = laplacian::laplacian_norm(g, exact);
+  if (err <= eps * ref + slack) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "energy-norm error " << err << " exceeds eps * ||exact||_L = "
+         << eps << " * " << ref << " + " << slack;
+}
+
+::testing::AssertionResult RoundsConsistent(std::int64_t reported_rounds,
+                                            const bcc::Network& net) {
+  const std::int64_t charged = net.accountant().total();
+  if (reported_rounds <= 0)
+    return ::testing::AssertionFailure()
+           << "reported round count " << reported_rounds << " is not positive";
+  if (reported_rounds != charged)
+    return ::testing::AssertionFailure()
+           << "reported " << reported_rounds << " rounds but the accountant "
+           << "charged " << charged;
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult RoundsAtMost(const bcc::RoundAccountant& acct,
+                                        std::int64_t bound) {
+  if (acct.total() <= bound) return ::testing::AssertionSuccess();
+  auto failure = ::testing::AssertionFailure()
+                 << "total rounds " << acct.total() << " > bound " << bound
+                 << "; breakdown:";
+  for (const auto& [label, rounds] : acct.breakdown())
+    failure << " [" << label << ": " << rounds << "]";
+  return failure;
+}
+
+}  // namespace bcclap::testsupport

@@ -1,0 +1,40 @@
+// Tolerance comparators and BCC round-accounting assertion helpers.
+//
+// All helpers return ::testing::AssertionResult so failures print the
+// offending index / magnitude instead of a bare boolean:
+//   EXPECT_TRUE(testsupport::VecNear(expected, actual, 1e-9));
+#pragma once
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "bcc/network.h"
+#include "bcc/round_accountant.h"
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::testsupport {
+
+// Elementwise |a[i] - b[i]| <= tol, failing with the first bad index.
+::testing::AssertionResult VecNear(const linalg::Vec& a, const linalg::Vec& b,
+                                   double tol);
+
+// ||approx - exact||_{L_G} <= eps * ||exact||_{L_G} + slack — the energy-norm
+// guarantee of Theorem 1.3 / Corollary 2.4.
+::testing::AssertionResult EnergyNormWithin(const graph::Graph& g,
+                                            const linalg::Vec& approx,
+                                            const linalg::Vec& exact,
+                                            double eps, double slack = 1e-12);
+
+// A protocol result's reported round count is positive and equals what the
+// network's accountant actually charged (no silent unaccounted traffic).
+::testing::AssertionResult RoundsConsistent(std::int64_t reported_rounds,
+                                            const bcc::Network& net);
+
+// The accountant charged at most `bound` rounds in total; failures print
+// the per-label breakdown so the offending phase is visible.
+::testing::AssertionResult RoundsAtMost(const bcc::RoundAccountant& acct,
+                                        std::int64_t bound);
+
+}  // namespace bcclap::testsupport

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "support/fixtures.h"
 
 namespace bcclap::spanner {
 namespace {
+
+class BaswanaSenTest : public testsupport::SeededTest {};
 
 struct Case {
   std::size_t n;
@@ -35,10 +38,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{60, 0.15, 5, 4, 5}, Case{30, 0.5, 10, 2, 6},
                       Case{30, 0.5, 10, 5, 7}, Case{50, 0.1, 3, 3, 8}));
 
-TEST(BaswanaSen, SpannerSparsifiesDenseGraphs) {
-  rng::Stream gstream(11);
+TEST_F(BaswanaSenTest, SpannerSparsifiesDenseGraphs) {
+  auto gstream = graphs();
   const auto g = graph::complete(60, 4, gstream);
-  rng::Stream astream(12);
+  auto astream = stream("algo");
   const auto res = baswana_sen(g, 3, astream);
   // |F| = O(k n^{1+1/k}): for n=60, k=3 that's ~ 3*60^{4/3} ~ 700, far
   // below the 1770 edges of K60. Use a loose factor for randomness.
@@ -46,18 +49,18 @@ TEST(BaswanaSen, SpannerSparsifiesDenseGraphs) {
   EXPECT_LT(res.spanner_edges.size(), 1200u);
 }
 
-TEST(BaswanaSen, K1WouldBeWholeGraphSoPathIsPreserved) {
+TEST_F(BaswanaSenTest, K1WouldBeWholeGraphSoPathIsPreserved) {
   // On a path, every edge is a bridge: any spanner must keep all edges.
   const auto g = graph::path(12);
-  rng::Stream astream(5);
+  auto astream = stream("algo");
   const auto res = baswana_sen(g, 3, astream);
   EXPECT_EQ(res.spanner_edges.size(), g.num_edges());
 }
 
-TEST(BaswanaSen, DeterministicGivenStream) {
-  rng::Stream gstream(21);
+TEST_F(BaswanaSenTest, DeterministicGivenStream) {
+  auto gstream = graphs();
   const auto g = graph::random_connected_gnp(25, 0.3, 6, gstream);
-  rng::Stream a1(99), a2(99);
+  auto a1 = stream("algo"), a2 = stream("algo");
   const auto r1 = baswana_sen(g, 3, a1);
   const auto r2 = baswana_sen(g, 3, a2);
   EXPECT_EQ(r1.spanner_edges, r2.spanner_edges);

@@ -6,32 +6,25 @@
 
 #include "graph/generators.h"
 #include "spanner/baswana_sen.h"
+#include "support/fixtures.h"
 
 namespace bcclap::spanner {
 namespace {
 
-bcc::Network make_net(const graph::Graph& g) {
-  return bcc::Network(bcc::Model::kBroadcastCongest, g,
-                      bcc::Network::default_bandwidth(g.num_vertices()));
-}
-
-std::vector<double> graph_weights(const graph::Graph& g) {
-  std::vector<double> w(g.num_edges());
-  for (std::size_t e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).weight;
-  return w;
-}
+using testsupport::bc_net;
+using testsupport::edge_weights;
 
 TEST(Bundle, EdgesAreDisjointlyDecided) {
   rng::Stream gstream(1);
   const auto g = graph::random_connected_gnp(30, 0.4, 5, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(2), edges(3);
   const ExistenceOracle oracle = [&](graph::EdgeId) {
     return edges.bernoulli(0.6);
   };
   const auto res =
       bundle_spanner(g, std::vector<bool>(g.num_edges(), true),
-                     graph_weights(g), 2, 3, oracle, marks, net);
+                     edge_weights(g), 2, 3, oracle, marks, net);
   std::set<graph::EdgeId> b(res.bundle_edges.begin(), res.bundle_edges.end());
   std::set<graph::EdgeId> c(res.deleted_edges.begin(),
                             res.deleted_edges.end());
@@ -45,12 +38,12 @@ TEST(Bundle, TSpannersWithP1CoverGraphLevels) {
   // (Definition 2.2's t-bundle). Check the first level is a spanner of G.
   rng::Stream gstream(11);
   const auto g = graph::complete(24, 3, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(12);
   const ExistenceOracle always = [](graph::EdgeId) { return true; };
   const auto res =
       bundle_spanner(g, std::vector<bool>(g.num_edges(), true),
-                     graph_weights(g), 3, 2, always, marks, net);
+                     edge_weights(g), 3, 2, always, marks, net);
   EXPECT_TRUE(res.deleted_edges.empty());
   EXPECT_TRUE(verify_stretch(g, res.bundle_edges, 5.0));
 }
@@ -61,11 +54,11 @@ TEST(Bundle, LargerTGivesMoreEdges) {
   const ExistenceOracle always = [](graph::EdgeId) { return true; };
   std::size_t prev = 0;
   for (std::size_t t : {1u, 2u, 4u}) {
-    auto net = make_net(g);
+    auto net = bc_net(g);
     rng::Stream marks(22);
     const auto res =
         bundle_spanner(g, std::vector<bool>(g.num_edges(), true),
-                       graph_weights(g), 3, t, always, marks, net);
+                       edge_weights(g), 3, t, always, marks, net);
     EXPECT_GE(res.bundle_edges.size(), prev);
     prev = res.bundle_edges.size();
   }
@@ -74,12 +67,12 @@ TEST(Bundle, LargerTGivesMoreEdges) {
 TEST(Bundle, ExhaustsSmallGraphs) {
   // With enough spanners and p == 1, a small graph is fully consumed.
   const auto g = graph::cycle(8);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(31);
   const ExistenceOracle always = [](graph::EdgeId) { return true; };
   const auto res =
       bundle_spanner(g, std::vector<bool>(g.num_edges(), true),
-                     graph_weights(g), 2, 10, always, marks, net);
+                     edge_weights(g), 2, 10, always, marks, net);
   EXPECT_EQ(res.bundle_edges.size(), g.num_edges());
 }
 
@@ -87,14 +80,14 @@ TEST(Bundle, RoundsAccumulateAcrossSpanners) {
   rng::Stream gstream(41);
   const auto g = graph::random_connected_gnp(20, 0.4, 3, gstream);
   const ExistenceOracle always = [](graph::EdgeId) { return true; };
-  auto net1 = make_net(g);
+  auto net1 = bc_net(g);
   rng::Stream m1(42);
   const auto r1 = bundle_spanner(g, std::vector<bool>(g.num_edges(), true),
-                                 graph_weights(g), 2, 1, always, m1, net1);
-  auto net2 = make_net(g);
+                                 edge_weights(g), 2, 1, always, m1, net1);
+  auto net2 = bc_net(g);
   rng::Stream m2(42);
   const auto r2 = bundle_spanner(g, std::vector<bool>(g.num_edges(), true),
-                                 graph_weights(g), 2, 4, always, m2, net2);
+                                 edge_weights(g), 2, 4, always, m2, net2);
   EXPECT_GT(r2.rounds, r1.rounds);
 }
 

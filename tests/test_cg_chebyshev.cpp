@@ -9,6 +9,7 @@
 #include "linalg/chebyshev.h"
 #include "linalg/cholesky.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::linalg {
 namespace {
@@ -41,9 +42,9 @@ TEST(Cg, PreconditionedConvergesFaster) {
   rng::Stream stream(5);
   const std::size_t n = 50;
   Vec d(n);
-  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 + 999.0 * i / (n - 1);
-  Vec b(n);
-  for (auto& v : b) v = stream.next_gaussian();
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] = 1.0 + 999.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+  const auto b = testsupport::gaussian_vector(n, stream);
   const auto plain = conjugate_gradient(diag_op(d), b, 1e-10, 1000);
   LinearOperator precond = diag_op(cw_inv(d));  // perfect preconditioner
   const auto pre = conjugate_gradient(diag_op(d), b, 1e-10, 1000, &precond);
@@ -68,9 +69,7 @@ TEST(Chebyshev, Kappa3LaplacianPair) {
   const auto lap = graph::laplacian(g);
   const auto factor = LaplacianFactor::factor(lap);
   ASSERT_TRUE(factor);
-  Vec b(24);
-  for (auto& v : b) v = stream.next_gaussian();
-  remove_mean(b);
+  const auto b = testsupport::zero_sum_gaussian(24, stream);
   const auto apply_a = [&](const Vec& x) { return lap.multiply(x); };
   const auto solve_b = [&](const Vec& r) {
     return scale(factor->solve(r), 2.0 / 3.0);

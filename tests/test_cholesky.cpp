@@ -6,18 +6,10 @@
 #include "graph/generators.h"
 #include "graph/laplacian.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::linalg {
 namespace {
-
-DenseMatrix random_spd(std::size_t n, rng::Stream& stream) {
-  DenseMatrix b(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) b(i, j) = stream.next_gaussian();
-  auto a = b.transpose().multiply(b);
-  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
-  return a;
-}
 
 TEST(Ldlt, SolvesKnownSystem) {
   DenseMatrix a(2, 2);
@@ -33,11 +25,10 @@ TEST(Ldlt, SolvesKnownSystem) {
 TEST(Ldlt, RandomSpdResidual) {
   rng::Stream stream(7);
   for (std::size_t n : {3u, 10u, 40u}) {
-    const auto a = random_spd(n, stream);
+    const auto a = testsupport::random_spd(n, stream);
     const auto f = LdltFactor::factor(a);
     ASSERT_TRUE(f);
-    Vec b(n);
-    for (auto& v : b) v = stream.next_gaussian();
+    const auto b = testsupport::gaussian_vector(n, stream);
     const Vec x = f->solve(b);
     const Vec r = sub(a.multiply(x), b);
     EXPECT_LT(norm2(r), 1e-8 * norm2(b));
@@ -78,15 +69,13 @@ TEST(LaplacianFactor, ProjectsRhs) {
 
 TEST(LaplacianFactor, RandomConnectedGraphs) {
   rng::Stream stream(11);
-  for (int trial = 0; trial < 5; ++trial) {
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
     auto child = stream.child(trial);
     const auto g = graph::random_connected_gnp(20, 0.2, 10, child);
     const auto lap = graph::laplacian(g);
     const auto f = LaplacianFactor::factor(lap);
     ASSERT_TRUE(f);
-    Vec b(20);
-    for (auto& v : b) v = child.next_gaussian();
-    remove_mean(b);
+    const auto b = testsupport::zero_sum_gaussian(20, child);
     const Vec x = f->solve(b);
     const Vec r = sub(lap.multiply(x), b);
     EXPECT_LT(norm2(r), 1e-8);

@@ -1,5 +1,8 @@
 #include "common/encoding.h"
 
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace bcclap::enc {
@@ -40,6 +43,40 @@ TEST(Encoding, RoundsForBits) {
   EXPECT_EQ(rounds_for_bits(16, 16), 1);
   EXPECT_EQ(rounds_for_bits(17, 16), 2);
   EXPECT_EQ(rounds_for_bits(10, 0), 10);  // degenerate bandwidth clamps to 1
+}
+
+TEST(Encoding, MaxWidthEncodings) {
+  EXPECT_EQ(bit_width_u64(std::numeric_limits<std::uint64_t>::max()), 64);
+  EXPECT_EQ(bit_width_u64(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(bit_width_u64((std::uint64_t{1} << 63) - 1), 63);
+  // Signed widths: sign bit + magnitude; INT64_MIN's magnitude is 2^63.
+  EXPECT_EQ(bit_width_i64(std::numeric_limits<std::int64_t>::max()), 64);
+  EXPECT_EQ(bit_width_i64(std::numeric_limits<std::int64_t>::min()), 65);
+}
+
+TEST(Encoding, IdBitsAtExtremes) {
+  EXPECT_EQ(id_bits(0), 1);  // degenerate: no ids, still 1 bit
+  const auto big = std::size_t{1} << 40;
+  EXPECT_EQ(id_bits(big), 40);
+  EXPECT_EQ(id_bits(big + 1), 41);
+}
+
+TEST(Encoding, RealBitsClampsDegeneratePrecision) {
+  // eps outside (0, 1] is clamped, so widths stay finite and positive.
+  EXPECT_GT(real_bits(1.0, 0.0), 0);
+  EXPECT_LE(real_bits(1.0, 0.0), real_bits(1.0, 1e-30) + 1);
+  EXPECT_EQ(real_bits(1.0, 2.0), real_bits(1.0, 1.0));
+  // |max_abs| below 1 behaves as 1 (a value range never costs < 1 int bit).
+  EXPECT_EQ(real_bits(0.25, 1e-3), real_bits(1.0, 1e-3));
+}
+
+TEST(Encoding, EmptyPayloadCostsNoRounds) {
+  // Zero-bit payloads are free at every bandwidth, including degenerate
+  // ones — the invariant behind zero-message supersteps costing 0 rounds.
+  for (std::int64_t bw : {-1, 0, 1, 16, 1024}) {
+    EXPECT_EQ(rounds_for_bits(0, bw), 0) << "bandwidth " << bw;
+    EXPECT_EQ(rounds_for_bits(-5, bw), 0) << "bandwidth " << bw;
+  }
 }
 
 }  // namespace

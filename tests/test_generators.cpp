@@ -4,11 +4,18 @@
 
 #include <cmath>
 
+#include "support/fixtures.h"
+
 namespace bcclap::graph {
 namespace {
 
-TEST(Generators, GnpIsConnectedAndDeterministic) {
-  rng::Stream s1(42), s2(42);
+// Property-based suite: every assertion is a structural invariant of the
+// generator, so the fixture's labelled streams (not magic literals) drive
+// the randomness.
+class GeneratorsTest : public testsupport::SeededTest {};
+
+TEST_F(GeneratorsTest, GnpIsConnectedAndDeterministic) {
+  auto s1 = stream("gnp"), s2 = stream("gnp");
   const auto g1 = random_connected_gnp(30, 0.1, 10, s1);
   const auto g2 = random_connected_gnp(30, 0.1, 10, s2);
   EXPECT_TRUE(g1.is_connected());
@@ -20,15 +27,15 @@ TEST(Generators, GnpIsConnectedAndDeterministic) {
   }
 }
 
-TEST(Generators, GnpDensityScales) {
-  rng::Stream s(7);
+TEST_F(GeneratorsTest, GnpDensityScales) {
+  auto s = stream("density");
   const auto sparse = random_connected_gnp(40, 0.05, 1, s);
   const auto dense = random_connected_gnp(40, 0.5, 1, s);
   EXPECT_LT(sparse.num_edges(), dense.num_edges());
 }
 
-TEST(Generators, GnpWeightsInRange) {
-  rng::Stream s(3);
+TEST_F(GeneratorsTest, GnpWeightsInRange) {
+  auto s = stream("weights");
   const auto g = random_connected_gnp(20, 0.3, 7, s);
   for (const auto& e : g.edges()) {
     EXPECT_GE(e.weight, 1.0);
@@ -37,25 +44,25 @@ TEST(Generators, GnpWeightsInRange) {
   }
 }
 
-TEST(Generators, RegularishConnectedAndBoundedDegree) {
-  rng::Stream s(11);
+TEST_F(GeneratorsTest, RegularishConnectedAndBoundedDegree) {
+  auto s = stream("regularish");
   const auto g = random_regularish(50, 4, 5, s);
   EXPECT_TRUE(g.is_connected());
   EXPECT_LE(g.max_degree(), 2 * 4 + 2u);  // d permutations + backbone
 }
 
-TEST(Generators, GridShape) {
-  rng::Stream s(1);
+TEST_F(GeneratorsTest, GridShape) {
+  auto s = stream("grid");
   const auto g = grid(4, 5, 1, s);
   EXPECT_EQ(g.num_vertices(), 20u);
   EXPECT_EQ(g.num_edges(), 4u * 4 + 3u * 5);  // horizontal + vertical
   EXPECT_TRUE(g.is_connected());
 }
 
-TEST(Generators, PathCycleComplete) {
+TEST_F(GeneratorsTest, PathCycleComplete) {
   EXPECT_EQ(path(5).num_edges(), 4u);
   EXPECT_EQ(cycle(5).num_edges(), 5u);
-  rng::Stream s(2);
+  auto s = stream("complete");
   EXPECT_EQ(complete(6, 1, s).num_edges(), 15u);
   EXPECT_TRUE(complete(6, 1, s).is_connected());
 }
@@ -67,9 +74,9 @@ TEST(Generators, BarbellStructure) {
   EXPECT_EQ(g.num_edges(), 2u * 10 + 1);
 }
 
-TEST(Generators, FlowNetworkHasStPath) {
-  rng::Stream s(13);
-  for (int trial = 0; trial < 5; ++trial) {
+TEST_F(GeneratorsTest, FlowNetworkHasStPath) {
+  auto s = stream("flow-st");
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
     auto c = s.child(trial);
     const auto g = random_flow_network(12, 20, 8, 5, c);
     // BFS from s over arcs.
@@ -91,8 +98,8 @@ TEST(Generators, FlowNetworkHasStPath) {
   }
 }
 
-TEST(Generators, FlowNetworkBoundsRespected) {
-  rng::Stream s(17);
+TEST_F(GeneratorsTest, FlowNetworkBoundsRespected) {
+  auto s = stream("flow-bounds");
   const auto g = random_flow_network(10, 30, 9, 4, s);
   for (const auto& a : g.arcs()) {
     EXPECT_GE(a.capacity, 1);

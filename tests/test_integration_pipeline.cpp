@@ -9,6 +9,8 @@
 #include "laplacian/solver.h"
 #include "lp/lp_solver.h"
 #include "sparsify/verifier.h"
+#include "support/comparators.h"
+#include "support/fixtures.h"
 
 namespace bcclap {
 namespace {
@@ -16,10 +18,7 @@ namespace {
 TEST(Pipeline, SparsifierFeedsLaplacianSolver) {
   rng::Stream gstream(1);
   const auto g = graph::complete(32, 6, gstream);
-  sparsify::SparsifyOptions opt;
-  opt.epsilon = 0.5;
-  opt.k = 2;
-  opt.t = 4;
+  const auto opt = testsupport::small_sparsify_options(0.5, 2, 4);
   laplacian::SparsifiedLaplacianSolver solver(g, opt, 404);
   // The preconditioner is a genuine sparsifier of G.
   const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
@@ -31,8 +30,7 @@ TEST(Pipeline, SparsifierFeedsLaplacianSolver) {
   b[31] = -1.0;
   const auto y = solver.solve(b, 1e-9);
   const auto x = laplacian::exact_laplacian_solve(g, b);
-  EXPECT_LE(laplacian::laplacian_norm(g, linalg::sub(x, y)),
-            1e-9 * laplacian::laplacian_norm(g, x) + 1e-12);
+  EXPECT_TRUE(testsupport::EnergyNormWithin(g, y, x, 1e-9));
 }
 
 TEST(Pipeline, SparsifiedSddEngineMatchesExact) {
@@ -54,27 +52,20 @@ TEST(Pipeline, SparsifiedSddEngineMatchesExact) {
       if (j != i) s += std::abs(m(i, j));
     m(i, i) = s + 1.0;
   }
-  linalg::Vec y(10);
-  for (auto& v : y) v = stream.next_gaussian();
+  const auto y = testsupport::gaussian_vector(10, stream);
 
   auto exact = laplacian::make_exact_sdd_engine(m, 10);
   auto sparsified = laplacian::make_sparsified_sdd_engine(m, 777);
   const auto xe = exact->solve(y, 1e-10);
   const auto xs = sparsified->solve(y, 1e-10);
-  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(xs[i], xe[i], 1e-6);
+  EXPECT_TRUE(testsupport::VecNear(xe, xs, 1e-6));
   EXPECT_GT(sparsified->rounds_charged(), 0);
 }
 
 TEST(Pipeline, LpWithSparsifiedGramFactory) {
   // The full Theorem 1.4 wiring: the IPM's (A^T D A)-solves go through the
   // Gremban + sparsifier + Chebyshev stack instead of dense LDL^T.
-  lp::LpProblem p;
-  p.a = linalg::CsrMatrix(
-      4, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}, {3, 1, 1.0}});
-  p.b = {1.0, 1.0};
-  p.c = {1.0, 3.0, 2.0, 1.0};
-  p.lower = {0.0, 0.0, 0.0, 0.0};
-  p.upper = {1.0, 1.0, 1.0, 1.0};
+  const auto p = testsupport::diamond_lp();
   lp::LpOptions opt;
   opt.epsilon = 1e-4;
   std::uint64_t counter = 0;
@@ -107,10 +98,7 @@ TEST(Pipeline, FlowOnGridLikeNetwork) {
 TEST(Pipeline, RoundAccountingAccumulatesAcrossLayers) {
   rng::Stream gstream(3);
   const auto g = graph::complete(20, 2, gstream);
-  sparsify::SparsifyOptions opt;
-  opt.epsilon = 1.0;
-  opt.k = 2;
-  opt.t = 2;
+  const auto opt = testsupport::small_sparsify_options(1.0, 2, 2);
   laplacian::SparsifiedLaplacianSolver solver(g, opt, 55);
   const auto pre = solver.preprocessing_rounds();
   EXPECT_GT(pre, 0);

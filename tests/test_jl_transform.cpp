@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::linalg {
 namespace {
@@ -20,8 +21,7 @@ TEST_P(JlNormPreservation, KaneNelsonPreservesNorms) {
   int good = 0;
   const int trials = 50;
   for (int t = 0; t < trials; ++t) {
-    Vec x(m);
-    for (auto& v : x) v = stream.next_gaussian();
+    const auto x = testsupport::gaussian_vector(m, stream);
     const double nx = norm2(x);
     const double nq = norm2(q.apply(x));
     if (nq >= 0.5 * nx && nq <= 1.5 * nx) ++good;
@@ -42,8 +42,7 @@ TEST(JlTransform, KaneNelsonDeterministicInSeed) {
 TEST(JlTransform, KaneNelsonRowsMatchApply) {
   const KaneNelsonSketch q(12, 30, 3, 5);
   rng::Stream stream(3);
-  Vec x(30);
-  for (auto& v : x) v = stream.next_gaussian();
+  const auto x = testsupport::gaussian_vector(30, stream);
   const Vec qx = q.apply(x);
   for (std::size_t j = 0; j < q.sketch_dim(); ++j) {
     EXPECT_NEAR(dot(q.row(j), x), qx[j], 1e-12);
@@ -53,9 +52,8 @@ TEST(JlTransform, KaneNelsonRowsMatchApply) {
 TEST(JlTransform, KaneNelsonTransposeAdjoint) {
   const KaneNelsonSketch q(10, 25, 2, 11);
   rng::Stream stream(4);
-  Vec x(25), y(q.sketch_dim());
-  for (auto& v : x) v = stream.next_gaussian();
-  for (auto& v : y) v = stream.next_gaussian();
+  const auto x = testsupport::gaussian_vector(25, stream);
+  const auto y = testsupport::gaussian_vector(q.sketch_dim(), stream);
   // <Qx, y> == <x, Q^T y>
   EXPECT_NEAR(dot(q.apply(x), y), dot(x, q.apply_transpose(y)), 1e-10);
 }
@@ -88,8 +86,7 @@ TEST(JlTransform, RademacherPreservesNorms) {
   int good = 0;
   const int trials = 50;
   for (int t = 0; t < trials; ++t) {
-    Vec x(m);
-    for (auto& v : x) v = stream.next_gaussian();
+    const auto x = testsupport::gaussian_vector(m, stream);
     const double r = norm2(q.apply(x)) / norm2(x);
     if (r >= 0.5 && r <= 1.5) ++good;
   }
@@ -99,9 +96,8 @@ TEST(JlTransform, RademacherPreservesNorms) {
 TEST(JlTransform, RademacherAdjoint) {
   const RademacherSketch q(8, 20, 31);
   rng::Stream stream(6);
-  Vec x(20), y(8);
-  for (auto& v : x) v = stream.next_gaussian();
-  for (auto& v : y) v = stream.next_gaussian();
+  const auto x = testsupport::gaussian_vector(20, stream);
+  const auto y = testsupport::gaussian_vector(8, stream);
   EXPECT_NEAR(dot(q.apply(x), y), dot(x, q.apply_transpose(y)), 1e-10);
 }
 

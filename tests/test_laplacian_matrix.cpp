@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::graph {
 namespace {
@@ -52,8 +53,7 @@ TEST(LaplacianMatrix, ApplyMatchesCsr) {
   rng::Stream s(3);
   const auto g = random_connected_gnp(20, 0.25, 7, s);
   const auto l = laplacian(g);
-  linalg::Vec x(20);
-  for (auto& v : x) v = s.next_gaussian();
+  const auto x = testsupport::gaussian_vector(20, s);
   const auto a = apply_laplacian(g, x);
   const auto b = l.multiply(x);
   for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
@@ -63,8 +63,7 @@ TEST(LaplacianMatrix, QuadraticFormIsEdgeSum) {
   // x' L x = sum_e w_e (x_u - x_v)^2 >= 0.
   rng::Stream s(4);
   const auto g = random_connected_gnp(10, 0.5, 3, s);
-  linalg::Vec x(10);
-  for (auto& v : x) v = s.next_gaussian();
+  const auto x = testsupport::gaussian_vector(10, s);
   double expected = 0.0;
   for (const auto& e : g.edges()) {
     const double d = x[e.u] - x[e.v];

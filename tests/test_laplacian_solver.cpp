@@ -4,16 +4,14 @@
 
 #include "graph/generators.h"
 #include "linalg/vector_ops.h"
+#include "support/comparators.h"
+#include "support/fixtures.h"
 
 namespace bcclap::laplacian {
 namespace {
 
 sparsify::SparsifyOptions solver_opts() {
-  sparsify::SparsifyOptions opt;
-  opt.epsilon = 0.5;
-  opt.k = 2;
-  opt.t = 4;
-  return opt;
+  return testsupport::small_sparsify_options(0.5, 2, 4);
 }
 
 class LaplacianSolverEps : public ::testing::TestWithParam<double> {};
@@ -25,16 +23,12 @@ TEST_P(LaplacianSolverEps, MeetsEnergyNormError) {
   SparsifiedLaplacianSolver solver(g, solver_opts(), 1234);
 
   rng::Stream bstream(18);
-  linalg::Vec b(g.num_vertices());
-  for (auto& v : b) v = bstream.next_gaussian();
-  linalg::remove_mean(b);
+  const auto b = testsupport::zero_sum_gaussian(g.num_vertices(), bstream);
 
   SolveStats stats;
   const auto y = solver.solve(b, eps, &stats);
   const auto x = exact_laplacian_solve(g, b);
-  const auto diff = linalg::sub(x, y);
-  EXPECT_LE(laplacian_norm(g, diff), eps * laplacian_norm(g, x) + 1e-12)
-      << "eps = " << eps;
+  EXPECT_TRUE(testsupport::EnergyNormWithin(g, y, x, eps)) << "eps = " << eps;
   EXPECT_GT(stats.iterations, 0u);
 }
 
@@ -89,13 +83,10 @@ TEST(LaplacianSolver, WorksOnSparseGraphs) {
   const auto g = graph::random_connected_gnp(30, 0.15, 4, gstream);
   SparsifiedLaplacianSolver solver(g, solver_opts(), 101);
   rng::Stream bstream(32);
-  linalg::Vec b(g.num_vertices());
-  for (auto& v : b) v = bstream.next_gaussian();
-  linalg::remove_mean(b);
+  const auto b = testsupport::zero_sum_gaussian(g.num_vertices(), bstream);
   const auto y = solver.solve(b, 1e-8);
   const auto x = exact_laplacian_solve(g, b);
-  EXPECT_LE(laplacian_norm(g, linalg::sub(x, y)),
-            1e-8 * laplacian_norm(g, x) + 1e-12);
+  EXPECT_TRUE(testsupport::EnergyNormWithin(g, y, x, 1e-8));
 }
 
 TEST(LaplacianSolver, NonZeroMeanRhsIsProjected) {

@@ -5,21 +5,14 @@
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "graph/laplacian.h"
+#include "support/fixtures.h"
 
 namespace bcclap::lp {
 namespace {
 
-linalg::DenseMatrix random_tall(std::size_t m, std::size_t n,
-                                rng::Stream& stream) {
-  linalg::DenseMatrix a(m, n);
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) a(i, j) = stream.next_gaussian();
-  return a;
-}
-
 TEST(LeverageScores, SumEqualsRank) {
   rng::Stream stream(1);
-  const auto a = random_tall(40, 7, stream);
+  const auto a = testsupport::gaussian_matrix(40, 7, stream);
   const auto sigma = leverage_scores_exact(a);
   double sum = 0.0;
   for (double s : sigma) {
@@ -68,7 +61,7 @@ class JlLeverage : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(JlLeverage, ApproximatesExactScores) {
   rng::Stream stream(GetParam());
-  const auto a = random_tall(80, 6, stream);
+  const auto a = testsupport::gaussian_matrix(80, 6, stream);
   const auto exact = leverage_scores_exact(a);
   LeverageOptions opt;
   opt.eta = 0.5;
@@ -88,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, JlLeverage, ::testing::Values(1, 2, 3, 4));
 
 TEST(LeverageScores, JlChargesSeedBroadcastRounds) {
   rng::Stream stream(9);
-  const auto a = random_tall(30, 4, stream);
+  const auto a = testsupport::gaussian_matrix(30, 4, stream);
   bcc::RoundAccountant acct;
   LeverageOptions opt;
   opt.eta = 0.9;
@@ -100,7 +93,7 @@ TEST(LeverageScores, JlChargesSeedBroadcastRounds) {
 
 TEST(LeverageScores, JlDeterministicInSeed) {
   rng::Stream stream(10);
-  const auto a = random_tall(25, 3, stream);
+  const auto a = testsupport::gaussian_matrix(25, 3, stream);
   LeverageOptions opt;
   opt.seed = 77;
   const auto o = dense_oracle(a);

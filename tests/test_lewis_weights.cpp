@@ -3,21 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "support/fixtures.h"
 
 namespace bcclap::lp {
 namespace {
 
-linalg::DenseMatrix random_tall(std::size_t m, std::size_t n,
-                                rng::Stream& stream) {
-  linalg::DenseMatrix a(m, n);
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) a(i, j) = stream.next_gaussian();
-  return a;
-}
-
 TEST(LewisWeights, PEquals2IsLeverageScores) {
   rng::Stream stream(1);
-  const auto a = random_tall(30, 5, stream);
+  const auto a = testsupport::gaussian_matrix(30, 5, stream);
   const auto sigma = leverage_scores_exact(a);
   const auto w = lewis_fixed_point(a, 2.0, 60);
   for (std::size_t i = 0; i < w.size(); ++i) {
@@ -27,7 +20,7 @@ TEST(LewisWeights, PEquals2IsLeverageScores) {
 
 TEST(LewisWeights, FixedPointResidualSmall) {
   rng::Stream stream(2);
-  const auto a = random_tall(40, 6, stream);
+  const auto a = testsupport::gaussian_matrix(40, 6, stream);
   const double p = lewis_p_for(40);
   const auto w = lewis_fixed_point(a, p, 200);
   // Check w ~ sigma(W^{1/2-1/p} A).
@@ -40,7 +33,7 @@ TEST(LewisWeights, FixedPointResidualSmall) {
 TEST(LewisWeights, SumScalesWithRank) {
   // sum of ell_p Lewis weights = n for p = 2; stays Theta(n) nearby.
   rng::Stream stream(3);
-  const auto a = random_tall(50, 8, stream);
+  const auto a = testsupport::gaussian_matrix(50, 8, stream);
   const auto w = lewis_fixed_point(a, lewis_p_for(50), 150);
   double sum = 0.0;
   for (double v : w) sum += v;
@@ -50,7 +43,7 @@ TEST(LewisWeights, SumScalesWithRank) {
 
 TEST(LewisWeights, ApxWeightsRefinesWarmStart) {
   rng::Stream stream(4);
-  const auto a = random_tall(36, 5, stream);
+  const auto a = testsupport::gaussian_matrix(36, 5, stream);
   const double p = lewis_p_for(36);
   const auto truth = lewis_fixed_point(a, p, 200);
   // Perturb the truth and refine.
@@ -70,7 +63,7 @@ TEST(LewisWeights, ApxWeightsRefinesWarmStart) {
 
 TEST(LewisWeights, InitialWeightsLandNearFixedPoint) {
   rng::Stream stream(5);
-  const auto a = random_tall(32, 4, stream);
+  const auto a = testsupport::gaussian_matrix(32, 4, stream);
   const double p = lewis_p_for(32);
   LewisOptions opt;
   const auto w = compute_initial_weights(a, p, 0.05, opt);
@@ -80,7 +73,7 @@ TEST(LewisWeights, InitialWeightsLandNearFixedPoint) {
 
 TEST(LewisWeights, RowScaledShapes) {
   rng::Stream stream(6);
-  const auto a = random_tall(10, 3, stream);
+  const auto a = testsupport::gaussian_matrix(10, 3, stream);
   const linalg::Vec w(10, 4.0);
   // p = 2: exponent 0 -> unchanged.
   const auto s2 = row_scaled(a, w, 2.0);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "support/fixtures.h"
 
 namespace bcclap::lp {
 namespace {
@@ -75,13 +76,7 @@ TEST(LpSolver, BoxConstrainedKnownOptimum) {
 TEST(LpSolver, MultiConstraintDiamond) {
   // Variables x in R^4 with A^T x = b enforcing two sums:
   //   x1 + x2 = 1, x3 + x4 = 1, minimize x1 + 3x2 + 2x3 + x4 -> (1,0,0,1).
-  LpProblem p;
-  p.a = linalg::CsrMatrix(
-      4, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}, {3, 1, 1.0}});
-  p.b = {1.0, 1.0};
-  p.c = {1.0, 3.0, 2.0, 1.0};
-  p.lower = {0.0, 0.0, 0.0, 0.0};
-  p.upper = {1.0, 1.0, 1.0, 1.0};
+  const auto p = testsupport::diamond_lp();
   LpOptions opt;
   opt.epsilon = 1e-6;
   const auto res = lp_solve(p, {0.5, 0.5, 0.5, 0.5}, opt);

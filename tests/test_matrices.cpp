@@ -3,6 +3,7 @@
 #include "common/rng.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
+#include "support/fixtures.h"
 
 namespace bcclap::linalg {
 namespace {
@@ -61,9 +62,8 @@ TEST(CsrMatrix, MatvecMatchesDense) {
   }
   const CsrMatrix sparse(rows, cols, trips);
   const auto dense = sparse.to_dense();
-  Vec x(cols), y(rows);
-  for (auto& v : x) v = stream.next_gaussian();
-  for (auto& v : y) v = stream.next_gaussian();
+  const auto x = testsupport::gaussian_vector(cols, stream);
+  const auto y = testsupport::gaussian_vector(rows, stream);
   const auto s1 = sparse.multiply(x);
   const auto d1 = dense.multiply(x);
   for (std::size_t i = 0; i < rows; ++i) EXPECT_NEAR(s1[i], d1[i], 1e-12);

@@ -7,6 +7,8 @@
 #include "flow/mcmf_lp.h"
 #include "flow/ssp.h"
 #include "graph/generators.h"
+#include "support/comparators.h"
+#include "support/fixtures.h"
 
 namespace bcclap::flow {
 namespace {
@@ -90,9 +92,7 @@ TEST(McmfLpFormulation, InteriorPointIsStrictlyFeasible) {
   }
   // A^T x0 = b (= 0 for the combined formulation).
   const auto ax = lp.problem.a.multiply_transpose(lp.interior_point);
-  for (std::size_t v = 0; v < ax.size(); ++v) {
-    EXPECT_NEAR(ax[v], lp.problem.b[v], 1e-9);
-  }
+  EXPECT_TRUE(testsupport::VecNear(ax, lp.problem.b, 1e-9));
 }
 
 TEST(McmfLpFormulation, PerturbationPreservesOrder) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "support/fixtures.h"
 
 namespace bcclap::bcc {
 namespace {
@@ -34,8 +35,7 @@ TEST(RoundAccountant, ChargesAndBreaksDown) {
 }
 
 TEST(Network, BccDeliversToEveryone) {
-  Network net(Model::kBroadcastCongestedClique, std::size_t{4},
-              Network::default_bandwidth(4));
+  auto net = testsupport::bcc_net(4);
   std::vector<std::vector<Message>> out(4);
   out[1].push_back(Message().push_flag(true));
   const auto in = net.exchange(out, "step");
@@ -51,7 +51,7 @@ TEST(Network, BcDeliversAlongEdgesOnly) {
   graph::Graph g(4);
   g.add_edge(0, 1, 1.0);
   g.add_edge(1, 2, 1.0);
-  Network net(Model::kBroadcastCongest, g, Network::default_bandwidth(4));
+  auto net = testsupport::bc_net(g);
   std::vector<std::vector<Message>> out(4);
   out[1].push_back(Message().push_flag(false));
   const auto in = net.exchange(out, "step");

@@ -7,14 +7,12 @@
 #include "graph/generators.h"
 #include "spanner/baswana_sen.h"
 #include "spanner/cluster.h"
+#include "support/fixtures.h"
 
 namespace bcclap::spanner {
 namespace {
 
-bcc::Network make_net(const graph::Graph& g) {
-  return bcc::Network(bcc::Model::kBroadcastCongest, g,
-                      bcc::Network::default_bandwidth(g.num_vertices()));
-}
+using testsupport::bc_net;
 
 struct Case {
   std::size_t n;
@@ -31,7 +29,7 @@ TEST_P(ProbSpanner, OutputIsSpannerOfSurvivingGraph) {
   const Case c = GetParam();
   rng::Stream gstream(c.seed);
   const auto g = graph::random_connected_gnp(c.n, c.gp, c.w, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
 
   rng::Stream edges(c.seed ^ 0x1111);
   rng::Stream marks(c.seed ^ 0x2222);
@@ -88,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ProbSpanner, ProbabilityOneNeverDeletes) {
   rng::Stream gstream(31);
   const auto g = graph::random_connected_gnp(25, 0.3, 5, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(32);
   ProbabilisticSpannerOptions opt;
   opt.k = 3;
@@ -102,7 +100,7 @@ TEST(ProbSpanner, ProbabilityOneNeverDeletes) {
 TEST(ProbSpanner, ProbabilityZeroAddsNothing) {
   rng::Stream gstream(41);
   const auto g = graph::random_connected_gnp(20, 0.3, 3, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(42);
   ProbabilisticSpannerOptions opt;
   opt.k = 2;
@@ -115,7 +113,7 @@ TEST(ProbSpanner, ProbabilityZeroAddsNothing) {
 TEST(ProbSpanner, RespectsAvailabilityMask) {
   rng::Stream gstream(51);
   const auto g = graph::random_connected_gnp(20, 0.4, 3, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(52);
   ProbabilisticSpannerOptions opt;
   opt.k = 2;
@@ -131,7 +129,7 @@ TEST(ProbSpanner, RespectsAvailabilityMask) {
 TEST(ProbSpanner, OracleCalledAtMostOncePerEdge) {
   rng::Stream gstream(61);
   const auto g = graph::random_connected_gnp(24, 0.4, 4, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(62);
   rng::Stream edges(63);
   std::vector<int> calls(g.num_edges(), 0);
@@ -148,7 +146,7 @@ TEST(ProbSpanner, OracleCalledAtMostOncePerEdge) {
 TEST(ProbSpanner, OrientationCoversAllSpannerEdges) {
   rng::Stream gstream(71);
   const auto g = graph::random_connected_gnp(30, 0.3, 2, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   rng::Stream marks(72);
   ProbabilisticSpannerOptions opt;
   opt.k = 3;
@@ -176,10 +174,10 @@ TEST(ProbSpanner, RoundsScaleWithWeightBits) {
   const ExistenceOracle always = [](graph::EdgeId) { return true; };
   ProbabilisticSpannerOptions opt;
   opt.k = 3;
-  auto net1 = make_net(g1);
+  auto net1 = bc_net(g1);
   rng::Stream marks1(82);
   const auto r1 = spanner_with_probabilistic_edges(g1, opt, always, marks1, net1);
-  auto net2 = make_net(g2);
+  auto net2 = bc_net(g2);
   rng::Stream marks2(82);
   const auto r2 = spanner_with_probabilistic_edges(g2, opt, always, marks2, net2);
   EXPECT_GT(r2.rounds, r1.rounds);

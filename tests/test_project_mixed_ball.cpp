@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::lp {
 namespace {
@@ -19,8 +20,8 @@ class MixedBall : public ::testing::TestWithParam<Case> {};
 TEST_P(MixedBall, FastMatchesReferenceAndIsFeasible) {
   const Case c = GetParam();
   rng::Stream stream(c.seed);
-  linalg::Vec a(c.m), l(c.m);
-  for (auto& v : a) v = stream.next_gaussian();
+  const auto a = testsupport::gaussian_vector(c.m, stream);
+  linalg::Vec l(c.m);
   for (auto& v : l) v = c.l_scale * (0.1 + stream.next_double());
 
   const auto fast = project_mixed_ball(a, l);
@@ -57,8 +58,7 @@ TEST(MixedBall, SingleCoordinate) {
 TEST(MixedBall, HugeLReducesToEuclideanBall) {
   // l -> inf: constraint is just ||x||_2 <= 1; optimum = ||a||_2.
   rng::Stream stream(11);
-  linalg::Vec a(15);
-  for (auto& v : a) v = stream.next_gaussian();
+  const auto a = testsupport::gaussian_vector(15, stream);
   const linalg::Vec l(15, 1e9);
   const auto res = project_mixed_ball(a, l);
   EXPECT_NEAR(res.value, linalg::norm2(a), 1e-4 * linalg::norm2(a));
@@ -69,8 +69,7 @@ TEST(MixedBall, TinyLForcesInfinityBudget) {
   // l -> 0: the infinity term dominates unless t ~ its share; the optimum
   // is far below the Euclidean bound.
   rng::Stream stream(12);
-  linalg::Vec a(15);
-  for (auto& v : a) v = stream.next_gaussian();
+  const auto a = testsupport::gaussian_vector(15, stream);
   const linalg::Vec l(15, 1e-4);
   const auto res = project_mixed_ball(a, l);
   EXPECT_LT(res.value, 0.01 * linalg::norm2(a));
@@ -101,8 +100,8 @@ TEST(MixedBall, TiesInRatioAreFine) {
 
 TEST(MixedBall, ProbeCountIsLogarithmic) {
   rng::Stream stream(13);
-  linalg::Vec a(200), l(200);
-  for (auto& v : a) v = stream.next_gaussian();
+  const auto a = testsupport::gaussian_vector(200, stream);
+  linalg::Vec l(200);
   for (auto& v : l) v = 0.1 + stream.next_double();
   const auto res = project_mixed_ball(a, l, 1e-12);
   // Ternary search: ~2 * log_{3/2}(1/tol) ~ 140 probes, not O(m).
@@ -112,8 +111,8 @@ TEST(MixedBall, ProbeCountIsLogarithmic) {
 
 TEST(MixedBall, ChargesRounds) {
   rng::Stream stream(14);
-  linalg::Vec a(30), l(30, 1.0);
-  for (auto& v : a) v = stream.next_gaussian();
+  const auto a = testsupport::gaussian_vector(30, stream);
+  const linalg::Vec l(30, 1.0);
   bcc::RoundAccountant acct;
   (void)project_mixed_ball(a, l, 1e-10, &acct);
   EXPECT_GT(acct.total_for("mixed-ball/probe"), 0);

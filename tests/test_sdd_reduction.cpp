@@ -6,6 +6,7 @@
 #include "graph/laplacian.h"
 #include "linalg/cholesky.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::laplacian {
 namespace {
@@ -40,8 +41,7 @@ TEST(SddReduction, VirtualGraphIsLaplacianOfM) {
   ASSERT_TRUE(red.valid);
   EXPECT_EQ(red.virtual_graph.num_vertices(), 12u);
   // L [x; -x] = [M x; -M x] for any x.
-  linalg::Vec x(6);
-  for (auto& v : x) v = stream.next_gaussian();
+  const auto x = testsupport::gaussian_vector(6, stream);
   const auto lifted = graph::apply_laplacian(red.virtual_graph, lift_rhs(x));
   const auto mx = m.multiply(x);
   for (std::size_t i = 0; i < 6; ++i) {
@@ -52,7 +52,7 @@ TEST(SddReduction, VirtualGraphIsLaplacianOfM) {
 
 TEST(SddReduction, SolveRoundTripNegativeOffdiag) {
   rng::Stream stream(2);
-  for (int trial = 0; trial < 5; ++trial) {
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
     auto child = stream.child(trial);
     const auto m = random_sdd(8, false, child);
     const auto red = gremban_reduce(m);
@@ -60,8 +60,7 @@ TEST(SddReduction, SolveRoundTripNegativeOffdiag) {
     const auto factor =
         linalg::LaplacianFactor::factor(graph::laplacian(red.virtual_graph));
     ASSERT_TRUE(factor);
-    linalg::Vec y(8);
-    for (auto& v : y) v = child.next_gaussian();
+    const auto y = testsupport::gaussian_vector(8, child);
     const auto x = project_solution(factor->solve(lift_rhs(y)));
     const auto r = linalg::sub(m.multiply(x), y);
     EXPECT_LT(linalg::norm2(r), 1e-7 * (linalg::norm2(y) + 1.0));
@@ -77,8 +76,7 @@ TEST(SddReduction, SolveRoundTripMixedSigns) {
   const auto factor =
       linalg::LaplacianFactor::factor(graph::laplacian(red.virtual_graph));
   ASSERT_TRUE(factor);
-  linalg::Vec y(10);
-  for (auto& v : y) v = stream.next_gaussian();
+  const auto y = testsupport::gaussian_vector(10, stream);
   const auto x = project_solution(factor->solve(lift_rhs(y)));
   const auto r = linalg::sub(m.multiply(x), y);
   EXPECT_LT(linalg::norm2(r), 1e-7 * (linalg::norm2(y) + 1.0));

@@ -8,6 +8,7 @@
 #include "graph/generators.h"
 #include "spanner/baswana_sen.h"
 #include "spanner/probabilistic_spanner.h"
+#include "support/fixtures.h"
 
 namespace bcclap::spanner {
 namespace {
@@ -44,8 +45,7 @@ TEST_P(SpannerFamilies, InvariantsHold) {
   const Case c = GetParam();
   rng::Stream gstream(c.seed);
   const auto g = make_graph(c.family, c.n, gstream);
-  bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                   bcc::Network::default_bandwidth(g.num_vertices()));
+  auto net = testsupport::bc_net(g);
   rng::Stream marks(c.seed ^ 0xa5a5);
   rng::Stream coins(c.seed ^ 0x5a5a);
   ProbabilisticSpannerOptions opt;
@@ -95,8 +95,7 @@ TEST(SpannerFamilies, CycleWithProbabilityOneKeepsConnectivityWitness) {
   // k = 2 (stretch 3) may drop long-detour edges only when the detour is
   // within stretch. For a triangle, any two edges suffice.
   const auto g = graph::cycle(3);
-  bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                   bcc::Network::default_bandwidth(3));
+  auto net = testsupport::bc_net(g);
   rng::Stream marks(1);
   ProbabilisticSpannerOptions opt;
   opt.k = 2;

@@ -5,27 +5,21 @@
 #include "graph/generators.h"
 #include "sparsify/verifier.h"
 #include "spanner/cluster.h"
+#include "support/comparators.h"
+#include "support/fixtures.h"
 
 namespace bcclap::sparsify {
 namespace {
 
-bcc::Network make_net(const graph::Graph& g) {
-  return bcc::Network(bcc::Model::kBroadcastCongest, g,
-                      bcc::Network::default_bandwidth(g.num_vertices()));
-}
+using testsupport::bc_net;
 
-SparsifyOptions test_options() {
-  SparsifyOptions opt;
-  opt.epsilon = 1.0;
-  opt.k = 2;
-  opt.t = 3;  // bench-scale bundle size (DESIGN.md section 6)
-  return opt;
-}
+// Bench-scale options (DESIGN.md section 6).
+SparsifyOptions test_options() { return testsupport::small_sparsify_options(); }
 
 TEST(Sparsifier, OutputIsSubsetReweighted) {
   rng::Stream gstream(1);
   const auto g = graph::complete(30, 4, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   const auto res = spectral_sparsify(g, test_options(), 99, net);
   EXPECT_TRUE(res.deduction_consistent);
   EXPECT_LE(res.sparsifier.num_edges(), g.num_edges());
@@ -46,8 +40,8 @@ TEST(Sparsifier, OutputIsSubsetReweighted) {
 TEST(Sparsifier, DeterministicInSeed) {
   rng::Stream gstream(2);
   const auto g = graph::complete(24, 3, gstream);
-  auto net1 = make_net(g);
-  auto net2 = make_net(g);
+  auto net1 = bc_net(g);
+  auto net2 = bc_net(g);
   const auto r1 = spectral_sparsify(g, test_options(), 7, net1);
   const auto r2 = spectral_sparsify(g, test_options(), 7, net2);
   EXPECT_EQ(r1.original_edge, r2.original_edge);
@@ -57,8 +51,8 @@ TEST(Sparsifier, DeterministicInSeed) {
 TEST(Sparsifier, DifferentSeedsGiveDifferentSamples) {
   rng::Stream gstream(3);
   const auto g = graph::complete(24, 3, gstream);
-  auto net1 = make_net(g);
-  auto net2 = make_net(g);
+  auto net1 = bc_net(g);
+  auto net2 = bc_net(g);
   const auto r1 = spectral_sparsify(g, test_options(), 7, net1);
   const auto r2 = spectral_sparsify(g, test_options(), 8, net2);
   EXPECT_NE(r1.original_edge, r2.original_edge);
@@ -72,7 +66,7 @@ TEST(Sparsifier, SparsifiesDenseGraphs) {
   const auto g = graph::complete(64, 2, gstream);
   SparsifyOptions opt = test_options();
   opt.t = 1;
-  auto net = make_net(g);
+  auto net = bc_net(g);
   const auto res = spectral_sparsify(g, opt, 21, net);
   EXPECT_LT(res.sparsifier.num_edges(), (3 * g.num_edges()) / 4);
 }
@@ -82,7 +76,7 @@ TEST(Sparsifier, SpectralQualityOnDenseGraph) {
   const auto g = graph::complete(36, 1, gstream);
   SparsifyOptions opt = test_options();
   opt.t = 6;  // more bundles -> better quality
-  auto net = make_net(g);
+  auto net = bc_net(g);
   const auto res = spectral_sparsify(g, opt, 31, net);
   const auto check = check_sparsifier(g, res.sparsifier);
   ASSERT_TRUE(check.valid);
@@ -95,7 +89,7 @@ TEST(Sparsifier, SpectralQualityOnDenseGraph) {
 TEST(Sparsifier, OrientationMatchesEdges) {
   rng::Stream gstream(6);
   const auto g = graph::complete(20, 2, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   const auto res = spectral_sparsify(g, test_options(), 41, net);
   ASSERT_EQ(res.out_vertex.size(), res.sparsifier.num_edges());
   for (std::size_t i = 0; i < res.out_vertex.size(); ++i) {
@@ -120,10 +114,9 @@ TEST(Sparsifier, ResolveOptionsPaperDefaults) {
 TEST(Sparsifier, ChargesRounds) {
   rng::Stream gstream(8);
   const auto g = graph::complete(20, 3, gstream);
-  auto net = make_net(g);
+  auto net = bc_net(g);
   const auto res = spectral_sparsify(g, test_options(), 51, net);
-  EXPECT_GT(res.rounds, 0);
-  EXPECT_EQ(res.rounds, net.accountant().total());
+  EXPECT_TRUE(testsupport::RoundsConsistent(res.rounds, net));
 }
 
 }  // namespace

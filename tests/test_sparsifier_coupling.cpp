@@ -7,6 +7,7 @@
 
 #include "graph/generators.h"
 #include "sparsify/spectral_sparsify.h"
+#include "support/fixtures.h"
 
 namespace bcclap::sparsify {
 namespace {
@@ -27,13 +28,8 @@ TEST_P(Coupling, AdHocEqualsApriori) {
   const graph::Graph g =
       c.p >= 1.0 ? graph::complete(c.n, c.w, gstream)
                  : graph::random_connected_gnp(c.n, c.p, c.w, gstream);
-  SparsifyOptions opt;
-  opt.epsilon = 1.0;
-  opt.k = 2;
-  opt.t = c.t;
-
-  bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                   bcc::Network::default_bandwidth(g.num_vertices()));
+  const auto opt = testsupport::small_sparsify_options(1.0, 2, c.t);
+  auto net = testsupport::bc_net(g);
   const auto adhoc = spectral_sparsify(g, opt, c.seed ^ 0x5a5a, net);
   const auto apriori = spectral_sparsify_apriori(g, opt, c.seed ^ 0x5a5a);
 
@@ -61,13 +57,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Coupling, ManySeedsOnOneGraph) {
   rng::Stream gstream(77);
   const auto g = graph::complete(14, 3, gstream);
-  SparsifyOptions opt;
-  opt.epsilon = 1.0;
-  opt.k = 2;
-  opt.t = 2;
+  const auto opt = testsupport::small_sparsify_options(1.0, 2, 2);
   for (std::uint64_t seed = 100; seed < 120; ++seed) {
-    bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                     bcc::Network::default_bandwidth(g.num_vertices()));
+    auto net = testsupport::bc_net(g);
     const auto adhoc = spectral_sparsify(g, opt, seed, net);
     const auto apriori = spectral_sparsify_apriori(g, opt, seed);
     ASSERT_EQ(adhoc.original_edge, apriori.original_edge)

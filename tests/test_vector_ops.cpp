@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "support/comparators.h"
 
 namespace bcclap::linalg {
 namespace {
@@ -65,7 +66,7 @@ TEST(VectorOps, MeanRemoval) {
 TEST(VectorOps, LogExpRoundTrip) {
   const Vec a{0.5, 1.0, 7.0};
   const Vec b = cw_exp(cw_log(a));
-  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+  EXPECT_TRUE(testsupport::VecNear(a, b, 1e-12));
 }
 
 TEST(VectorOps, MinMaxEntries) {

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "graph/generators.h"
+#include "support/fixtures.h"
 
 namespace bcclap::sparsify {
 namespace {
@@ -23,8 +24,7 @@ TEST(Verifier, IdenticalGraphIsPerfectSparsifier) {
 TEST(Verifier, UniformlyScaledWeightsShiftEigenvalues) {
   rng::Stream s(2);
   const auto g = graph::random_connected_gnp(15, 0.4, 3, s);
-  graph::Graph h(g.num_vertices());
-  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, 2.0 * e.weight);
+  const auto h = testsupport::scale_weights(g, 2.0);
   // L_G = 0.5 L_H: all pencil eigenvalues are exactly 0.5.
   const auto check = check_sparsifier(g, h);
   ASSERT_TRUE(check.valid);
@@ -80,8 +80,7 @@ TEST(Verifier, SampledBoundExactForUniformScaling) {
   // so the sampled bound equals the true epsilon deterministically.
   rng::Stream s(8);
   const auto g = graph::random_connected_gnp(12, 0.4, 2, s);
-  graph::Graph h(g.num_vertices());
-  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, 2.0 * e.weight);
+  const auto h = testsupport::scale_weights(g, 2.0);
   EXPECT_NEAR(sampled_epsilon_lower_bound(g, h, 30, 6), 0.5, 1e-9);
 }
 
