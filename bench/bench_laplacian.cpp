@@ -1,9 +1,10 @@
 // E5 (Theorem 1.3 / Corollary 2.4): Laplacian solver — iterations ~
 // log(1/eps), measured energy-norm error <= eps, preprocessing vs
-// per-instance round split.
-#include <benchmark/benchmark.h>
+// per-instance round split. Runs on the shared harness.
+#include "support/harness.h"
 
 #include <cmath>
+#include <string>
 
 #include "graph/generators.h"
 #include "laplacian/solver.h"
@@ -12,8 +13,8 @@ namespace {
 
 using namespace bcclap;
 
-void BM_LaplacianSolveEps(benchmark::State& state) {
-  const double eps = std::pow(10.0, -static_cast<double>(state.range(0)));
+void laplacian_solve_eps(bench::State& s, int eps_exp) {
+  const double eps = std::pow(10.0, -static_cast<double>(eps_exp));
   const std::size_t n = 48;
   rng::Stream gstream(5);
   const auto g = graph::complete(n, 6, gstream);
@@ -29,32 +30,18 @@ void BM_LaplacianSolveEps(benchmark::State& state) {
   const auto exact = laplacian::exact_laplacian_solve(g, b);
   const double ref = laplacian::laplacian_norm(g, exact);
 
-  double iters = 0, rounds = 0, err = 0;
-  std::size_t runs = 0;
-  for (auto _ : state) {
-    laplacian::SolveStats stats;
-    const auto y = solver.solve(b, eps, &stats);
-    iters += static_cast<double>(stats.iterations);
-    rounds += static_cast<double>(stats.rounds);
-    err += laplacian::laplacian_norm(g, linalg::sub(exact, y)) / ref;
-    ++runs;
-  }
-  const double r = static_cast<double>(runs);
-  state.counters["eps"] = eps;
-  state.counters["iterations"] = iters / r;
-  state.counters["instance_rounds"] = rounds / r;
-  state.counters["preproc_rounds"] =
-      static_cast<double>(solver.preprocessing_rounds());
-  state.counters["measured_err"] = err / r;
+  laplacian::SolveStats stats;
+  const auto y = solver.solve(b, eps, &stats);
+  s.counter("eps", eps);
+  s.counter("iterations", static_cast<double>(stats.iterations));
+  s.counter("instance_rounds", static_cast<double>(stats.rounds));
+  s.counter("preproc_rounds",
+            static_cast<double>(solver.preprocessing_rounds()));
+  s.counter("measured_err",
+            laplacian::laplacian_norm(g, linalg::sub(exact, y)) / ref);
 }
 
-BENCHMARK(BM_LaplacianSolveEps)
-    ->DenseRange(1, 10, 1)
-    ->Unit(benchmark::kMicrosecond);
-
-// Rounds vs n at fixed eps (the Theta(polylog) per-instance claim).
-void BM_LaplacianSolveN(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
+void laplacian_solve_n(bench::State& s, std::size_t n) {
   rng::Stream gstream(n);
   const auto g = graph::complete(n, 4, gstream);
   sparsify::SparsifyOptions opt;
@@ -65,24 +52,26 @@ void BM_LaplacianSolveN(benchmark::State& state) {
   linalg::Vec b(n, 0.0);
   b[0] = 1.0;
   b[n - 1] = -1.0;
-  double rounds = 0;
-  std::size_t runs = 0;
-  for (auto _ : state) {
-    laplacian::SolveStats stats;
-    benchmark::DoNotOptimize(solver.solve(b, 1e-8, &stats));
-    rounds += static_cast<double>(stats.rounds);
-    ++runs;
-  }
-  state.counters["n"] = static_cast<double>(n);
-  state.counters["instance_rounds"] = rounds / static_cast<double>(runs);
-  state.counters["preproc_rounds"] =
-      static_cast<double>(solver.preprocessing_rounds());
+  laplacian::SolveStats stats;
+  const auto y = solver.solve(b, 1e-8, &stats);
+  s.counter("n", static_cast<double>(n));
+  s.counter("instance_rounds", static_cast<double>(stats.rounds));
+  s.counter("preproc_rounds",
+            static_cast<double>(solver.preprocessing_rounds()));
+  s.counter("fingerprint_ynorm", linalg::norm2(y));
 }
-
-BENCHMARK(BM_LaplacianSolveN)
-    ->Arg(16)->Arg(32)->Arg(64)->Arg(96)
-    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("bench_laplacian");
+  for (int e = 1; e <= 10; ++e) {
+    h.add("laplacian_solve_eps/eps=1e-" + std::to_string(e),
+          [e](bench::State& s) { laplacian_solve_eps(s, e); });
+  }
+  for (const std::size_t n : {16u, 32u, 64u, 96u}) {
+    h.add("laplacian_solve_n/n=" + std::to_string(n),
+          [n](bench::State& s) { laplacian_solve_n(s, n); });
+  }
+  return h.run(argc, argv);
+}

@@ -1,93 +1,89 @@
 // E12 (Figure 1): the full pipeline on one network —
 // spanner -> sparsifier -> Laplacian solver -> Gremban SDD engine ->
 // LP solver -> exact min-cost max-flow, with cumulative round accounting.
-#include <benchmark/benchmark.h>
+//
+// Runs on the shared harness (bench/support/harness.h) and is the binary
+// scripts/bench.sh uses for the thread-scaling trajectory: the counters
+// (rounds, sizes, epsilons, fingerprint) must be identical between
+// BCCLAP_THREADS=1 and BCCLAP_THREADS=N runs — only wall time may differ.
+#include "support/harness.h"
 
 #include "flow/mcmf_solver.h"
 #include "flow/ssp.h"
 #include "graph/generators.h"
 #include "laplacian/bcc_solver.h"
 #include "laplacian/solver.h"
+#include "linalg/vector_ops.h"
 #include "sparsify/verifier.h"
 
 namespace {
 
 using namespace bcclap;
 
-void BM_PipelineSparsifyAndSolve(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
+void pipeline_sparsify_and_solve(bench::State& s, std::size_t n) {
   rng::Stream gstream(n);
   const auto g = graph::complete(n, 4, gstream);
-  double eps_achieved = 0, solve_rounds = 0, preproc = 0;
-  std::size_t runs = 0;
-  for (auto _ : state) {
-    sparsify::SparsifyOptions opt;
-    opt.epsilon = 0.5;
-    opt.k = 2;
-    opt.t = 3;
-    laplacian::SparsifiedLaplacianSolver solver(g, opt, runs + 1);
-    preproc += static_cast<double>(solver.preprocessing_rounds());
-    const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
-    eps_achieved += check.valid ? check.achieved_epsilon() : 99.0;
-    linalg::Vec b(n, 0.0);
-    b[0] = 1.0;
-    b[n - 1] = -1.0;
-    laplacian::SolveStats stats;
-    benchmark::DoNotOptimize(solver.solve(b, 1e-8, &stats));
-    solve_rounds += static_cast<double>(stats.rounds);
-    ++runs;
-  }
-  const double r = static_cast<double>(runs);
-  state.counters["n"] = static_cast<double>(n);
-  state.counters["achieved_eps"] = eps_achieved / r;
-  state.counters["preproc_rounds"] = preproc / r;
-  state.counters["solve_rounds"] = solve_rounds / r;
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = 3;
+  laplacian::SparsifiedLaplacianSolver solver(g, opt, s.iteration() + 1);
+  const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
+  linalg::Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+  laplacian::SolveStats stats;
+  const auto x = solver.solve(b, 1e-8, &stats);
+
+  s.counter("n", static_cast<double>(n));
+  s.counter("achieved_eps", check.valid ? check.achieved_epsilon() : 99.0);
+  s.counter("preproc_rounds",
+            static_cast<double>(solver.preprocessing_rounds()));
+  s.counter("solve_rounds", static_cast<double>(stats.rounds));
+  s.counter("sparsifier_edges",
+            static_cast<double>(solver.sparsifier().num_edges()));
+  // Determinism fingerprint: solution norm is a function of every upstream
+  // choice (spanner, sampling, solver iterations).
+  s.counter("fingerprint_xnorm", linalg::norm2(x));
 }
 
-BENCHMARK(BM_PipelineSparsifyAndSolve)
-    ->Arg(24)->Arg(40)->Arg(56)
-    ->Unit(benchmark::kMillisecond);
-
-// End-to-end flow with the *sparsified* SDD engine inside the IPM — every
-// box of Figure 1 exercised in one run.
-void BM_PipelineFlowFullStack(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  double exact = 0, rounds = 0;
-  std::size_t runs = 0;
-  for (auto _ : state) {
-    rng::Stream gstream(runs * 37 + n);
-    const auto g = graph::random_flow_network(n, n + 4, 3, 3, gstream);
-    const auto baseline = flow::min_cost_max_flow_ssp(g, 0, n - 1);
-    flow::McmfOptions opt;
-    opt.seed = runs + 9;
-    std::uint64_t engine_seed = 5000;
-    opt.lp.gram_factory = [&engine_seed](const linalg::DenseMatrix& gram) {
-      return laplacian::make_sparsified_sdd_engine(gram, engine_seed++);
-    };
-    // The sparsified engine is expensive per solve; bound the centering
-    // work and skip boosting retries.
-    opt.lp.epsilon = 1e-2;
-    opt.lp.max_center_steps = 25;
-    opt.max_retries = 0;
-    const auto ipm = flow::min_cost_max_flow_ipm(g, 0, n - 1, opt);
-    exact += (ipm.exact && ipm.flow.value == baseline.value &&
-              ipm.flow.cost == baseline.cost)
-                 ? 1
-                 : 0;
-    rounds += static_cast<double>(ipm.rounds);
-    ++runs;
-  }
-  const double r = static_cast<double>(runs);
-  state.counters["n"] = static_cast<double>(n);
-  state.counters["exact_match_rate"] = exact / r;
-  state.counters["rounds"] = rounds / r;
+void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
+  rng::Stream gstream(s.iteration() * 37 + n);
+  const auto g = graph::random_flow_network(n, n + 4, 3, 3, gstream);
+  const auto baseline = flow::min_cost_max_flow_ssp(g, 0, n - 1);
+  flow::McmfOptions opt;
+  opt.seed = s.iteration() + 9;
+  std::uint64_t engine_seed = 5000;
+  opt.lp.gram_factory = [&engine_seed](const linalg::DenseMatrix& gram) {
+    return laplacian::make_sparsified_sdd_engine(gram, engine_seed++);
+  };
+  // The sparsified engine is expensive per solve; bound the centering
+  // work and skip boosting retries.
+  opt.lp.epsilon = 1e-2;
+  opt.lp.max_center_steps = 25;
+  opt.max_retries = 0;
+  const auto ipm = flow::min_cost_max_flow_ipm(g, 0, n - 1, opt);
+  s.counter("n", static_cast<double>(n));
+  s.counter("exact_match",
+            (ipm.exact && ipm.flow.value == baseline.value &&
+             ipm.flow.cost == baseline.cost)
+                ? 1.0
+                : 0.0);
+  s.counter("rounds", static_cast<double>(ipm.rounds));
 }
-
-BENCHMARK(BM_PipelineFlowFullStack)
-    ->Arg(5)
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("bench_pipeline");
+  for (const std::size_t n : {24u, 40u, 56u}) {
+    h.add("pipeline_sparsify_and_solve/n=" + std::to_string(n),
+          [n](bench::State& s) { pipeline_sparsify_and_solve(s, n); });
+  }
+  // The full-stack IPM case is multi-second; run it exactly once.
+  h.add(
+      "pipeline_flow_full_stack/n=5",
+      [](bench::State& s) { pipeline_flow_full_stack(s, 5); },
+      /*repeats_override=*/1, /*warmup_override=*/0);
+  return h.run(argc, argv);
+}

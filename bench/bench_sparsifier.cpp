@@ -1,86 +1,82 @@
 // E3 + E4 (Theorem 1.2): sparsifier size vs n * eps^-2 * log^4 n, spectral
 // quality, out-degree of the orientation, and BC round complexity.
-#include <benchmark/benchmark.h>
+// Runs on the shared harness; counters are thread-count-invariant.
+#include "support/harness.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "graph/generators.h"
+#include "spanner/cluster.h"
 #include "sparsify/spectral_sparsify.h"
 #include "sparsify/verifier.h"
-#include "spanner/cluster.h"
 
 namespace {
 
 using namespace bcclap;
 
-void BM_SparsifierSize(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const std::size_t t = static_cast<std::size_t>(state.range(1));
+void sparsifier_size(bench::State& s, std::size_t n, std::size_t t) {
   rng::Stream gstream(n);
   const auto g = graph::complete(n, 4, gstream);
-  double size = 0, rounds = 0, outdeg = 0;
-  std::size_t runs = 0;
-  for (auto _ : state) {
-    bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                     bcc::Network::default_bandwidth(n));
-    sparsify::SparsifyOptions opt;
-    opt.epsilon = 0.5;
-    opt.k = 2;
-    opt.t = t;
-    const auto res = sparsify::spectral_sparsify(g, opt, runs + 1, net);
-    size += static_cast<double>(res.sparsifier.num_edges());
-    rounds += static_cast<double>(res.rounds);
-    const auto deg = spanner::out_degrees(n, res.out_vertex);
-    std::size_t mx = 0;
-    for (auto d : deg) mx = std::max(mx, d);
-    outdeg += static_cast<double>(mx);
-    ++runs;
-  }
-  const double r = static_cast<double>(runs);
+  bcc::Network net(bcc::Model::kBroadcastCongest, g,
+                   bcc::Network::default_bandwidth(n));
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = t;
+  const auto res = sparsify::spectral_sparsify(g, opt, s.iteration() + 1, net);
+  const auto deg = spanner::out_degrees(n, res.out_vertex);
+  std::size_t mx = 0;
+  for (auto d : deg) mx = std::max(mx, d);
+
   const double logn = std::log2(static_cast<double>(n));
-  state.counters["n"] = static_cast<double>(n);
-  state.counters["m"] = static_cast<double>(g.num_edges());
-  state.counters["size"] = size / r;
-  state.counters["size_per_nlog"] = size / r / (static_cast<double>(n) * logn);
-  state.counters["rounds"] = rounds / r;
-  state.counters["max_outdeg"] = outdeg / r;
+  const double size = static_cast<double>(res.sparsifier.num_edges());
+  s.counter("n", static_cast<double>(n));
+  s.counter("m", static_cast<double>(g.num_edges()));
+  s.counter("size", size);
+  s.counter("size_per_nlog", size / (static_cast<double>(n) * logn));
+  s.counter("rounds", static_cast<double>(res.rounds));
+  s.counter("max_outdeg", static_cast<double>(mx));
 }
 
-BENCHMARK(BM_SparsifierSize)
-    ->ArgsProduct({{24, 32, 48, 64, 96}, {1, 2, 4}})
-    ->Unit(benchmark::kMillisecond);
-
-// E3 quality: achieved spectral epsilon (exact pencil eigenvalues).
-void BM_SparsifierQuality(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const std::size_t t = static_cast<std::size_t>(state.range(1));
+void sparsifier_quality(bench::State& s, std::size_t n, std::size_t t) {
   rng::Stream gstream(n * 13);
   const auto g = graph::complete(n, 2, gstream);
-  double eps = 0, lmin = 0;
-  std::size_t runs = 0;
-  for (auto _ : state) {
-    bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                     bcc::Network::default_bandwidth(n));
-    sparsify::SparsifyOptions opt;
-    opt.epsilon = 0.5;
-    opt.k = 2;
-    opt.t = t;
-    const auto res = sparsify::spectral_sparsify(g, opt, runs + 7, net);
-    const auto check = sparsify::check_sparsifier(g, res.sparsifier);
-    eps += check.valid ? check.achieved_epsilon() : 99.0;
-    lmin += check.valid ? check.lambda_min : 0.0;
-    ++runs;
-  }
-  state.counters["n"] = static_cast<double>(n);
-  state.counters["t"] = static_cast<double>(t);
-  state.counters["achieved_eps"] = eps / static_cast<double>(runs);
-  state.counters["lambda_min"] = lmin / static_cast<double>(runs);
+  bcc::Network net(bcc::Model::kBroadcastCongest, g,
+                   bcc::Network::default_bandwidth(n));
+  sparsify::SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  opt.k = 2;
+  opt.t = t;
+  const auto res = sparsify::spectral_sparsify(g, opt, s.iteration() + 7, net);
+  const auto check = sparsify::check_sparsifier(g, res.sparsifier);
+  s.counter("n", static_cast<double>(n));
+  s.counter("t", static_cast<double>(t));
+  s.counter("achieved_eps", check.valid ? check.achieved_epsilon() : 99.0);
+  s.counter("lambda_min", check.valid ? check.lambda_min : 0.0);
 }
 
-BENCHMARK(BM_SparsifierQuality)
-    ->ArgsProduct({{24, 36, 48}, {1, 2, 4, 8}})
-    ->Unit(benchmark::kMillisecond);
+std::string case_name(const char* base, std::size_t n, std::size_t t) {
+  return std::string(base) + "/n=" + std::to_string(n) +
+         "/t=" + std::to_string(t);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("bench_sparsifier");
+  for (const std::size_t n : {24u, 32u, 48u, 64u, 96u}) {
+    for (const std::size_t t : {1u, 2u, 4u}) {
+      h.add(case_name("sparsifier_size", n, t),
+            [n, t](bench::State& s) { sparsifier_size(s, n, t); });
+    }
+  }
+  for (const std::size_t n : {24u, 36u, 48u}) {
+    for (const std::size_t t : {1u, 2u, 4u, 8u}) {
+      h.add(case_name("sparsifier_quality", n, t),
+            [n, t](bench::State& s) { sparsifier_quality(s, n, t); });
+    }
+  }
+  return h.run(argc, argv);
+}

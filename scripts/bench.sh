@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark trajectory (BENCH_pr2.json).
+#
+# Builds the harness benches and runs the three pipeline-level binaries
+# under BCCLAP_THREADS=1 and BCCLAP_THREADS=N (default 4), then merges the
+# per-run JSON into one trajectory file at the repo root. The counters of
+# the two configurations must be identical — the engine's determinism
+# contract — and the script fails loudly if they are not.
+#
+# Environment knobs:
+#   BUILD_DIR=<path>      build tree location (default: build)
+#   BENCH_THREADS=<n>     the multi-threaded configuration (default: 4)
+#   BENCH_REPEATS=<n>     measured repetitions per case (default: 3)
+#   BENCH_OUT=<path>      output file (default: BENCH_pr2.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_THREADS="${BENCH_THREADS:-4}"
+BENCH_REPEATS="${BENCH_REPEATS:-3}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr2.json}"
+BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
+
+if [ "$BENCH_THREADS" -le 1 ]; then
+  echo "BENCH_THREADS must be > 1 (the trajectory compares a 1-thread and" >&2
+  echo "a multi-thread configuration; comparing t1 against itself would" >&2
+  echo "make the determinism gate vacuous)" >&2
+  exit 2
+fi
+
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j --target bcclap_benches > /dev/null
+
+json_dir="$BUILD_DIR/bench-json"
+mkdir -p "$json_dir"
+
+runs=()
+for bench in "${BENCHES[@]}"; do
+  for threads in 1 "$BENCH_THREADS"; do
+    out="$json_dir/${bench}_t${threads}.json"
+    echo "== $bench (BCCLAP_THREADS=$threads)"
+    BCCLAP_THREADS="$threads" "$BUILD_DIR/bench/$bench" \
+      --repeats "$BENCH_REPEATS" --json "$out"
+    runs+=("$out")
+  done
+done
+
+# Determinism gate: counters (rounds, sizes, fingerprints) must not depend
+# on the thread count; only wall times may differ.
+for bench in "${BENCHES[@]}"; do
+  a="$json_dir/${bench}_t1.json"
+  b="$json_dir/${bench}_t${BENCH_THREADS}.json"
+  if ! diff <(grep -o '"counters": {[^}]*}' "$a") \
+            <(grep -o '"counters": {[^}]*}' "$b") > /dev/null; then
+    echo "ERROR: $bench counters differ between 1 and $BENCH_THREADS threads" >&2
+    exit 1
+  fi
+done
+echo "determinism gate: counters identical across thread counts"
+
+{
+  echo '{'
+  echo '  "pr": 2,'
+  echo '  "generated_by": "scripts/bench.sh",'
+  echo "  \"thread_configs\": [1, $BENCH_THREADS],"
+  echo '  "runs": ['
+  first=1
+  for f in "${runs[@]}"; do
+    if [ "$first" -eq 0 ]; then echo '  ,'; fi
+    first=0
+    sed 's/^/  /' "$f"
+  done
+  echo '  ]'
+  echo '}'
+} > "$BENCH_OUT"
+echo "wrote $BENCH_OUT"

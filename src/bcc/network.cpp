@@ -4,12 +4,25 @@
 #include <cassert>
 
 #include "common/encoding.h"
+#include "common/thread_pool.h"
 
 namespace bcclap::bcc {
 
+namespace {
+
+// Below this many nodes the parallel fan-out costs more than it saves;
+// everything runs inline (the pool does the same cut-off by grain).
+constexpr std::size_t kParallelGrainNodes = 16;
+
+}  // namespace
+
 std::int64_t Network::default_bandwidth(std::size_t n) {
-  const int id = enc::id_bits(std::max<std::size_t>(n, 2));
-  return 2 * id + 2;
+  // The textbook B = 2 ceil(log2 n) + 2 degenerates below n = 2: it gives
+  // 2 for n = 1 and is undefined for n = 0, too narrow for the minimal
+  // [flag | id | id | weight-bit] protocol message (4 bits) to fit one
+  // round. Tiny networks pin B = 4, the n = 2 value of the formula.
+  if (n <= 2) return 4;
+  return 2 * enc::id_bits(n) + 2;
 }
 
 Network::Network(Model model, const graph::Graph& g,
@@ -41,37 +54,81 @@ std::vector<std::vector<ReceivedMessage>> Network::exchange(
     const std::vector<std::vector<Message>>& outboxes,
     const std::string& label) {
   assert(outboxes.size() == n_);
+  auto& pool = common::ThreadPool::global();
+
   // Cost: nodes broadcast in parallel; each node serializes its own
-  // messages, one B-bit broadcast per round.
+  // messages, one B-bit broadcast per round. Max-over-nodes is
+  // order-independent, so the charge is identical at any thread count.
   std::int64_t rounds = 0;
-  for (const auto& box : outboxes) {
-    std::int64_t node_rounds = 0;
-    for (const Message& msg : box) {
-      node_rounds += enc::rounds_for_bits(msg.total_bits(), bandwidth_);
-    }
-    rounds = std::max(rounds, node_rounds);
-  }
+  common::parallel_reduce_chunks(
+      0, n_, kParallelGrainNodes, std::int64_t{0},
+      [&](std::size_t lo, std::size_t hi, std::int64_t& local) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          std::int64_t node_rounds = 0;
+          for (const Message& msg : outboxes[v]) {
+            node_rounds += enc::rounds_for_bits(msg.total_bits(), bandwidth_);
+          }
+          local = std::max(local, node_rounds);
+        }
+      },
+      [&](std::int64_t& local) { rounds = std::max(rounds, local); });
   accountant_.charge(label, rounds);
 
+  // Delivery: each recipient's inbox depends only on the (read-only)
+  // outboxes, so recipients assemble concurrently. Senders are walked in
+  // ascending id order per recipient, which reproduces exactly the
+  // sender-ordered delivery of the sequential engine.
   std::vector<std::vector<ReceivedMessage>> inboxes(n_);
-  for (std::size_t sender = 0; sender < n_; ++sender) {
-    if (outboxes[sender].empty()) continue;
-    if (model_ == Model::kBroadcastCongestedClique) {
-      for (std::size_t recv = 0; recv < n_; ++recv) {
-        if (recv == sender) continue;
-        for (const Message& msg : outboxes[sender]) {
-          inboxes[recv].push_back({sender, msg});
-        }
-      }
-    } else {
-      for (std::size_t recv : neighbours_[sender]) {
-        for (const Message& msg : outboxes[sender]) {
-          inboxes[recv].push_back({sender, msg});
-        }
-      }
+  const bool clique = model_ == Model::kBroadcastCongestedClique;
+  // Active senders (ascending) and the total message count: with sparse
+  // traffic the per-recipient work is O(active), not O(n).
+  std::vector<std::size_t> active;
+  std::size_t total_msgs = 0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (!outboxes[s].empty()) {
+      active.push_back(s);
+      total_msgs += outboxes[s].size();
     }
   }
+  pool.parallel_for_chunks(
+      0, n_, kParallelGrainNodes, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t recv = lo; recv < hi; ++recv) {
+          auto& inbox = inboxes[recv];
+          const auto deliver_from = [&](std::size_t sender) {
+            for (const Message& msg : outboxes[sender]) {
+              inbox.push_back({sender, msg});
+            }
+          };
+          if (clique) {
+            inbox.reserve(total_msgs - outboxes[recv].size());
+            for (std::size_t s : active) {
+              if (s != recv) deliver_from(s);
+            }
+          } else {
+            // BC adjacency is symmetric: recv's senders are its neighbours,
+            // already sorted ascending.
+            std::size_t count = 0;
+            for (std::size_t s : neighbours_[recv]) {
+              count += outboxes[s].size();
+            }
+            inbox.reserve(count);
+            for (std::size_t s : neighbours_[recv]) {
+              if (!outboxes[s].empty()) deliver_from(s);
+            }
+          }
+        }
+      });
   return inboxes;
+}
+
+std::vector<std::vector<ReceivedMessage>> Network::run_superstep(
+    const ComputeFn& compute, const std::string& label) {
+  std::vector<std::vector<Message>> outboxes(n_);
+  // Grain 1: per-node compute is the heavyweight part of a superstep, so
+  // every node is its own unit of work.
+  common::ThreadPool::global().parallel_for(
+      0, n_, [&](std::size_t v) { outboxes[v] = compute(v); });
+  return exchange(outboxes, label);
 }
 
 }  // namespace bcclap::bcc

@@ -16,9 +16,19 @@
 // the paper: they are described in phases where each vertex broadcasts a
 // bounded number of messages per phase, which is precisely the max-over-
 // nodes cost the simulator charges.
+//
+// Execution is thread-parallel: per-node outbox computation
+// (run_superstep), round costing, and per-recipient inbox assembly all fan
+// out across the common::ThreadPool workers. Delivery stays deterministic —
+// inboxes[v] is ordered by sender id regardless of thread count, and the
+// max-over-nodes round charge is order-independent — so a run with
+// BCCLAP_THREADS=1 and BCCLAP_THREADS=N produce byte-identical traffic and
+// equal round accounting (enforced by tests/test_network_determinism.cpp).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "bcc/message.h"
@@ -51,6 +61,19 @@ class Network {
       const std::vector<std::vector<Message>>& outboxes,
       const std::string& label);
 
+  // Per-node local computation for run_superstep: node v's compute returns
+  // the messages v broadcasts this superstep. Must only write state owned
+  // by v (the engine runs nodes concurrently); stateful shared resources —
+  // sequential RNG streams in particular — belong outside the compute, not
+  // inside it.
+  using ComputeFn = std::function<std::vector<Message>(std::size_t node)>;
+
+  // Superstep driver: fans compute(v) out across the worker pool for every
+  // node, then exchanges the resulting outboxes. Callers hand the engine
+  // their per-node compute instead of looping over nodes themselves.
+  std::vector<std::vector<ReceivedMessage>> run_superstep(
+      const ComputeFn& compute, const std::string& label);
+
   // Charges rounds without message traffic (used for sub-protocols whose
   // cost is known analytically, e.g. the <= k-1 rounds of propagating a
   // cluster-marking bit down the cluster tree in Step 1).
@@ -61,15 +84,19 @@ class Network {
   const RoundAccountant& accountant() const { return accountant_; }
   RoundAccountant& accountant() { return accountant_; }
 
-  // Default bandwidth for an n-node network: B = 2 ceil(log2 n) + 2,
-  // the Theta(log n) of the model definition.
+  // Default bandwidth for an n-node network: B = 2 ceil(log2 n) + 2, the
+  // Theta(log n) of the model definition. The formula degenerates below
+  // n = 2 (B = 2 at n = 1, undefined at n = 0 — too narrow for the
+  // minimal flag + two ids + weight-bit protocol message); tiny networks
+  // pin B = 4, so every n >= 0 is accepted and B is always >= 4.
   static std::int64_t default_bandwidth(std::size_t n);
 
  private:
   Model model_;
   std::size_t n_;
   std::int64_t bandwidth_;
-  // neighbours_[v]: sorted neighbour ids (BC mode only).
+  // neighbours_[v]: sorted neighbour ids (BC mode only). Symmetric, so it
+  // serves as both send and receive adjacency.
   std::vector<std::vector<std::size_t>> neighbours_;
   RoundAccountant accountant_;
 };

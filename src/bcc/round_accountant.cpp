@@ -8,6 +8,7 @@ namespace bcclap::bcc {
 
 void RoundAccountant::charge(const std::string& label, std::int64_t rounds) {
   assert(rounds >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
   total_ += rounds;
   by_label_[label] += rounds;
 }
@@ -18,12 +19,24 @@ void RoundAccountant::charge_broadcast_bits(const std::string& label,
   charge(label, enc::rounds_for_bits(bits, bandwidth));
 }
 
+std::int64_t RoundAccountant::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
 std::int64_t RoundAccountant::total_for(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = by_label_.find(label);
   return it == by_label_.end() ? 0 : it->second;
 }
 
+std::map<std::string, std::int64_t> RoundAccountant::breakdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_label_;
+}
+
 void RoundAccountant::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_ = 0;
   by_label_.clear();
 }

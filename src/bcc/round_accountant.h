@@ -4,10 +4,17 @@
 // Every layer of the reproduction charges its communication here, labelled,
 // so experiments can report both totals and per-phase breakdowns (e.g. the
 // preprocessing-vs-instance split of Theorem 1.3).
+//
+// Charging is thread-safe: the parallel superstep engine may charge from
+// worker threads (per-node sub-protocol costs fan out with the compute).
+// Readers (total / total_for / breakdown snapshots) take the same lock, so
+// totals observed between supersteps are exact. `breakdown()` returns a
+// copy for that reason.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace bcclap::bcc {
@@ -20,18 +27,17 @@ class RoundAccountant {
   void charge_broadcast_bits(const std::string& label, std::int64_t bits,
                              std::int64_t bandwidth);
 
-  std::int64_t total() const { return total_; }
+  std::int64_t total() const;
   std::int64_t total_for(const std::string& label) const;
-  const std::map<std::string, std::int64_t>& breakdown() const {
-    return by_label_;
-  }
+  std::map<std::string, std::int64_t> breakdown() const;
 
   void reset();
   // Snapshot arithmetic for measuring a sub-phase.
-  std::int64_t mark() const { return total_; }
-  std::int64_t since(std::int64_t mark) const { return total_ - mark; }
+  std::int64_t mark() const { return total(); }
+  std::int64_t since(std::int64_t mark) const { return total() - mark; }
 
  private:
+  mutable std::mutex mu_;
   std::int64_t total_ = 0;
   std::map<std::string, std::int64_t> by_label_;
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace bcclap::graph {
 
 linalg::CsrMatrix laplacian(const Graph& g) {
@@ -49,11 +51,35 @@ linalg::CsrMatrix incidence(const Digraph& g, std::size_t drop_vertex) {
 linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x) {
   assert(x.size() == g.num_vertices());
   linalg::Vec y(x.size(), 0.0);
-  for (const Edge& e : g.edges()) {
-    const double d = e.weight * (x[e.u] - x[e.v]);
-    y[e.u] += d;
-    y[e.v] -= d;
+  const std::size_t m = g.num_edges();
+  // Edge-scatter kernel. Small instances run the sequential loop; large
+  // ones use the deterministic chunked reduction (common::thread_pool.h).
+  // The grain scales with n so each chunk's n-sized partial is amortized
+  // over at least n edges — the zero-init + chunk-order merge stays O(m),
+  // never dominating the scatter itself on sparse graphs.
+  const std::size_t grain =
+      std::max<std::size_t>({32 * 1024, x.size(), 1});
+  if (m <= grain) {
+    for (const Edge& e : g.edges()) {
+      const double d = e.weight * (x[e.u] - x[e.v]);
+      y[e.u] += d;
+      y[e.v] -= d;
+    }
+    return y;
   }
+  common::parallel_reduce_chunks(
+      0, m, grain, linalg::Vec(x.size(), 0.0),
+      [&](std::size_t lo, std::size_t hi, linalg::Vec& p) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Edge& e = g.edge(i);
+          const double d = e.weight * (x[e.u] - x[e.v]);
+          p[e.u] += d;
+          p[e.v] -= d;
+        }
+      },
+      [&](linalg::Vec& p) {
+        for (std::size_t v = 0; v < y.size(); ++v) y[v] += p[v];
+      });
   return y;
 }
 

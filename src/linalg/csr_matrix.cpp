@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace bcclap::linalg {
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
@@ -32,12 +34,20 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
 Vec CsrMatrix::multiply(const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      s += values_[k] * x[col_index_[k]];
-    y[r] = s;
-  }
+  // Row-parallel and bitwise deterministic: y[r] depends only on row r.
+  // Grain uses the average row cost nnz/rows (shared helper with the dense
+  // kernels).
+  const std::size_t grain = common::chunk_grain(
+      rows_, nnz() / std::max<std::size_t>(rows_, 1));
+  common::parallel_for_chunks(
+      0, rows_, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double s = 0.0;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            s += values_[k] * x[col_index_[k]];
+          y[r] = s;
+        }
+      });
   return y;
 }
 

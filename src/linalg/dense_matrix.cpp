@@ -3,7 +3,13 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace bcclap::linalg {
+
+// Chunk sizing comes from common::chunk_grain (shared with the CSR
+// kernels): chunks cover >= kDefaultMinWorkPerChunk multiply-adds, with
+// boundaries that are a pure function of the matrix shape.
 
 DenseMatrix DenseMatrix::identity(std::size_t n) {
   DenseMatrix m(n, n);
@@ -14,37 +20,74 @@ DenseMatrix DenseMatrix::identity(std::size_t n) {
 Vec DenseMatrix::multiply(const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    const double* row = &data_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
-    y[r] = s;
-  }
+  // Each output row is an independent dot product: embarrassingly parallel
+  // and bitwise deterministic at any thread count.
+  common::parallel_for_chunks(
+      0, rows_, common::chunk_grain(rows_, cols_), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double s = 0.0;
+          const double* row = &data_[r * cols_];
+          for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+          y[r] = s;
+        }
+      });
   return y;
 }
 
 Vec DenseMatrix::multiply_transpose(const Vec& x) const {
   assert(x.size() == rows_);
   Vec y(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    const double* row = &data_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  if (rows_ * cols_ < common::kDefaultMinWorkPerChunk) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      const double* row = &data_[r * cols_];
+      for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+    }
+    return y;
   }
+  // Deterministic chunked reduction (common::thread_pool.h): row chunks
+  // accumulate into private cols-sized partials merged in chunk order. The
+  // chunk count is capped so partial storage and the merge stay small
+  // relative to the rows x cols multiply-adds, even for wide matrices.
+  constexpr std::size_t kMaxChunks = 64;
+  const std::size_t grain =
+      std::max(common::chunk_grain(rows_, cols_),
+               (rows_ + kMaxChunks - 1) / kMaxChunks);
+  common::parallel_reduce_chunks(
+      0, rows_, grain, Vec(cols_, 0.0),
+      [&](std::size_t lo, std::size_t hi, Vec& p) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const double xr = x[r];
+          if (xr == 0.0) continue;
+          const double* row = &data_[r * cols_];
+          for (std::size_t c = 0; c < cols_; ++c) p[c] += row[c] * xr;
+        }
+      },
+      [&](Vec& p) {
+        for (std::size_t c = 0; c < cols_; ++c) y[c] += p[c];
+      });
   return y;
 }
 
 DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
   assert(cols_ == other.rows_);
   DenseMatrix out(rows_, other.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double v = (*this)(r, k);
-      if (v == 0.0) continue;
-      for (std::size_t c = 0; c < other.cols_; ++c) out(r, c) += v * other(k, c);
-    }
-  }
+  // Row-parallel: output row r reads only row r of *this, writes only row r
+  // of out. The k-loop order inside a row matches the sequential kernel.
+  common::parallel_for_chunks(
+      0, rows_, common::chunk_grain(rows_, cols_ * other.cols_),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t k = 0; k < cols_; ++k) {
+            const double v = (*this)(r, k);
+            if (v == 0.0) continue;
+            for (std::size_t c = 0; c < other.cols_; ++c) {
+              out(r, c) += v * other(k, c);
+            }
+          }
+        }
+      });
   return out;
 }
 

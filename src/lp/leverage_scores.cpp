@@ -1,10 +1,13 @@
 #include "lp/leverage_scores.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "common/encoding.h"
+#include "common/thread_pool.h"
 #include "linalg/cholesky.h"
 #include "linalg/jl_transform.h"
 
@@ -39,13 +42,14 @@ MatrixOracle dense_oracle(const linalg::DenseMatrix& m) {
 linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m) {
   const MatrixOracle o = dense_oracle(m);
   linalg::Vec sigma(o.m, 0.0);
-  // sigma_i = row_i (M^T M)^{-1} row_i^T: solve per row.
-  for (std::size_t i = 0; i < o.m; ++i) {
+  // sigma_i = row_i (M^T M)^{-1} row_i^T: one Gram solve per row, each
+  // writing only sigma[i] — rows fan out across the pool.
+  common::parallel_for(0, o.m, [&](std::size_t i) {
     linalg::Vec row(o.n);
     for (std::size_t j = 0; j < o.n; ++j) row[j] = m(i, j);
     const auto z = o.solve_gram(row);
     sigma[i] = linalg::dot(row, z);
-  }
+  });
   return sigma;
 }
 
@@ -66,19 +70,32 @@ linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
   }
 
   linalg::Vec sigma(oracle.m, 0.0);
-  for (std::size_t j = 0; j < sketch.sketch_dim(); ++j) {
-    // p^(j) = M (M^T M)^{-1} M^T Q^(j)  (Algorithm 6 line 5).
-    const linalg::Vec qj = sketch.row(j);
-    const linalg::Vec mt_q = oracle.apply_t(qj);
-    const linalg::Vec z = oracle.solve_gram(mt_q);
-    const linalg::Vec pj = oracle.apply(z);
-    for (std::size_t i = 0; i < oracle.m; ++i) sigma[i] += pj[i] * pj[i];
-    if (acct) {
-      // Two matvecs (vector broadcasts) + one Gram solve per probe.
-      const std::int64_t bw = 2 * enc::id_bits(oracle.n) + 2;
-      const int bits = enc::real_bits(static_cast<double>(oracle.m), 1e-9);
-      acct->charge_broadcast_bits("leverage/matvec", 2 * bits, bw);
-      acct->charge("leverage/gram-solve", 1);
+  // The probes are independent; they run in fixed-size batches whose
+  // boundaries never depend on the thread count, and each batch's results
+  // accumulate into sigma sequentially in probe order — bitwise identical
+  // at any thread count.
+  constexpr std::size_t kProbeBatch = 16;
+  const std::size_t dim = sketch.sketch_dim();
+  std::vector<linalg::Vec> batch(std::min<std::size_t>(kProbeBatch, dim));
+  for (std::size_t base = 0; base < dim; base += kProbeBatch) {
+    const std::size_t count = std::min(kProbeBatch, dim - base);
+    common::parallel_for(0, count, [&](std::size_t b) {
+      // p^(j) = M (M^T M)^{-1} M^T Q^(j)  (Algorithm 6 line 5).
+      const linalg::Vec qj = sketch.row(base + b);
+      const linalg::Vec mt_q = oracle.apply_t(qj);
+      const linalg::Vec z = oracle.solve_gram(mt_q);
+      batch[b] = oracle.apply(z);
+    });
+    for (std::size_t b = 0; b < count; ++b) {
+      const linalg::Vec& pj = batch[b];
+      for (std::size_t i = 0; i < oracle.m; ++i) sigma[i] += pj[i] * pj[i];
+      if (acct) {
+        // Two matvecs (vector broadcasts) + one Gram solve per probe.
+        const std::int64_t bw = 2 * enc::id_bits(oracle.n) + 2;
+        const int bits = enc::real_bits(static_cast<double>(oracle.m), 1e-9);
+        acct->charge_broadcast_bits("leverage/matvec", 2 * bits, bw);
+        acct->charge("leverage/gram-solve", 1);
+      }
     }
   }
   return sigma;

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "common/encoding.h"
+#include "common/thread_pool.h"
 #include "spanner/connect.h"
 
 namespace bcclap::spanner {
@@ -31,6 +32,37 @@ struct Decoded {
   double w = kInf;
 };
 
+// One Connect invocation planned for a node this superstep: the target
+// cluster (kNone in step 2, where the broadcast carries the joined cluster
+// instead) and the candidate set, pre-sorted in Connect order.
+struct PlannedGroup {
+  std::size_t cluster = kNone;
+  std::vector<Candidate> cands;
+};
+
+// Each superstep of the decider side runs as three engine phases:
+//
+//   A. build  (parallel)  — every node assembles and sorts its candidate
+//      groups. Reads only pass-stable state (cluster membership, marks,
+//      thresholds and decisions from *previous* steps), so nodes fan out
+//      across the worker pool freely.
+//   B. sample (sequential) — nodes are walked in id order replaying
+//      Connect over the pre-sorted candidates. This is the only phase that
+//      consumes the existence oracle and mutates shared decision state;
+//      keeping it sequential pins the oracle call order (oracles may be
+//      stateful RNG streams), which is what makes runs byte-identical
+//      regardless of thread count.
+//   C. broadcast + deduce — the planned messages go through
+//      Network::run_superstep (parallel encode + exchange), and recipients
+//      apply the Section 3.1 deduction rules concurrently: receiver u only
+//      writes its own belief slots and its own threshold table, so the
+//      fan-out is race-free.
+//
+// Phase A/B splitting is exact, not approximate: within one superstep each
+// edge has a unique decider (step 2 deciders sit in unmarked clusters and
+// their candidates in marked ones; steps 3/4 order the two sides by
+// cluster id), so no node's candidate set depends on a decision taken by
+// another node in the same superstep.
 class SpannerRun {
  public:
   SpannerRun(const graph::Graph& g, const ProbabilisticSpannerOptions& opt,
@@ -62,7 +94,7 @@ class SpannerRun {
     for (std::size_t v = 0; v < n_; ++v) cluster_[v] = v;
     marked_.assign(n_, false);
     w_threshold_.assign(n_, kInf);
-    w_threshold_seen_.assign(n_, kInf);
+    w_seen_.assign(n_, {});
   }
 
   ProbabilisticSpannerResult run() {
@@ -95,7 +127,7 @@ class SpannerRun {
 
   // The existence sampler passed to Connect. Decides undecided edges
   // through the oracle and records the decision (decider side of the
-  // belief table is filled by the caller).
+  // belief table is filled by the caller). Sequential phase B only.
   bool sample_exists(graph::EdgeId e) {
     if (decision_[e] == EdgeDecision::kExists) return true;
     assert(decision_[e] == EdgeDecision::kUndecided);
@@ -218,7 +250,7 @@ class SpannerRun {
     std::fill(marked_.begin(), marked_.end(), false);
     // Marking bits are drawn center-by-center in id order; this ordering is
     // what lets the a-priori sparsifier replay the identical bit stream
-    // (Lemma 3.3's shared-randomness assumption).
+    // (Lemma 3.3's shared-randomness assumption). Sequential by design.
     for (std::size_t c = 0; c < n_; ++c) {
       if (!is_active_center(c)) continue;
       marked_[c] = mark_stream_.bernoulli(mark_prob);
@@ -241,40 +273,57 @@ class SpannerRun {
       if (cluster_[v] != kNone) ++center_population_cache_[cluster_[v]];
   }
 
+  // Phase B helper: replay Connect over one pre-sorted candidate group and
+  // apply the decider-side bookkeeping.
+  ConnectResult run_connect_group(graph::VertexId v,
+                                  std::vector<Candidate> cands) {
+    ConnectResult res = connect(
+        std::move(cands), [this](graph::EdgeId e) { return sample_exists(e); });
+    note_rejections(v, res.rejected);
+    if (res.accepted) accept_edge(v, *res.accepted);
+    return res;
+  }
+
   // --- step 2: connect to marked clusters ---------------------------------
 
   void step2_connect_to_marked() {
     std::fill(w_threshold_.begin(), w_threshold_.end(), kInf);
-    std::fill(w_threshold_seen_.begin(), w_threshold_seen_.end(), kInf);
     pending_join_.assign(n_, kNone);
 
-    std::vector<std::vector<bcc::Message>> outboxes(n_);
-    for (std::size_t v = 0; v < n_; ++v) {
-      if (!in_unmarked_cluster(v)) continue;
-      std::vector<Candidate> cands;
+    // Phase A (parallel): candidates of each unmarked-cluster node into
+    // marked clusters.
+    std::vector<std::vector<Candidate>> cands(n_);
+    common::parallel_for(0, n_, [&](std::size_t v) {
+      if (!in_unmarked_cluster(v)) return;
       for (graph::EdgeId e : g_.incident(v)) {
         if (!edge_usable(e)) continue;
         const graph::VertexId u = g_.other_endpoint(e, v);
-        if (in_marked_cluster(u)) cands.push_back({u, e, weight(e)});
+        if (in_marked_cluster(u)) cands[v].push_back({u, e, weight(e)});
       }
-      const ConnectResult res =
-          connect(std::move(cands),
-                  [this](graph::EdgeId e) { return sample_exists(e); });
-      note_rejections(v, res.rejected);
+    });
+
+    // Phase B (sequential): Connect in node order; the only oracle phase.
+    std::vector<std::vector<bcc::Message>> planned(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (!in_unmarked_cluster(v)) continue;
+      const ConnectResult res = run_connect_group(v, std::move(cands[v]));
       if (res.accepted) {
-        accept_edge(v, *res.accepted);
         w_threshold_[v] = res.accepted->weight;
         pending_join_[v] = cluster_[res.accepted->u];
       }
-      outboxes[v].push_back(encode_step2(res.accepted, v));
+      planned[v].push_back(encode_step2(res.accepted, v));
     }
 
-    const auto inboxes = net_.exchange(outboxes, "spanner/step2");
-    for (std::size_t u = 0; u < n_; ++u) {
+    // Phase C: broadcast through the superstep driver, deduce in parallel.
+    const auto inboxes = net_.run_superstep(
+        [&planned](std::size_t v) { return std::move(planned[v]); },
+        "spanner/step2");
+    common::parallel_for(0, n_, [&](std::size_t u) {
       for (const auto& rm : inboxes[u]) {
         const Decoded d = decode_step2(rm.message);
         // Every neighbour learns W_v (needed for step-3 eligibility).
-        w_threshold_seen_from_[{u, rm.sender}] = d.has ? d.w : kInf;
+        // Receiver u owns w_seen_[u]; no other node touches it.
+        w_seen_[u][rm.sender] = d.has ? d.w : kInf;
         // Deduction applies only if u was in v's candidate set: u in a
         // marked cluster and the edge not already settled as deleted.
         const auto eid = g_.find_edge(u, rm.sender);
@@ -285,17 +334,18 @@ class SpannerRun {
           continue;
         deduce(u, rm.sender, *eid, d);
       }
-    }
+    });
   }
 
   // --- step 3: connections between unmarked clusters ----------------------
 
   void step3_connect_unmarked(bool lower_ids) {
-    std::vector<std::vector<bcc::Message>> outboxes(n_);
-    for (std::size_t v = 0; v < n_; ++v) {
-      if (!in_unmarked_cluster(v)) continue;
+    // Phase A (parallel): eligible candidates grouped by target cluster,
+    // ascending cluster id (the broadcast order).
+    std::vector<std::vector<PlannedGroup>> groups(n_);
+    common::parallel_for(0, n_, [&](std::size_t v) {
+      if (!in_unmarked_cluster(v)) return;
       const std::size_t own = cluster_[v];
-      // Group eligible candidates by target cluster.
       std::map<std::size_t, std::vector<Candidate>> by_cluster;
       for (graph::EdgeId e : g_.incident(v)) {
         if (!edge_usable(e)) continue;
@@ -307,35 +357,40 @@ class SpannerRun {
         if (lower_ids ? (x > own) : (x < own)) continue;
         by_cluster[x].push_back({u, e, weight(e)});
       }
-      for (auto& [x, cands] : by_cluster) {
-        const ConnectResult res =
-            connect(std::move(cands),
-                    [this](graph::EdgeId e) { return sample_exists(e); });
-        note_rejections(v, res.rejected);
-        if (res.accepted) accept_edge(v, *res.accepted);
-        outboxes[v].push_back(encode_cluster_msg(x, res.accepted));
+      for (auto& [x, cs] : by_cluster) {
+        groups[v].push_back({x, std::move(cs)});
+      }
+    });
+
+    // Phase B (sequential): Connect per group in node, then cluster order.
+    std::vector<std::vector<bcc::Message>> planned(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      for (auto& grp : groups[v]) {
+        const ConnectResult res = run_connect_group(v, std::move(grp.cands));
+        planned[v].push_back(encode_cluster_msg(grp.cluster, res.accepted));
       }
     }
 
-    const auto inboxes = net_.exchange(
-        outboxes, lower_ids ? "spanner/step3.1" : "spanner/step3.2");
-    for (std::size_t u = 0; u < n_; ++u) {
-      if (!in_unmarked_cluster(u)) continue;
+    // Phase C: broadcast + parallel deduction.
+    const auto inboxes = net_.run_superstep(
+        [&planned](std::size_t v) { return std::move(planned[v]); },
+        lower_ids ? "spanner/step3.1" : "spanner/step3.2");
+    common::parallel_for(0, n_, [&](std::size_t u) {
+      if (!in_unmarked_cluster(u)) return;
       for (const auto& rm : inboxes[u]) {
         const Decoded d = decode_cluster_msg(rm.message);
         if (d.cluster != cluster_[u]) continue;
         const auto eid = g_.find_edge(u, rm.sender);
         if (!eid || !avail_[*eid]) continue;
         // Eligibility: w(u,v) <= W_v, learned from v's step-2 broadcast.
-        const auto it = w_threshold_seen_from_.find({u, rm.sender});
-        const double wv = it == w_threshold_seen_from_.end() ? kInf
-                                                             : it->second;
+        const auto it = w_seen_[u].find(rm.sender);
+        const double wv = it == w_seen_[u].end() ? kInf : it->second;
         if (weight(*eid) > wv) continue;
         if (belief_[*eid][side_of(*eid, u)] == EdgeDecision::kDeleted)
           continue;
         deduce(u, rm.sender, *eid, d);
       }
-    }
+    });
   }
 
   void apply_pending_joins() {
@@ -352,11 +407,12 @@ class SpannerRun {
     // Substep 4.1: unclustered vertices; 4.2: clustered, lower ids;
     // 4.3: clustered, higher ids.
     for (int sub = 1; sub <= 3; ++sub) {
-      std::vector<std::vector<bcc::Message>> outboxes(n_);
-      for (std::size_t v = 0; v < n_; ++v) {
+      // Phase A (parallel).
+      std::vector<std::vector<PlannedGroup>> groups(n_);
+      common::parallel_for(0, n_, [&](std::size_t v) {
         const bool clustered = cluster_[v] != kNone;
-        if (sub == 1 && clustered) continue;
-        if (sub != 1 && !clustered) continue;
+        if (sub == 1 && clustered) return;
+        if (sub != 1 && !clustered) return;
         std::map<std::size_t, std::vector<Candidate>> by_cluster;
         for (graph::EdgeId e : g_.incident(v)) {
           if (!edge_usable(e)) continue;
@@ -370,18 +426,26 @@ class SpannerRun {
           }
           by_cluster[x].push_back({u, e, weight(e)});
         }
-        for (auto& [x, cands] : by_cluster) {
-          const ConnectResult res =
-              connect(std::move(cands),
-                      [this](graph::EdgeId e) { return sample_exists(e); });
-          note_rejections(v, res.rejected);
-          if (res.accepted) accept_edge(v, *res.accepted);
-          outboxes[v].push_back(encode_cluster_msg(x, res.accepted));
+        for (auto& [x, cs] : by_cluster) {
+          groups[v].push_back({x, std::move(cs)});
+        }
+      });
+
+      // Phase B (sequential).
+      std::vector<std::vector<bcc::Message>> planned(n_);
+      for (std::size_t v = 0; v < n_; ++v) {
+        for (auto& grp : groups[v]) {
+          const ConnectResult res = run_connect_group(v, std::move(grp.cands));
+          planned[v].push_back(encode_cluster_msg(grp.cluster, res.accepted));
         }
       }
-      const auto inboxes = net_.exchange(outboxes, "spanner/step4");
-      for (std::size_t u = 0; u < n_; ++u) {
-        if (cluster_[u] == kNone) continue;
+
+      // Phase C.
+      const auto inboxes = net_.run_superstep(
+          [&planned](std::size_t v) { return std::move(planned[v]); },
+          "spanner/step4");
+      common::parallel_for(0, n_, [&](std::size_t u) {
+        if (cluster_[u] == kNone) return;
         for (const auto& rm : inboxes[u]) {
           const Decoded d = decode_cluster_msg(rm.message);
           if (d.cluster != cluster_[u]) continue;
@@ -391,7 +455,7 @@ class SpannerRun {
             continue;
           deduce(u, rm.sender, *eid, d);
         }
-      }
+      });
     }
   }
 
@@ -427,17 +491,18 @@ class SpannerRun {
   std::vector<EdgeDecision> decision_;
   std::vector<bool> in_f_plus_;
   // belief_[e][side]: what each endpoint believes about e's existence,
-  // maintained exclusively through own decisions and deductions.
+  // maintained exclusively through own decisions and deductions. Each side
+  // is written only by the endpoint owning it, so the receive fan-out never
+  // races.
   std::vector<std::array<EdgeDecision, 2>> belief_;
 
   std::vector<std::size_t> cluster_;  // center id or kNone
   std::vector<bool> marked_;          // indexed by center id
   std::vector<std::size_t> pending_join_;
-  std::vector<double> w_threshold_;       // W_v^(i), decider view
-  std::vector<double> w_threshold_seen_;  // unused slot kept for layout
-  // (receiver u, sender v) -> W_v observed from v's step-2 broadcast.
-  std::map<std::pair<std::size_t, std::size_t>, double>
-      w_threshold_seen_from_;
+  std::vector<double> w_threshold_;  // W_v^(i), decider view
+  // w_seen_[u][v]: W_v observed by u from v's step-2 broadcast. Owned (and
+  // only ever written) by receiver u.
+  std::vector<std::map<std::size_t, double>> w_seen_;
   std::vector<std::size_t> center_population_cache_;
 
   ProbabilisticSpannerResult result_;

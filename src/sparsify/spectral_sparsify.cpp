@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "spanner/bundle.h"
 
 namespace bcclap::sparsify {
@@ -95,14 +96,19 @@ SparsifyResult spectral_sparsify(const graph::Graph& g,
     for (graph::EdgeId e : bundle.deleted_edges) avail[e] = false;
     std::vector<bool> in_bundle(m, false);
     for (graph::EdgeId e : bundle.bundle_edges) in_bundle[e] = true;
-    for (std::size_t e = 0; e < m; ++e) {
-      if (!avail[e]) continue;
-      if (in_bundle[e]) {
-        last_reset[e] = i;  // p(e) <- 1
-      } else {
-        weight[e] *= 4.0;   // p(e) <- p(e)/4 (tracked via last_reset)
+    // Per-edge probability bookkeeping: every slot is written by exactly
+    // one index, so the loop fans out across the pool deterministically.
+    common::parallel_for_chunks(0, m, 4096, [&](std::size_t lo,
+                                                std::size_t hi) {
+      for (std::size_t e = lo; e < hi; ++e) {
+        if (!avail[e]) continue;
+        if (in_bundle[e]) {
+          last_reset[e] = i;  // p(e) <- 1
+        } else {
+          weight[e] *= 4.0;   // p(e) <- p(e)/4 (tracked via last_reset)
+        }
       }
-    }
+    });
     last_bundle = bundle.bundle_edges;
     last_bundle_out = bundle.out_vertex;
   }
@@ -120,26 +126,48 @@ SparsifyResult spectral_sparsify(const graph::Graph& g,
     result.original_edge.push_back(e);
     result.out_vertex.push_back(last_bundle_out[j]);
   }
-  std::vector<std::vector<bcc::Message>> outboxes(g.num_vertices());
-  for (std::size_t e = 0; e < m; ++e) {
-    if (!avail[e] || in_last_bundle[e]) continue;
-    bool exists = true;
-    for (std::size_t j = last_reset[e] + 1; j <= L; ++j) {
-      if (!coins.survives(j, e)) {
-        exists = false;
-        break;
+  // The pending survival coins of every maintained edge are a pure function
+  // of (seed, iteration, edge), so they evaluate in parallel; the graph and
+  // result assembly below then walks edges in id order as before.
+  std::vector<std::uint8_t> sampled(m, 0);
+  common::parallel_for_chunks(0, m, 1024, [&](std::size_t lo,
+                                              std::size_t hi) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      if (!avail[e] || in_last_bundle[e]) continue;
+      bool exists = true;
+      for (std::size_t j = last_reset[e] + 1; j <= L; ++j) {
+        if (!coins.survives(j, e)) {
+          exists = false;
+          break;
+        }
       }
+      sampled[e] = exists ? 1 : 0;
     }
-    if (!exists) continue;
+  });
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!sampled[e]) continue;
     const auto& ed = g.edge(e);
     h.add_edge(ed.u, ed.v, weight[e]);
     result.original_edge.push_back(e);
     result.out_vertex.push_back(ed.u);  // oriented towards the higher id
-    bcc::Message msg;
-    msg.push_id(ed.v, g.num_vertices());
-    outboxes[ed.u].push_back(msg);
   }
-  net.exchange(outboxes, "sparsify/final-sample");
+  // Broadcast the additions through the superstep driver: the lower-id
+  // endpoint announces each sampled edge (Algorithm 5 lines 12-15). Edges
+  // are stored with u < v and adjacency lists grow in edge-id order, so
+  // node u's outbox matches the edge-id-ordered messages of the sequential
+  // engine.
+  net.run_superstep(
+      [&](std::size_t v) {
+        std::vector<bcc::Message> out;
+        for (graph::EdgeId e : g.incident(v)) {
+          if (!sampled[e] || g.edge(e).u != v) continue;
+          bcc::Message msg;
+          msg.push_id(g.edge(e).v, g.num_vertices());
+          out.push_back(msg);
+        }
+        return out;
+      },
+      "sparsify/final-sample");
 
   result.sparsifier = std::move(h);
   result.rounds = net.accountant().since(start);

@@ -90,6 +90,65 @@ TEST(Network, DefaultBandwidthIsThetaLogN) {
   EXPECT_GE(Network::default_bandwidth(2), 4);
 }
 
+// Regression: B = 2 ceil(log2 n) + 2 degenerates for n <= 2 (log2 n <= 1).
+// Tiny networks must clamp to B >= 4 — a minimal [flag | id | id | w-bit]
+// protocol message — and every n >= 0 must be accepted.
+TEST(Network, DefaultBandwidthTinyNetworks) {
+  EXPECT_EQ(Network::default_bandwidth(0), 4);
+  EXPECT_EQ(Network::default_bandwidth(1), 4);
+  EXPECT_EQ(Network::default_bandwidth(2), 4);
+  EXPECT_EQ(Network::default_bandwidth(3), 6);
+  EXPECT_EQ(Network::default_bandwidth(4), 6);
+  // Monotone nondecreasing and always >= 4.
+  std::int64_t prev = 0;
+  for (std::size_t n = 0; n <= 300; ++n) {
+    const std::int64_t b = Network::default_bandwidth(n);
+    EXPECT_GE(b, 4) << n;
+    EXPECT_GE(b, prev) << n;
+    prev = b;
+  }
+}
+
+TEST(Network, SingleNodeBccExchange) {
+  Network net(Model::kBroadcastCongestedClique, std::size_t{1},
+              Network::default_bandwidth(1));
+  std::vector<std::vector<Message>> out(1);
+  out[0].push_back(Message().push_flag(true));
+  const auto in = net.exchange(out, "solo");
+  // No other node exists; the broadcast still costs its round.
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_TRUE(in[0].empty());
+  EXPECT_EQ(net.accountant().total(), 1);
+}
+
+TEST(Network, TwoNodeExchangeFitsMinimalMessageInOneRound) {
+  // flag + id(1) + id(1) + 1-bit weight = 4 bits fits B = 4 exactly.
+  Network net(Model::kBroadcastCongestedClique, std::size_t{2},
+              Network::default_bandwidth(2));
+  std::vector<std::vector<Message>> out(2);
+  out[0].push_back(
+      Message().push_flag(true).push_id(1, 2).push_id(0, 2).push(1, 1));
+  const auto in = net.exchange(out, "pair");
+  ASSERT_EQ(in[1].size(), 1u);
+  EXPECT_EQ(in[1][0].sender, 0u);
+  EXPECT_EQ(in[1][0].message.total_bits(), 4);
+  EXPECT_EQ(net.accountant().total(), 1);
+}
+
+TEST(Network, TwoNodeBcExchange) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  auto net = testsupport::bc_net(g);
+  std::vector<std::vector<Message>> out(2);
+  out[0].push_back(Message().push_id(0, 2));
+  out[1].push_back(Message().push_id(1, 2));
+  const auto in = net.exchange(out, "pair");
+  ASSERT_EQ(in[0].size(), 1u);
+  EXPECT_EQ(in[0][0].sender, 1u);
+  ASSERT_EQ(in[1].size(), 1u);
+  EXPECT_EQ(in[1][0].sender, 0u);
+}
+
 TEST(Network, MessagesOrderedBySender) {
   Network net(Model::kBroadcastCongestedClique, std::size_t{4}, 32);
   std::vector<std::vector<Message>> out(4);

@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace bcclap::common {
+namespace {
+
+// Restores the global pool to a single worker when a test ends, so suites
+// that run after a multi-thread test see the default configuration.
+class ScopedGlobalThreads {
+ public:
+  explicit ScopedGlobalThreads(std::size_t threads) {
+    ThreadPool::set_global_threads(threads);
+  }
+  ~ScopedGlobalThreads() { ThreadPool::set_global_threads(1); }
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnRangeAndGrain) {
+  // The determinism contract: the set of (lo, hi) chunks must be the same
+  // partition for every thread count.
+  const auto chunks_for = [](std::size_t threads, std::size_t n,
+                             std::size_t grain) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for_chunks(0, n, grain,
+                             [&](std::size_t lo, std::size_t hi) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               chunks.insert({lo, hi});
+                             });
+    return chunks;
+  };
+  const auto reference = chunks_for(1, 1000, 64);
+  // 1000/64 -> 15 full chunks + the 40-index tail.
+  EXPECT_EQ(reference.size(), 16u);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(chunks_for(threads, 1000, 64), reference);
+  }
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x(kN);
+  std::iota(x.begin(), x.end(), 1.0);
+  std::vector<double> y(kN, 0.0);
+  pool.parallel_for(0, kN, [&](std::size_t i) { y[i] = x[i] * x[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(y[i], x[i] * x[i]);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  pool.parallel_for(0, kOuter, [&](std::size_t i) {
+    // Nested use of the global pool from a worker must not deadlock; it
+    // runs inline on the calling worker.
+    ThreadPool::global().parallel_for(0, kInner,
+                                      [&](std::size_t j) { ++hits[i][j]; });
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::size_t i) {
+                          if (i == 123) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, GlobalOverride) {
+  ScopedGlobalThreads scoped(3);
+  EXPECT_EQ(ThreadPool::global_threads(), 3u);
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global_threads(), 2u);
+}
+
+TEST(ThreadPool, ManySmallJobsBackToBack) {
+  // Stresses job publication: a straggler from job k must never touch job
+  // k+1's state (regression guard for the shared-job lifetime design).
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace bcclap::common
