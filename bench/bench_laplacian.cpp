@@ -4,14 +4,82 @@
 #include "support/harness.h"
 
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "graph/generators.h"
+#include "graph/laplacian.h"
 #include "laplacian/solver.h"
+#include "linalg/cholesky.h"
 
 namespace {
 
 using namespace bcclap;
+
+// Deterministic diagonally-dominant SPD matrix: symmetric uniform noise
+// with diagonal n. Built once per case so the measured body is the
+// factorization itself, not the generator.
+linalg::DenseMatrix make_spd(std::size_t n, std::uint64_t seed) {
+  rng::Stream stream(seed);
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = i == j ? static_cast<double>(n)
+                              : stream.next_double() - 0.5;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+// E5b (PR 3): blocked LDLT factorization throughput — the last O(n^3)
+// kernel on the hot path, now fanned out over the worker pool. The
+// fingerprint counter is a bitwise function of the factor (solve is
+// sequential), so the bench doubles as a cross-thread determinism gate.
+void ldlt_factor_n(bench::State& s, const linalg::DenseMatrix& a) {
+  const std::size_t n = a.rows();
+  const auto f = linalg::LdltFactor::factor(a);
+  if (!f) {
+    s.counter("factor_ok", 0.0);
+    return;
+  }
+  linalg::Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+  s.counter("n", static_cast<double>(n));
+  s.counter("factor_ok", 1.0);
+  s.counter("fingerprint_xnorm", linalg::norm2(f->solve(b)));
+}
+
+// Per-component factorization fan-out on a disconnected union of random
+// components (the Gremban-reduction workload shape).
+void component_factor_n(bench::State& s, std::size_t n_per_comp,
+                        std::size_t comps) {
+  rng::Stream gstream(n_per_comp * 31 + comps);
+  graph::Graph g(n_per_comp * comps);
+  for (std::size_t c = 0; c < comps; ++c) {
+    const auto part = graph::random_connected_gnp(
+        n_per_comp, 0.3, static_cast<std::int64_t>(c + 2), gstream);
+    for (std::size_t e = 0; e < part.num_edges(); ++e) {
+      const auto& ed = part.edge(e);
+      g.add_edge(ed.u + c * n_per_comp, ed.v + c * n_per_comp, ed.weight);
+    }
+  }
+  const auto f =
+      linalg::ComponentLaplacianFactor::factor(graph::laplacian(g));
+  if (!f) {
+    s.counter("factor_ok", 0.0);
+    return;
+  }
+  linalg::Vec b(g.num_vertices(), 0.0);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v)
+    b[v] = (v % 2 == 0) ? 1.0 : -1.0;
+  s.counter("n", static_cast<double>(g.num_vertices()));
+  s.counter("components", static_cast<double>(f->num_components()));
+  s.counter("factor_ok", 1.0);
+  s.counter("fingerprint_xnorm", linalg::norm2(f->solve(b)));
+}
 
 void laplacian_solve_eps(bench::State& s, int eps_exp) {
   const double eps = std::pow(10.0, -static_cast<double>(eps_exp));
@@ -73,5 +141,14 @@ int main(int argc, char** argv) {
     h.add("laplacian_solve_n/n=" + std::to_string(n),
           [n](bench::State& s) { laplacian_solve_n(s, n); });
   }
+  // PR 3: n >= 256 factorization instances — per-node compute dominates
+  // dispatch at these sizes, so multi-core speedups become observable.
+  for (const std::size_t n : {256u, 384u, 512u}) {
+    auto a = std::make_shared<linalg::DenseMatrix>(make_spd(n, n * 7 + 3));
+    h.add("ldlt_factor/n=" + std::to_string(n),
+          [a](bench::State& s) { ldlt_factor_n(s, *a); });
+  }
+  h.add("component_factor/n=256/comps=4",
+        [](bench::State& s) { component_factor_n(s, 64, 4); });
   return h.run(argc, argv);
 }

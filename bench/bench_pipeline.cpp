@@ -80,6 +80,13 @@ int main(int argc, char** argv) {
     h.add("pipeline_sparsify_and_solve/n=" + std::to_string(n),
           [n](bench::State& s) { pipeline_sparsify_and_solve(s, n); });
   }
+  // PR 3: n >= 256 pipeline instance, where per-node compute (not pool
+  // dispatch) dominates. Run exactly once per invocation — the sparsifier
+  // broadcasts O(n^2) words per superstep at this size.
+  h.add(
+      "pipeline_sparsify_and_solve/n=256",
+      [](bench::State& s) { pipeline_sparsify_and_solve(s, 256); },
+      /*repeats_override=*/1, /*warmup_override=*/0);
   // The full-stack IPM case is multi-second; run it exactly once.
   h.add(
       "pipeline_flow_full_stack/n=5",

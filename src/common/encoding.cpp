@@ -25,8 +25,8 @@ int bit_width_u64(std::uint64_t v) {
 }
 
 int bit_width_i64(std::int64_t v) {
-  const std::uint64_t mag =
-      v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1 : static_cast<std::uint64_t>(v);
+  const std::uint64_t mag = v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1
+                                  : static_cast<std::uint64_t>(v);
   return 1 + bit_width_u64(mag);
 }
 

@@ -78,22 +78,44 @@ struct Job {
 struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable work_cv;
-  std::shared_ptr<Job> job;       // most recently published job
-  std::uint64_t job_seq = 0;      // bumped on every publish
-  bool shutting_down = false;
+  std::shared_ptr<Job> job;  // most recently published job
+  // job_seq / shutting_down are atomics so the worker spin phase can poll
+  // them without the mutex; they are still only *written* under mu, which
+  // keeps the cv predicate race-free.
+  std::atomic<std::uint64_t> job_seq{0};
+  std::atomic<bool> shutting_down{false};
+  std::size_t sleepers = 0;  // workers parked in work_cv.wait (under mu)
   std::vector<std::thread> workers;
+
+  // Spin-then-sleep: kernels like the blocked factorization publish many
+  // short parallel regions back to back, and a futex sleep/wake round trip
+  // per region costs more than the region itself. Workers therefore poll
+  // for the next job briefly before parking on the cv; the publisher skips
+  // the notify syscall entirely when nobody is parked.
+  static constexpr int kSpinIters = 256;
 
   void worker_loop() {
     t_inside_worker = true;
     std::uint64_t seen = 0;
     for (;;) {
+      for (int spin = 0; spin < kSpinIters; ++spin) {
+        if (shutting_down.load(std::memory_order_relaxed) ||
+            job_seq.load(std::memory_order_acquire) != seen) {
+          break;
+        }
+        std::this_thread::yield();
+      }
       std::shared_ptr<Job> j;
       {
         std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock,
-                     [&] { return shutting_down || job_seq != seen; });
-        if (shutting_down) return;
-        seen = job_seq;
+        ++sleepers;
+        work_cv.wait(lock, [&] {
+          return shutting_down.load(std::memory_order_relaxed) ||
+                 job_seq.load(std::memory_order_relaxed) != seen;
+        });
+        --sleepers;
+        if (shutting_down.load(std::memory_order_relaxed)) return;
+        seen = job_seq.load(std::memory_order_relaxed);
         j = job;
       }
       if (j) j->run();
@@ -115,7 +137,7 @@ ThreadPool::~ThreadPool() {
   if (!impl_) return;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->shutting_down = true;
+    impl_->shutting_down.store(true, std::memory_order_relaxed);
   }
   impl_->work_cv.notify_all();
   for (auto& t : impl_->workers) t.join();
@@ -142,12 +164,16 @@ void ThreadPool::parallel_for_chunks(
   job->end = end;
   job->grain = grain;
   job->num_chunks = (end - begin + grain - 1) / grain;
+  bool anyone_sleeping;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->job = job;
-    ++impl_->job_seq;
+    impl_->job_seq.fetch_add(1, std::memory_order_release);
+    anyone_sleeping = impl_->sleepers > 0;
   }
-  impl_->work_cv.notify_all();
+  // Spinning workers observe the job_seq bump without a wakeup; the
+  // notify syscall is only paid for workers actually parked on the cv.
+  if (anyone_sleeping) impl_->work_cv.notify_all();
   job->run();  // the calling thread participates
   job->wait();
   if (job->error) std::rethrow_exception(job->error);

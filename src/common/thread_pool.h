@@ -21,6 +21,12 @@
 // Thread count resolution: BCCLAP_THREADS environment variable if set,
 // otherwise std::thread::hardware_concurrency(). Tests and benches override
 // it at runtime with set_global_threads().
+//
+// Wakeup cost: workers spin briefly (yielding) for the next job before
+// parking on the condition variable, and the publisher skips the notify
+// syscall when no worker is parked — kernels that issue many short
+// parallel regions back to back (e.g. one per factorization panel) avoid
+// a futex round trip per region.
 #pragma once
 
 #include <algorithm>
@@ -70,9 +76,9 @@ class ThreadPool {
   //
   // Calls from inside a worker (nested parallelism) run inline on the
   // calling thread — the pool never deadlocks on itself.
-  void parallel_for_chunks(std::size_t begin, std::size_t end,
-                           std::size_t grain,
-                           const std::function<void(std::size_t, std::size_t)>& fn);
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
   // Per-index convenience: fn(i) for i in [begin, end).
   void parallel_for(std::size_t begin, std::size_t end,

@@ -126,7 +126,8 @@ McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
     linalg::Vec q_tilde(m);
     for (std::size_t a = 0; a < m; ++a) {
       const double noise =
-          static_cast<double>(pert.next_int(1, static_cast<std::int64_t>(2 * m))) /
+          static_cast<double>(
+              pert.next_int(1, static_cast<std::int64_t>(2 * m))) /
           d_denom;
       q_tilde[a] = static_cast<double>(g.arc(a).cost) + noise;
     }

@@ -37,7 +37,8 @@ class SparsifiedLaplacianSolver {
   // Solves L_G x = b to ||x - y||_{L_G} <= eps ||x||_{L_G}. b is projected
   // onto range(L_G) (mean removed). Rounds are charged per Theorem 1.3:
   // O(log(1/eps)) iterations x O(log(n U / eps)) bits per matvec broadcast.
-  linalg::Vec solve(const linalg::Vec& b, double eps, SolveStats* stats = nullptr);
+  linalg::Vec solve(const linalg::Vec& b, double eps,
+                    SolveStats* stats = nullptr);
 
   // False when even the fallback factorization failed (numerically
   // degenerate input); solve() must not be called in that case.

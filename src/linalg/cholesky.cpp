@@ -1,9 +1,24 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace bcclap::linalg {
+
+namespace {
+
+// Tile edge of the blocked right-looking factorization. Fixed — never
+// derived from the worker count — so tile boundaries, and with them the
+// floating-point grouping of every trailing update, are identical at any
+// thread count. For n <= kLdltBlock the whole matrix is one diagonal
+// block and the arithmetic is exactly the classic unblocked sweep.
+constexpr std::size_t kLdltBlock = 64;
+
+}  // namespace
 
 std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
                                              double pivot_tol) {
@@ -15,25 +30,117 @@ std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
   double diag_scale = 0.0;
   for (std::size_t j = 0; j < n; ++j)
     diag_scale = std::max(diag_scale, std::abs(a(j, j)));
-  const double threshold = pivot_tol * std::max(diag_scale, 1e-300);
+  // Degenerate inputs are "not PD" explicitly: a 0x0 system has nothing to
+  // factor, and an all-zero diagonal admits no positive pivot — without
+  // this guard the zero matrix would race `0 <= pivot_tol * 1e-300`
+  // against double underflow instead of being rejected by design.
+  if (n == 0 || diag_scale == 0.0) return std::nullopt;
+  const double threshold = pivot_tol * diag_scale;
+
   LdltFactor f;
   f.n_ = n;
   f.l_ = DenseMatrix(n, n);
   f.d_.assign(n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    double dj = a(j, j);
-    for (std::size_t k = 0; k < j; ++k)
-      dj -= f.l_(j, k) * f.l_(j, k) * f.d_[k];
-    if (dj <= threshold) return std::nullopt;
-    f.d_[j] = dj;
-    f.l_(j, j) = 1.0;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double v = a(i, j);
-      for (std::size_t k = 0; k < j; ++k)
-        v -= f.l_(i, k) * f.l_(j, k) * f.d_[k];
-      f.l_(i, j) = v / dj;
+  DenseMatrix& l = f.l_;
+  Vec& d = f.d_;
+
+  // Working storage: the lower triangle of `l` starts as the lower
+  // triangle of `a` and is transformed block column by block column into
+  // the unit-lower factor. The strict upper triangle stays zero; the
+  // diagonal slots hold trailing-matrix values until the final pass pins
+  // them to 1.
+  common::parallel_for_chunks(
+      0, n, common::chunk_grain(n, n / 2 + 1),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          double* li = l.row_data(i);
+          const double* ai = a.row_data(i);
+          for (std::size_t j = 0; j <= i; ++j) li[j] = ai[j];
+        }
+      });
+
+  // Scaled-panel scratch for the trailing GEMM, sized once for the first
+  // (largest) panel: every block column that reaches the trailing update
+  // has bw == kLdltBlock (the final, possibly ragged block breaks out
+  // before using it), so one buffer serves the whole factorization.
+  std::vector<double> scaled(
+      n > kLdltBlock ? (n - kLdltBlock) * kLdltBlock : 0);
+
+  for (std::size_t kb = 0; kb < n; kb += kLdltBlock) {
+    const std::size_t ke = std::min(n, kb + kLdltBlock);
+    const std::size_t bw = ke - kb;
+
+    // (1) Unblocked LDLT of the diagonal block. Contributions of earlier
+    // block columns were already applied by their trailing updates, so
+    // only within-block corrections remain.
+    for (std::size_t j = kb; j < ke; ++j) {
+      const double* lj = l.row_data(j);
+      double dj = lj[j];
+      for (std::size_t k = kb; k < j; ++k) dj -= lj[k] * lj[k] * d[k];
+      if (dj <= threshold) return std::nullopt;
+      d[j] = dj;
+      for (std::size_t i = j + 1; i < ke; ++i) {
+        double* li = l.row_data(i);
+        double v = li[j];
+        for (std::size_t k = kb; k < j; ++k) v -= li[k] * lj[k] * d[k];
+        li[j] = v / dj;
+      }
     }
+    if (ke == n) break;
+
+    // (2) Panel: every row below the block receives its final L entries
+    // for columns [kb, ke). Rows are independent, so they fan out across
+    // the pool; each row also records its D-scaled copy, the right-hand
+    // operand of the trailing GEMM below.
+    const std::size_t rows_below = n - ke;
+    common::parallel_for_chunks(
+        ke, n, common::chunk_grain(rows_below, bw * bw / 2 + bw),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            double* li = l.row_data(i);
+            double* si = scaled.data() + (i - ke) * bw;
+            for (std::size_t j = kb; j < ke; ++j) {
+              const double* lj = l.row_data(j);
+              double v = li[j];
+              for (std::size_t k = kb; k < j; ++k) v -= li[k] * lj[k] * d[k];
+              li[j] = v / d[j];
+              si[j - kb] = li[j] * d[j];
+            }
+          }
+        });
+
+    // (3) Trailing update: W(i, j) -= sum_k L(i, k) D(k) L(j, k) over the
+    // block's columns, for ke <= j <= i < n. The trailing triangle is cut
+    // into kLdltBlock-square tiles; every tile is one unit of work with a
+    // fixed interior loop order and a disjoint write range, so the fan-out
+    // needs no merge step to stay deterministic.
+    struct Tile {
+      std::size_t ilo, jlo;
+    };
+    std::vector<Tile> tiles;
+    for (std::size_t ilo = ke; ilo < n; ilo += kLdltBlock)
+      for (std::size_t jlo = ke; jlo <= ilo; jlo += kLdltBlock)
+        tiles.push_back({ilo, jlo});
+    common::parallel_for_chunks(
+        0, tiles.size(), 1, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t t = lo; t < hi; ++t) {
+            const std::size_t ihi = std::min(n, tiles[t].ilo + kLdltBlock);
+            const std::size_t jcap = std::min(n, tiles[t].jlo + kLdltBlock);
+            for (std::size_t i = tiles[t].ilo; i < ihi; ++i) {
+              double* li = l.row_data(i);
+              const std::size_t jhi = std::min(jcap, i + 1);
+              for (std::size_t j = tiles[t].jlo; j < jhi; ++j) {
+                const double* sj = scaled.data() + (j - ke) * bw;
+                double s = 0.0;
+                for (std::size_t k = 0; k < bw; ++k) s += li[kb + k] * sj[k];
+                li[j] -= s;
+              }
+            }
+          }
+        });
   }
+
+  for (std::size_t j = 0; j < n; ++j) l(j, j) = 1.0;
   return f;
 }
 
@@ -62,14 +169,16 @@ std::optional<LaplacianFactor> LaplacianFactor::factor(
   assert(laplacian.rows() == laplacian.cols());
   const std::size_t n = laplacian.rows();
   if (n < 2) return std::nullopt;
-  // Grounded matrix: drop last row/column.
+  // Grounded matrix: drop last row/column. Accumulate (rather than assign)
+  // so duplicate CSR entries sum exactly as CsrMatrix::multiply applies
+  // them; assignment would silently drop all but the last duplicate.
   DenseMatrix g(n - 1, n - 1);
   const auto& rp = laplacian.row_ptr();
   const auto& ci = laplacian.col_index();
   const auto& vals = laplacian.values();
   for (std::size_t r = 0; r + 1 < n; ++r) {
     for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
-      if (ci[k] + 1 < n) g(r, ci[k]) = vals[k];
+      if (ci[k] + 1 < n) g(r, ci[k]) += vals[k];
     }
   }
   auto f = LdltFactor::factor(g);
@@ -120,27 +229,43 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
       }
     }
   }
-  // Factor each component (grounded on its last local vertex).
-  for (auto& verts : f.component_vertices_) {
-    if (verts.size() < 2) {
-      f.factors_.emplace_back(std::nullopt);
-      continue;
-    }
-    std::vector<std::size_t> local(n, static_cast<std::size_t>(-1));
+  // Local index of every vertex within its component's vertex list,
+  // computed in one O(n) pass (the old per-component rebuild was O(n)
+  // per component and would serialize the fan-out below).
+  const std::size_t num_comps = f.component_vertices_.size();
+  std::vector<std::size_t> local(n, 0);
+  for (std::size_t c = 0; c < num_comps; ++c) {
+    const auto& verts = f.component_vertices_[c];
     for (std::size_t i = 0; i < verts.size(); ++i) local[verts[i]] = i;
+  }
+  // Factor each component (grounded on its last local vertex). Components
+  // are independent and every slot of factors_ is written by exactly one
+  // index, so the fan-out is race-free and byte-deterministic; a failed
+  // component leaves its slot empty and is distinguished from a singleton
+  // by size below.
+  f.factors_.resize(num_comps);
+  common::parallel_for(0, num_comps, [&](std::size_t c) {
+    const auto& verts = f.component_vertices_[c];
+    if (verts.size() < 2) return;
     const std::size_t dim = verts.size() - 1;
     DenseMatrix g(dim, dim);
     for (std::size_t i = 0; i + 1 < verts.size(); ++i) {
       const std::size_t v = verts[i];
       for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
-        const std::size_t lu = local[ci[k]];
-        if (lu == static_cast<std::size_t>(-1) || lu >= dim) continue;
-        g(i, lu) += vals[k];
+        const std::size_t u = ci[k];
+        // Zero-valued entries may reference other components (they are
+        // invisible to the BFS above); the grounded vertex sits at local
+        // index dim.
+        if (f.component_of_[u] != c || local[u] >= dim) continue;
+        g(i, local[u]) += vals[k];
       }
     }
     auto ldlt = LdltFactor::factor(g);
-    if (!ldlt) return std::nullopt;
-    f.factors_.emplace_back(std::move(*ldlt));
+    if (ldlt) f.factors_[c] = std::move(*ldlt);
+  });
+  for (std::size_t c = 0; c < num_comps; ++c) {
+    if (f.component_vertices_[c].size() >= 2 && !f.factors_[c])
+      return std::nullopt;
   }
   return f;
 }
@@ -148,9 +273,11 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
 Vec ComponentLaplacianFactor::solve(const Vec& b) const {
   assert(b.size() == n_);
   Vec x(n_, 0.0);
-  for (std::size_t c = 0; c < component_vertices_.size(); ++c) {
+  // Per-component solves touch disjoint slots of x, so they fan out across
+  // the pool like the factorization does.
+  common::parallel_for(0, component_vertices_.size(), [&](std::size_t c) {
     const auto& verts = component_vertices_[c];
-    if (verts.size() < 2) continue;  // singleton: L row is zero, x = 0
+    if (verts.size() < 2) return;  // singleton: L row is zero, x = 0
     // Project rhs onto the component's zero-sum subspace.
     double mean = 0.0;
     for (std::size_t v : verts) mean += b[v];
@@ -165,7 +292,7 @@ Vec ComponentLaplacianFactor::solve(const Vec& b) const {
     for (std::size_t i = 0; i + 1 < verts.size(); ++i)
       x[verts[i]] = sol[i] - xmean;
     x[verts.back()] = -xmean;
-  }
+  });
   return x;
 }
 

@@ -9,6 +9,13 @@
 //
 // Laplacians are rank-deficient (kernel = span{1} for connected graphs), so
 // `LaplacianFactor` grounds the last vertex and solves on the quotient.
+//
+// `LdltFactor::factor` is a blocked right-looking factorization: the panel
+// solve and the trailing-matrix tiles fan out over the shared worker pool
+// (common/thread_pool.h) with fixed tile boundaries, so factors are
+// byte-identical at any thread count — the same contract the superstep
+// engine gives the network. `ComponentLaplacianFactor` additionally
+// factors (and solves) its connected components in parallel.
 #pragma once
 
 #include <optional>
@@ -22,7 +29,10 @@ namespace bcclap::linalg {
 class LdltFactor {
  public:
   // Factors a symmetric positive definite matrix. Returns nullopt if a pivot
-  // falls below `pivot_tol` (matrix not PD to working precision).
+  // falls below `pivot_tol` relative to the largest diagonal magnitude
+  // (matrix not PD to working precision). Degenerate inputs — a 0x0 matrix
+  // or an all-zero diagonal — are rejected explicitly rather than left to
+  // threshold underflow.
   static std::optional<LdltFactor> factor(const DenseMatrix& a,
                                           double pivot_tol = 1e-12);
 

@@ -20,7 +20,8 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
     const std::size_t c = triplets[i].col;
     assert(r < rows_ && c < cols_);
     double v = 0.0;
-    while (i < triplets.size() && triplets[i].row == r && triplets[i].col == c) {
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
       v += triplets[i].value;
       ++i;
     }
@@ -29,6 +30,27 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
     ++row_ptr_[r + 1];
   }
   for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+CsrMatrix CsrMatrix::from_raw(std::size_t rows, std::size_t cols,
+                              std::vector<std::size_t> row_ptr,
+                              std::vector<std::size_t> col_index,
+                              std::vector<double> values) {
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_index_ = std::move(col_index);
+  m.values_ = std::move(values);
+  assert(m.row_ptr_.size() == rows + 1);
+  assert(m.row_ptr_.front() == 0 && m.row_ptr_.back() == m.values_.size());
+  assert(m.col_index_.size() == m.values_.size());
+#ifndef NDEBUG
+  for (std::size_t r = 0; r < rows; ++r)
+    assert(m.row_ptr_[r] <= m.row_ptr_[r + 1]);
+  for (std::size_t c : m.col_index_) assert(c < cols);
+#endif
+  return m;
 }
 
 Vec CsrMatrix::multiply(const Vec& x) const {

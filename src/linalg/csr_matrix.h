@@ -23,6 +23,16 @@ class CsrMatrix {
   // Builds from triplets; duplicate (row, col) entries are summed.
   CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets);
 
+  // Adopts pre-built CSR arrays without copying or coalescing (external
+  // ingest: scipy-style CSR legitimately carries duplicate columns within
+  // a row). Every consumer in this library treats entries additively, so
+  // duplicates behave as their sum — matvecs and the factorization
+  // scatter paths included.
+  static CsrMatrix from_raw(std::size_t rows, std::size_t cols,
+                            std::vector<std::size_t> row_ptr,
+                            std::vector<std::size_t> col_index,
+                            std::vector<double> values);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return values_.size(); }

@@ -23,7 +23,8 @@ Vec DenseMatrix::multiply(const Vec& x) const {
   // Each output row is an independent dot product: embarrassingly parallel
   // and bitwise deterministic at any thread count.
   common::parallel_for_chunks(
-      0, rows_, common::chunk_grain(rows_, cols_), [&](std::size_t lo, std::size_t hi) {
+      0, rows_, common::chunk_grain(rows_, cols_),
+      [&](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           double s = 0.0;
           const double* row = &data_[r * cols_];

@@ -22,8 +22,17 @@ class DenseMatrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
-  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  // Contiguous row access for the blocked kernels (row-major storage);
+  // row r is data()[r * cols() .. r * cols() + cols()).
+  double* row_data(std::size_t r) { return &data_[r * cols_]; }
+  const double* row_data(std::size_t r) const { return &data_[r * cols_]; }
 
   Vec multiply(const Vec& x) const;
   Vec multiply_transpose(const Vec& x) const;

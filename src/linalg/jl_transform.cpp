@@ -103,8 +103,9 @@ Vec RademacherSketch::row(std::size_t j) const {
 }
 
 std::size_t jl_dimension(std::size_t m, double eta, double c_jl) {
-  const double k = c_jl * std::log(static_cast<double>(std::max<std::size_t>(m, 2))) /
-                   (eta * eta);
+  const double k =
+      c_jl * std::log(static_cast<double>(std::max<std::size_t>(m, 2))) /
+      (eta * eta);
   return static_cast<std::size_t>(std::ceil(std::max(1.0, k)));
 }
 

@@ -24,7 +24,8 @@ double median3(double a, double b, double c) {
 }  // namespace
 
 double lewis_p_for(std::size_t m_rows) {
-  const double lg = std::log(4.0 * static_cast<double>(std::max<std::size_t>(m_rows, 2)));
+  const double lg =
+      std::log(4.0 * static_cast<double>(std::max<std::size_t>(m_rows, 2)));
   return 1.0 - 1.0 / lg;
 }
 
@@ -84,7 +85,8 @@ linalg::Vec compute_initial_weights(const linalg::DenseMatrix& m,
                                     const LewisOptions& opt) {
   const std::size_t rows = m.rows();
   const std::size_t n = m.cols();
-  const double logm = std::log(static_cast<double>(std::max<std::size_t>(rows, 3)));
+  const double logm =
+      std::log(static_cast<double>(std::max<std::size_t>(rows, 3)));
   const double ck = 2.0 * std::log(4.0 * static_cast<double>(rows));
 
   double p = 2.0;

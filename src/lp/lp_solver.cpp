@@ -90,7 +90,8 @@ class PathFollower {
     const double scale = opt_.weights == WeightMode::kLewis
                              ? static_cast<double>(n_)
                              : static_cast<double>(m_);
-    const double logm = std::log2(static_cast<double>(std::max<std::size_t>(m_, 4)));
+    const double logm =
+        std::log2(static_cast<double>(std::max<std::size_t>(m_, 4)));
     return opt_.alpha_constant / (std::sqrt(scale) * logm);
   }
 

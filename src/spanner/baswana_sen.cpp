@@ -33,7 +33,8 @@ struct Lightest {
 BaswanaSenResult baswana_sen(const graph::Graph& g, std::size_t k,
                              rng::Stream& stream) {
   const std::size_t n = g.num_vertices();
-  const double mark_prob = std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
+  const double mark_prob =
+      std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
 
   std::vector<std::size_t> cluster(n);
   for (std::size_t v = 0; v < n; ++v) cluster[v] = v;  // singleton clusters
@@ -80,7 +81,8 @@ BaswanaSenResult baswana_sen(const graph::Graph& g, std::size_t k,
         for (const auto& [c, item] : lightest) {
           spanner.insert(item.e);
           for (graph::EdgeId e : g.incident(v)) {
-            if (alive[e] && cluster[g.other_endpoint(e, v)] == c) alive[e] = false;
+            if (alive[e] && cluster[g.other_endpoint(e, v)] == c)
+              alive[e] = false;
           }
         }
         next_cluster[v] = kUnclustered;

@@ -6,7 +6,8 @@ BundleResult bundle_spanner(const graph::Graph& g,
                             const std::vector<bool>& available,
                             const std::vector<double>& weights, std::size_t k,
                             std::size_t t, const ExistenceOracle& oracle,
-                            rng::Stream& mark_stream, bcc::Network& net) {
+                            rng::Stream& mark_stream, bcc::Network& net,
+                            bool pure_oracle) {
   BundleResult out;
   std::vector<bool> avail = available;
   const std::int64_t start = net.accountant().mark();
@@ -15,6 +16,7 @@ BundleResult bundle_spanner(const graph::Graph& g,
     opt.k = k;
     opt.available = avail;
     opt.weights = weights;
+    opt.pure_oracle = pure_oracle;
     auto res =
         spanner_with_probabilistic_edges(g, opt, oracle, mark_stream, net);
     out.deduction_consistent &= res.deduction_consistent;

@@ -21,10 +21,15 @@ struct BundleResult {
   std::int64_t rounds = 0;
 };
 
+// `pure_oracle` forwards ProbabilisticSpannerOptions::pure_oracle to every
+// spanner of the bundle: set it when `oracle` is a pure function of the
+// edge id (the sparsifier's survival coins) to let the sampling phase fan
+// out across the worker pool.
 BundleResult bundle_spanner(const graph::Graph& g,
                             const std::vector<bool>& available,
                             const std::vector<double>& weights, std::size_t k,
                             std::size_t t, const ExistenceOracle& oracle,
-                            rng::Stream& mark_stream, bcc::Network& net);
+                            rng::Stream& mark_stream, bcc::Network& net,
+                            bool pure_oracle = false);
 
 }  // namespace bcclap::spanner

@@ -14,7 +14,7 @@ inline constexpr std::size_t kNoCluster =
 std::size_t count_clusters(const std::vector<std::size_t>& cluster_of);
 
 // Out-degree histogram for an orientation (Lemma 3.1 / Theorem 1.2).
-std::vector<std::size_t> out_degrees(std::size_t n,
-                                     const std::vector<std::size_t>& out_vertex);
+std::vector<std::size_t> out_degrees(
+    std::size_t n, const std::vector<std::size_t>& out_vertex);
 
 }  // namespace bcclap::spanner

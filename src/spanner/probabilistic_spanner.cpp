@@ -46,12 +46,18 @@ struct PlannedGroup {
 //      groups. Reads only pass-stable state (cluster membership, marks,
 //      thresholds and decisions from *previous* steps), so nodes fan out
 //      across the worker pool freely.
-//   B. sample (sequential) — nodes are walked in id order replaying
-//      Connect over the pre-sorted candidates. This is the only phase that
-//      consumes the existence oracle and mutates shared decision state;
-//      keeping it sequential pins the oracle call order (oracles may be
-//      stateful RNG streams), which is what makes runs byte-identical
-//      regardless of thread count.
+//   B. sample — nodes replay Connect over the pre-sorted candidates. This
+//      is the only phase that consumes the existence oracle. For stateful
+//      oracles (sequential RNG streams) the nodes are walked in id order,
+//      which pins the oracle call order and makes runs byte-identical
+//      regardless of thread count. When the caller declares the oracle
+//      *pure* (opt.pure_oracle — the sparsifier's survival coins), the
+//      decide step fans out across the worker pool instead: the oracle's
+//      answers do not depend on call order, and within one superstep every
+//      edge has a unique decider, so decision/belief writes are per-edge
+//      disjoint. Either way a sequential commit step then appends to
+//      F+/F- in exact (node, group, candidate) order, so both paths
+//      produce identical results.
 //   C. broadcast + deduce — the planned messages go through
 //      Network::run_superstep (parallel encode + exchange), and recipients
 //      apply the Section 3.1 deduction rules concurrently: receiver u only
@@ -74,7 +80,8 @@ class SpannerRun {
         net_(net),
         n_(g.num_vertices()),
         m_(g.num_edges()),
-        k_(opt.k) {
+        k_(opt.k),
+        pure_oracle_(opt.pure_oracle) {
     avail_ = opt.available.empty() ? std::vector<bool>(m_, true)
                                    : opt.available;
     weights_.resize(m_);
@@ -125,17 +132,15 @@ class SpannerRun {
     return avail_[e] && decision_[e] != EdgeDecision::kDeleted;
   }
 
-  // The existence sampler passed to Connect. Decides undecided edges
-  // through the oracle and records the decision (decider side of the
-  // belief table is filled by the caller). Sequential phase B only.
-  bool sample_exists(graph::EdgeId e) {
-    if (decision_[e] == EdgeDecision::kExists) return true;
-    assert(decision_[e] == EdgeDecision::kUndecided);
-    const bool exists = oracle_(e);
-    decision_[e] = exists ? EdgeDecision::kExists : EdgeDecision::kDeleted;
-    if (!exists) result_.f_minus.push_back(e);
-    return exists;
-  }
+  // Result of replaying Connect over one candidate group: the accepted
+  // candidate (if any) plus the edges the group decided out of existence,
+  // in candidate order. Buffered per group so the decide step can run
+  // concurrently and the commit step can replay the sequential append
+  // order exactly.
+  struct GroupDecision {
+    std::optional<Candidate> accepted;
+    std::vector<graph::EdgeId> deleted;
+  };
 
   void record_decider_belief(graph::VertexId v, graph::EdgeId e) {
     belief_[e][side_of(e, v)] = decision_[e];
@@ -145,8 +150,10 @@ class SpannerRun {
     return g_.edge(e).u == v ? 0 : 1;
   }
 
+  // Commit-side F+ bookkeeping only; the decider's belief was already
+  // recorded by decide_node (decide writes decisions/beliefs, commit
+  // writes F+/F-).
   void accept_edge(graph::VertexId v, const Candidate& c) {
-    record_decider_belief(v, c.e);
     if (!in_f_plus_[c.e]) {
       in_f_plus_[c.e] = true;
       result_.f_plus.push_back(c.e);
@@ -273,15 +280,61 @@ class SpannerRun {
       if (cluster_[v] != kNone) ++center_population_cache_[cluster_[v]];
   }
 
-  // Phase B helper: replay Connect over one pre-sorted candidate group and
-  // apply the decider-side bookkeeping.
-  ConnectResult run_connect_group(graph::VertexId v,
-                                  std::vector<Candidate> cands) {
-    ConnectResult res = connect(
-        std::move(cands), [this](graph::EdgeId e) { return sample_exists(e); });
-    note_rejections(v, res.rejected);
-    if (res.accepted) accept_edge(v, *res.accepted);
-    return res;
+  // Replays Connect over one node's pre-sorted groups, writing decisions
+  // into decision_ and the decider side of belief_ (per-edge disjoint
+  // within a superstep: every edge has a unique decider) and buffering the
+  // F+/F- bookkeeping in the returned GroupDecisions. Runs concurrently
+  // for different nodes on the pure-oracle path; the stateful path calls
+  // it in node id order, which pins the oracle stream.
+  std::vector<GroupDecision> decide_node(graph::VertexId v,
+                                         std::vector<PlannedGroup>& groups) {
+    std::vector<GroupDecision> out(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      GroupDecision& gd = out[gi];
+      ConnectResult res =
+          connect(std::move(groups[gi].cands), [&](graph::EdgeId e) {
+            if (decision_[e] == EdgeDecision::kExists) return true;
+            assert(decision_[e] == EdgeDecision::kUndecided);
+            const bool exists = oracle_(e);
+            decision_[e] =
+                exists ? EdgeDecision::kExists : EdgeDecision::kDeleted;
+            if (!exists) gd.deleted.push_back(e);
+            return exists;
+          });
+      note_rejections(v, res.rejected);
+      if (res.accepted) record_decider_belief(v, res.accepted->e);
+      gd.accepted = res.accepted;
+    }
+    return out;
+  }
+
+  // Phase B dispatcher: decide every node's groups (sequentially for
+  // stateful oracles, fanned out for pure ones), then commit F-/F+
+  // appends and invoke per_group(v, cluster, accepted) in exact
+  // (node, group) order on the calling thread. The commit order — and the
+  // first-accept dedup in accept_edge — is what keeps the two decide
+  // strategies result-identical.
+  template <typename PerGroup>
+  void phase_b(std::vector<std::vector<PlannedGroup>>& groups,
+               PerGroup&& per_group) {
+    std::vector<std::vector<GroupDecision>> decided(n_);
+    if (pure_oracle_) {
+      common::parallel_for(0, n_, [&](std::size_t v) {
+        decided[v] = decide_node(v, groups[v]);
+      });
+    } else {
+      for (std::size_t v = 0; v < n_; ++v) {
+        decided[v] = decide_node(v, groups[v]);
+      }
+    }
+    for (std::size_t v = 0; v < n_; ++v) {
+      for (std::size_t gi = 0; gi < decided[v].size(); ++gi) {
+        GroupDecision& gd = decided[v][gi];
+        for (graph::EdgeId e : gd.deleted) result_.f_minus.push_back(e);
+        if (gd.accepted) accept_edge(v, *gd.accepted);
+        per_group(v, groups[v][gi].cluster, gd.accepted);
+      }
+    }
   }
 
   // --- step 2: connect to marked clusters ---------------------------------
@@ -291,28 +344,30 @@ class SpannerRun {
     pending_join_.assign(n_, kNone);
 
     // Phase A (parallel): candidates of each unmarked-cluster node into
-    // marked clusters.
-    std::vector<std::vector<Candidate>> cands(n_);
+    // marked clusters — one group per eligible node (its broadcast carries
+    // the joined cluster, so the group has no target cluster of its own).
+    std::vector<std::vector<PlannedGroup>> groups(n_);
     common::parallel_for(0, n_, [&](std::size_t v) {
       if (!in_unmarked_cluster(v)) return;
+      PlannedGroup grp;
       for (graph::EdgeId e : g_.incident(v)) {
         if (!edge_usable(e)) continue;
         const graph::VertexId u = g_.other_endpoint(e, v);
-        if (in_marked_cluster(u)) cands[v].push_back({u, e, weight(e)});
+        if (in_marked_cluster(u)) grp.cands.push_back({u, e, weight(e)});
       }
+      groups[v].push_back(std::move(grp));
     });
 
-    // Phase B (sequential): Connect in node order; the only oracle phase.
+    // Phase B: the only oracle phase.
     std::vector<std::vector<bcc::Message>> planned(n_);
-    for (std::size_t v = 0; v < n_; ++v) {
-      if (!in_unmarked_cluster(v)) continue;
-      const ConnectResult res = run_connect_group(v, std::move(cands[v]));
-      if (res.accepted) {
-        w_threshold_[v] = res.accepted->weight;
-        pending_join_[v] = cluster_[res.accepted->u];
+    phase_b(groups, [&](graph::VertexId v, std::size_t /*cluster*/,
+                        const std::optional<Candidate>& acc) {
+      if (acc) {
+        w_threshold_[v] = acc->weight;
+        pending_join_[v] = cluster_[acc->u];
       }
-      planned[v].push_back(encode_step2(res.accepted, v));
-    }
+      planned[v].push_back(encode_step2(acc, v));
+    });
 
     // Phase C: broadcast through the superstep driver, deduce in parallel.
     const auto inboxes = net_.run_superstep(
@@ -362,14 +417,12 @@ class SpannerRun {
       }
     });
 
-    // Phase B (sequential): Connect per group in node, then cluster order.
+    // Phase B: Connect per group in node, then cluster order.
     std::vector<std::vector<bcc::Message>> planned(n_);
-    for (std::size_t v = 0; v < n_; ++v) {
-      for (auto& grp : groups[v]) {
-        const ConnectResult res = run_connect_group(v, std::move(grp.cands));
-        planned[v].push_back(encode_cluster_msg(grp.cluster, res.accepted));
-      }
-    }
+    phase_b(groups, [&](graph::VertexId v, std::size_t cluster,
+                        const std::optional<Candidate>& acc) {
+      planned[v].push_back(encode_cluster_msg(cluster, acc));
+    });
 
     // Phase C: broadcast + parallel deduction.
     const auto inboxes = net_.run_superstep(
@@ -431,14 +484,12 @@ class SpannerRun {
         }
       });
 
-      // Phase B (sequential).
+      // Phase B.
       std::vector<std::vector<bcc::Message>> planned(n_);
-      for (std::size_t v = 0; v < n_; ++v) {
-        for (auto& grp : groups[v]) {
-          const ConnectResult res = run_connect_group(v, std::move(grp.cands));
-          planned[v].push_back(encode_cluster_msg(grp.cluster, res.accepted));
-        }
-      }
+      phase_b(groups, [&](graph::VertexId v, std::size_t cluster,
+                          const std::optional<Candidate>& acc) {
+        planned[v].push_back(encode_cluster_msg(cluster, acc));
+      });
 
       // Phase C.
       const auto inboxes = net_.run_superstep(
@@ -484,6 +535,7 @@ class SpannerRun {
   std::size_t n_;
   std::size_t m_;
   std::size_t k_;
+  bool pure_oracle_ = false;
   int bits_w_ = 1;
 
   std::vector<bool> avail_;

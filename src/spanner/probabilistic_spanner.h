@@ -43,6 +43,14 @@ struct ProbabilisticSpannerOptions {
   std::vector<bool> available;
   // Current (possibly rescaled) integer weights; empty = graph weights.
   std::vector<double> weights;
+  // Declares the existence oracle a pure function of the edge id (no
+  // internal state advanced per call — the sparsifier's survival coins
+  // are the canonical case). The sampling phase then fans out across the
+  // worker pool instead of walking nodes sequentially; the result is
+  // identical to the sequential walk because within one superstep every
+  // edge has a unique decider. Leave false for stateful oracles
+  // (sequential RNG streams), whose call order the engine must pin.
+  bool pure_oracle = false;
 };
 
 struct ProbabilisticSpannerResult {

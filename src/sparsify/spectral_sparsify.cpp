@@ -47,9 +47,11 @@ std::size_t bundle_size_at(const SparsifyOptions& opt, std::size_t t_base,
 SparsifyOptions resolve_options(const graph::Graph& g,
                                 const SparsifyOptions& opt) {
   SparsifyOptions out = opt;
-  const double n = static_cast<double>(std::max<std::size_t>(g.num_vertices(), 2));
+  const double n =
+      static_cast<double>(std::max<std::size_t>(g.num_vertices(), 2));
   if (out.k == 0)
-    out.k = std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(std::log2(n))));
+    out.k = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(std::log2(n))));
   if (out.t == 0) {
     const double logn = std::log2(n);
     out.t = std::max<std::size_t>(
@@ -89,9 +91,14 @@ SparsifyResult spectral_sparsify(const graph::Graph& g,
       }
       return true;
     };
+    // The survival coins are a pure function of (seed, iteration, edge)
+    // and last_reset_ only changes between bundle calls, so the oracle is
+    // pure for the duration of each bundle: the spanner's sampling phase
+    // may fan out across the pool (the general stateful-oracle contract
+    // would pin it to the sequential node walk).
     const auto bundle = spanner::bundle_spanner(
         g, avail, weight, opt.k, bundle_size_at(opt, opt.t, i), oracle,
-        mark_stream, net);
+        mark_stream, net, /*pure_oracle=*/true);
     result.deduction_consistent &= bundle.deduction_consistent;
     for (graph::EdgeId e : bundle.deleted_edges) avail[e] = false;
     std::vector<bool> in_bundle(m, false);
@@ -202,7 +209,7 @@ SparsifyResult spectral_sparsify_apriori(const graph::Graph& g,
   for (std::size_t i = 1; i <= L; ++i) {
     const auto bundle = spanner::bundle_spanner(
         g, exists, weight, opt.k, bundle_size_at(opt, opt.t, i), always,
-        mark_stream, scratch);
+        mark_stream, scratch, /*pure_oracle=*/true);
     result.deduction_consistent &= bundle.deduction_consistent;
     assert(bundle.deleted_edges.empty());  // p == 1 never rejects
     std::vector<bool> in_bundle(m, false);

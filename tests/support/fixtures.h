@@ -69,7 +69,9 @@ class SeededTest : public ::testing::Test {
   explicit SeededTest(std::uint64_t seed = kDefaultSeed) : root_(seed) {}
 
   rng::Stream& root() { return root_; }
-  rng::Stream stream(std::string_view label) const { return root_.child(label); }
+  rng::Stream stream(std::string_view label) const {
+    return root_.child(label);
+  }
   rng::Stream graphs() const { return stream("graphs"); }
   rng::Stream rhs() const { return stream("rhs"); }
   rng::Stream marks() const { return stream("marks"); }

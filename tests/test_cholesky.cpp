@@ -13,7 +13,10 @@ namespace {
 
 TEST(Ldlt, SolvesKnownSystem) {
   DenseMatrix a(2, 2);
-  a(0, 0) = 4; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
   const auto f = LdltFactor::factor(a);
   ASSERT_TRUE(f);
   const Vec x = f->solve(Vec{1, 2});
@@ -37,7 +40,10 @@ TEST(Ldlt, RandomSpdResidual) {
 
 TEST(Ldlt, RejectsIndefinite) {
   DenseMatrix a(2, 2);
-  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  a(0, 0) = 1;  // eigenvalues 3, -1
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;
   EXPECT_FALSE(LdltFactor::factor(a));
 }
 
@@ -87,6 +93,110 @@ TEST(LaplacianFactor, FailsOnDisconnected) {
   g.add_edge(0, 1, 1.0);
   g.add_edge(2, 3, 1.0);
   EXPECT_FALSE(LaplacianFactor::factor(graph::laplacian(g)));
+}
+
+TEST(Ldlt, RejectsDegenerateInputs) {
+  // All-zero matrix: no positive pivot exists; must be rejected by design,
+  // not by racing `0 <= pivot_tol * 1e-300` against double underflow.
+  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(3, 3)));
+  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(1, 1)));
+  // Even with a pivot tolerance tiny enough that the old relative
+  // threshold underflowed to zero.
+  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(4, 4), 1e-290));
+  // A 0x0 system has nothing to factor.
+  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(0, 0)));
+}
+
+TEST(Ldlt, BlockedFactorizationSpansBlockBoundaries) {
+  // Sizes straddling the 64-wide internal block edge exercise the panel
+  // and trailing-update paths of the blocked factorization.
+  rng::Stream stream(19);
+  for (std::size_t n : {64u, 65u, 130u, 200u}) {
+    const auto a = testsupport::random_spd(n, stream);
+    const auto f = LdltFactor::factor(a);
+    ASSERT_TRUE(f) << n;
+    const auto b = testsupport::gaussian_vector(n, stream);
+    const Vec x = f->solve(b);
+    EXPECT_LT(norm2(sub(a.multiply(x), b)), 1e-8 * norm2(b)) << n;
+  }
+}
+
+TEST(LaplacianFactor, DuplicateCsrEntriesAccumulate) {
+  // Path-graph Laplacian with every entry split into two duplicate halves,
+  // as external CSR ingest may deliver. The grounded-matrix scatter must
+  // accumulate the duplicates; the old assignment kept only the last one.
+  const auto split = CsrMatrix::from_raw(
+      3, 3, {0, 4, 10, 14},
+      {0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 1, 1, 2, 2},
+      {0.5, 0.5, -0.5, -0.5, -0.5, -0.5, 1.0, 1.0, -0.5, -0.5, -0.5, -0.5,
+       0.5, 0.5});
+  const auto f = LaplacianFactor::factor(split);
+  ASSERT_TRUE(f);
+  const auto ref = LaplacianFactor::factor(graph::laplacian(graph::path(3)));
+  ASSERT_TRUE(ref);
+  const Vec b{1.0, 0.0, -1.0};
+  const Vec x = f->solve(b);
+  const Vec xr = ref->solve(b);
+  ASSERT_EQ(x.size(), xr.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], xr[i], 1e-12);
+}
+
+// Disconnected graph with a singleton, a 2-vertex component and a larger
+// component; checks the per-component grounding and projection.
+TEST(ComponentLaplacianFactor, DisconnectedWithSingletonAndPairComponents) {
+  graph::Graph g(7);  // vertex 0: singleton
+  g.add_edge(1, 2, 2.0);  // pair
+  g.add_edge(3, 4, 1.0);  // path of 4
+  g.add_edge(4, 5, 3.0);
+  g.add_edge(5, 6, 1.0);
+  const auto lap = graph::laplacian(g);
+  const auto f = ComponentLaplacianFactor::factor(lap);
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->num_components(), 3u);
+
+  rng::Stream stream(23);
+  const auto b = testsupport::gaussian_vector(7, stream);
+  const Vec x = f->solve(b);
+
+  // Solve-then-apply round trip: L x equals b with the per-component mean
+  // removed (the projection of b onto range(L)).
+  Vec proj = b;
+  proj[0] = 0.0;  // singleton: L's row is zero
+  const double m12 = (b[1] + b[2]) / 2.0;
+  proj[1] -= m12;
+  proj[2] -= m12;
+  const double m36 = (b[3] + b[4] + b[5] + b[6]) / 4.0;
+  for (std::size_t v = 3; v < 7; ++v) proj[v] -= m36;
+  const Vec lx = lap.multiply(x);
+  for (std::size_t v = 0; v < 7; ++v) EXPECT_NEAR(lx[v], proj[v], 1e-9) << v;
+
+  // The representative is mean-zero per component, and zero on singletons.
+  EXPECT_EQ(x[0], 0.0);
+  EXPECT_NEAR(x[1] + x[2], 0.0, 1e-12);
+  EXPECT_NEAR(x[3] + x[4] + x[5] + x[6], 0.0, 1e-12);
+
+  // Apply-then-solve: solving L y for y already in range(L) with zero
+  // component means returns y itself.
+  Vec y(7, 0.0);
+  y[1] = 0.5;
+  y[2] = -0.5;
+  y[3] = 1.0;
+  y[4] = -2.0;
+  y[5] = 0.5;
+  y[6] = 0.5;
+  const Vec back = f->solve(lap.multiply(y));
+  for (std::size_t v = 0; v < 7; ++v) EXPECT_NEAR(back[v], y[v], 1e-9) << v;
+}
+
+TEST(ComponentLaplacianFactor, AllSingletons) {
+  // Edgeless graph: every component is a singleton, nothing to factor,
+  // and the pseudoinverse is identically zero.
+  const auto f =
+      ComponentLaplacianFactor::factor(graph::laplacian(graph::Graph(4)));
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->num_components(), 4u);
+  const Vec x = f->solve(Vec{1.0, -2.0, 3.0, 0.5});
+  for (double v : x) EXPECT_EQ(v, 0.0);
 }
 
 }  // namespace

@@ -17,8 +17,12 @@ TEST(DenseMatrix, IdentityMultiply) {
 
 TEST(DenseMatrix, MultiplyAndTranspose) {
   DenseMatrix a(2, 3);
-  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
-  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
   EXPECT_EQ(a.multiply(Vec{1, 1, 1}), (Vec{6, 15}));
   EXPECT_EQ(a.multiply_transpose(Vec{1, 1}), (Vec{5, 7, 9}));
   const auto at = a.transpose();
@@ -28,8 +32,14 @@ TEST(DenseMatrix, MultiplyAndTranspose) {
 
 TEST(DenseMatrix, MatrixProduct) {
   DenseMatrix a(2, 2), b(2, 2);
-  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
-  b(0, 0) = 0; b(0, 1) = 1; b(1, 0) = 1; b(1, 1) = 0;
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 0;
+  b(0, 1) = 1;
+  b(1, 0) = 1;
+  b(1, 1) = 0;
   const auto c = a.multiply(b);
   EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
   EXPECT_DOUBLE_EQ(c(0, 1), 1.0);

@@ -26,7 +26,8 @@ class McmfExactness : public ::testing::TestWithParam<Case> {};
 TEST_P(McmfExactness, MatchesSspBaseline) {
   const Case c = GetParam();
   rng::Stream stream(c.seed);
-  const auto g = graph::random_flow_network(c.n, c.extra, c.cap, c.cost, stream);
+  const auto g =
+      graph::random_flow_network(c.n, c.extra, c.cap, c.cost, stream);
   const std::size_t s = 0, t = c.n - 1;
 
   const auto baseline = min_cost_max_flow_ssp(g, s, t);

@@ -176,10 +176,12 @@ TEST(ProbSpanner, RoundsScaleWithWeightBits) {
   opt.k = 3;
   auto net1 = bc_net(g1);
   rng::Stream marks1(82);
-  const auto r1 = spanner_with_probabilistic_edges(g1, opt, always, marks1, net1);
+  const auto r1 =
+      spanner_with_probabilistic_edges(g1, opt, always, marks1, net1);
   auto net2 = bc_net(g2);
   rng::Stream marks2(82);
-  const auto r2 = spanner_with_probabilistic_edges(g2, opt, always, marks2, net2);
+  const auto r2 =
+      spanner_with_probabilistic_edges(g2, opt, always, marks2, net2);
   EXPECT_GT(r2.rounds, r1.rounds);
 }
 
