@@ -8,6 +8,10 @@
 // BCCLAP_THREADS=1 and BCCLAP_THREADS=N runs — only wall time may differ.
 #include "support/harness.h"
 
+#include <cstring>
+#include <thread>
+
+#include "core/runtime.h"
 #include "flow/mcmf_solver.h"
 #include "flow/ssp.h"
 #include "graph/generators.h"
@@ -45,6 +49,51 @@ void pipeline_sparsify_and_solve(bench::State& s, std::size_t n) {
   // Determinism fingerprint: solution norm is a function of every upstream
   // choice (spanner, sampling, solver iterations).
   s.counter("fingerprint_xnorm", linalg::norm2(x));
+}
+
+// PR 4: two Runtimes — one pinned to 1 worker, one on the env-resolved
+// count — running the same n-node pipeline concurrently from two threads.
+// The `identical` counter asserts the per-Runtime determinism contract
+// in-run (byte-identical solutions and equal rounds across the two
+// differently-threaded Runtimes), so the cross-config counter gate of
+// scripts/bench.sh doubles as a concurrency determinism check.
+void pipeline_concurrent_runtimes(bench::State& s, std::size_t n) {
+  rng::Stream gstream(n);
+  const auto g = graph::complete(n, 4, gstream);
+  LaplacianSolveOptions lopt;
+  lopt.sparsify.epsilon = 0.5;
+  lopt.sparsify.k = 2;
+  lopt.sparsify.t = 3;
+  linalg::Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+
+  RuntimeOptions a_opts;
+  a_opts.threads = 1;
+  a_opts.seed = 11;
+  Runtime rt_a(a_opts);
+  RuntimeOptions b_opts;
+  b_opts.threads = 0;  // BCCLAP_THREADS / hardware
+  b_opts.seed = 11;
+  Runtime rt_b(b_opts);
+
+  LaplacianRun ra, rb;
+  std::thread ta([&] { ra = rt_a.solve_laplacian(g, b, lopt); });
+  std::thread tb([&] { rb = rt_b.solve_laplacian(g, b, lopt); });
+  ta.join();
+  tb.join();
+
+  const bool identical =
+      ra.usable && rb.usable && !ra.x.empty() &&
+      ra.x.size() == rb.x.size() &&
+      std::memcmp(ra.x.data(), rb.x.data(),
+                  ra.x.size() * sizeof(double)) == 0 &&
+      ra.stats.rounds == rb.stats.rounds &&
+      ra.stats.iterations == rb.stats.iterations;
+  s.counter("n", static_cast<double>(n));
+  s.counter("identical", identical ? 1.0 : 0.0);
+  s.counter("rounds", static_cast<double>(ra.stats.rounds));
+  s.counter("fingerprint_xnorm", linalg::norm2(ra.x));
 }
 
 void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
@@ -86,6 +135,12 @@ int main(int argc, char** argv) {
   h.add(
       "pipeline_sparsify_and_solve/n=256",
       [](bench::State& s) { pipeline_sparsify_and_solve(s, 256); },
+      /*repeats_override=*/1, /*warmup_override=*/0);
+  // PR 4: 2 Runtimes x n=128 pipeline, concurrently. Quadratic broadcast
+  // volume at this size — run exactly once per invocation.
+  h.add(
+      "pipeline_concurrent_runtimes/n=128",
+      [](bench::State& s) { pipeline_concurrent_runtimes(s, 128); },
       /*repeats_override=*/1, /*warmup_override=*/0);
   // The full-stack IPM case is multi-second; run it exactly once.
   h.add(

@@ -3,13 +3,18 @@
 // Each processor owns one bus of a 12x8 resistor grid; solving L x = b for
 // a current injection gives node potentials, effective resistances and
 // power flows — the classic Laplacian-paradigm workload, here computed
-// with the BCC solver and verified against the exact factorization.
+// through the bcclap::Runtime facade and verified against the exact
+// factorization.
 #include <cstdio>
 
 #include "core/bcclap.h"
 
 int main() {
   using namespace bcclap;
+
+  RuntimeOptions ropts;
+  ropts.seed = 4242;
+  Runtime rt(ropts);
 
   rng::Stream stream(99);
   const std::size_t rows = 12, cols = 8;
@@ -19,26 +24,29 @@ int main() {
   std::printf("resistor grid: %zux%zu buses, %zu branches\n", rows, cols,
               grid.num_edges());
 
-  sparsify::SparsifyOptions opt;
-  opt.epsilon = 0.5;
-  opt.k = 2;
-  opt.t = 3;
-  laplacian::SparsifiedLaplacianSolver solver(grid, opt, 4242);
-  std::printf("preconditioner: %zu branches, %lld preprocessing rounds\n",
-              solver.sparsifier().num_edges(),
-              static_cast<long long>(solver.preprocessing_rounds()));
-
   // Inject 1A at the top-left bus, extract at the bottom-right.
   linalg::Vec current(n, 0.0);
   current[0] = 1.0;
   current[n - 1] = -1.0;
-  laplacian::SolveStats stats;
-  const linalg::Vec potential = solver.solve(current, 1e-10, &stats);
+
+  LaplacianSolveOptions opt;
+  opt.eps = 1e-10;
+  opt.sparsify.epsilon = 0.5;
+  opt.sparsify.k = 2;
+  opt.sparsify.t = 3;
+  const LaplacianRun run = rt.solve_laplacian(grid, current, opt);
+  const linalg::Vec& potential = run.x;
+
+  std::printf("preconditioner: %zu branches, %lld preprocessing rounds\n",
+              run.sparsifier.num_edges(),
+              static_cast<long long>(run.preprocessing_rounds));
 
   const double r_eff = potential[0] - potential[n - 1];
   std::printf("effective resistance corner-to-corner: %.6f ohm "
-              "(%zu iterations, %lld rounds)\n",
-              r_eff, stats.iterations, static_cast<long long>(stats.rounds));
+              "(%zu iterations, %lld rounds, %.2f ms wall)\n",
+              r_eff, run.stats.iterations,
+              static_cast<long long>(run.stats.rounds),
+              1e3 * run.stats.wall_seconds);
 
   // Branch power flows P_e = w_e (x_u - x_v)^2; report the hottest five.
   struct Branch {
@@ -58,11 +66,12 @@ int main() {
                 branches[i].power);
   }
 
-  // Cross-check against the exact solver.
-  const auto exact = laplacian::exact_laplacian_solve(grid, current);
+  // Cross-check against the exact solver (on the same Runtime's context).
+  const auto exact =
+      laplacian::exact_laplacian_solve(rt.context(), grid, current);
   const double err = laplacian::laplacian_norm(
-                         grid, linalg::sub(exact, potential)) /
-                     laplacian::laplacian_norm(grid, exact);
+                         rt.context(), grid, linalg::sub(exact, potential)) /
+                     laplacian::laplacian_norm(rt.context(), grid, exact);
   std::printf("relative energy-norm error vs exact: %.2e\n", err);
   return 0;
 }

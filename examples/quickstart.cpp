@@ -2,6 +2,13 @@
 // Laplacian system on it in the Broadcast Congested Clique (Theorems 1.2
 // and 1.3 in five minutes).
 //
+// Everything runs inside a bcclap::Runtime — the execution context that
+// owns the worker pool, the RNG stream tree and the chunking policy — via
+// the facade entry points (rt.solve_laplacian / rt.sparsify /
+// rt.min_cost_max_flow). RuntimeOptions::threads = 0 resolves from
+// BCCLAP_THREADS, so `BCCLAP_THREADS=4 ./quickstart` parallelizes without
+// a code change.
+//
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
@@ -10,46 +17,52 @@
 int main() {
   using namespace bcclap;
 
+  RuntimeOptions ropts;
+  ropts.seed = 7;  // every pipeline decision derives from this root seed
+  Runtime rt(ropts);
+
   // A dense random network: 48 processors, every pair potentially linked.
   rng::Stream stream(2022);
   const graph::Graph g = graph::complete(48, /*max_weight=*/8, stream);
-  std::printf("input graph: n = %zu, m = %zu\n", g.num_vertices(),
-              g.num_edges());
+  std::printf("input graph: n = %zu, m = %zu (runtime: %zu threads)\n",
+              g.num_vertices(), g.num_edges(), rt.num_threads());
 
-  // Preprocessing (Theorem 1.2): spectral sparsifier via repeated spanners
-  // with on-the-fly sampling, every decision broadcast implicitly.
-  sparsify::SparsifyOptions opt;
-  opt.epsilon = 0.5;
-  opt.k = 2;  // (2k-1)-spanners inside the bundles
-  opt.t = 4;  // spanners per bundle (bench-scale constant)
-  laplacian::SparsifiedLaplacianSolver solver(g, opt, /*seed=*/7);
-  std::printf("sparsifier:  %zu edges (%.1f%% of input), %lld BC rounds\n",
-              solver.sparsifier().num_edges(),
-              100.0 * static_cast<double>(solver.sparsifier().num_edges()) /
-                  static_cast<double>(g.num_edges()),
-              static_cast<long long>(solver.preprocessing_rounds()));
+  // Preprocessing (Theorem 1.2) + per-instance solve (Theorem 1.3) in one
+  // facade call: L_G x = b to 1e-8 in the energy norm.
+  LaplacianSolveOptions opt;
+  opt.eps = 1e-8;
+  opt.sparsify.epsilon = 0.5;
+  opt.sparsify.k = 2;  // (2k-1)-spanners inside the bundles
+  opt.sparsify.t = 4;  // spanners per bundle (bench-scale constant)
 
-  // Check the spectral guarantee (Definition 2.1) explicitly.
-  const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
-  std::printf("pencil eigenvalues in [%.3f, %.3f] -> achieved eps = %.3f\n",
-              check.lambda_min, check.lambda_max, check.achieved_epsilon());
-
-  // Per-instance solve (Theorem 1.3): L_G x = b to 1e-8 in the energy norm.
   linalg::Vec b(g.num_vertices(), 0.0);
   b[0] = 1.0;
   b[g.num_vertices() - 1] = -1.0;  // unit current from node 0 to node n-1
-  laplacian::SolveStats stats;
-  const linalg::Vec x = solver.solve(b, 1e-8, &stats);
+  const LaplacianRun run = rt.solve_laplacian(g, b, opt);
 
-  const linalg::Vec exact = laplacian::exact_laplacian_solve(g, b);
-  const double err = laplacian::laplacian_norm(g, linalg::sub(exact, x)) /
-                     laplacian::laplacian_norm(g, exact);
+  std::printf("sparsifier:  %zu edges (%.1f%% of input), %lld BC rounds\n",
+              run.sparsifier.num_edges(),
+              100.0 * static_cast<double>(run.sparsifier.num_edges()) /
+                  static_cast<double>(g.num_edges()),
+              static_cast<long long>(run.preprocessing_rounds));
+
+  // Check the spectral guarantee (Definition 2.1) explicitly.
+  const auto check = sparsify::check_sparsifier(g, run.sparsifier);
+  std::printf("pencil eigenvalues in [%.3f, %.3f] -> achieved eps = %.3f\n",
+              check.lambda_min, check.lambda_max, check.achieved_epsilon());
+
+  const linalg::Vec exact =
+      laplacian::exact_laplacian_solve(rt.context(), g, b);
+  const double err =
+      laplacian::laplacian_norm(rt.context(), g, linalg::sub(exact, run.x)) /
+      laplacian::laplacian_norm(rt.context(), g, exact);
   std::printf(
-      "solve:       %zu Chebyshev iterations, %lld BCC rounds, "
-      "relative L_G-norm error %.2e\n",
-      stats.iterations, static_cast<long long>(stats.rounds), err);
+      "solve:       %zu Chebyshev iterations, %lld BCC rounds total, "
+      "%.2f ms wall, relative L_G-norm error %.2e\n",
+      run.stats.iterations, static_cast<long long>(run.stats.rounds),
+      1e3 * run.stats.wall_seconds, err);
   std::printf("potential difference x[0] - x[n-1] = %.6f (effective "
               "resistance between the probes)\n",
-              x[0] - x[g.num_vertices() - 1]);
+              run.x[0] - run.x[g.num_vertices() - 1]);
   return 0;
 }

@@ -4,7 +4,11 @@
 // that preserves all cut and congestion structure (spectral sparsifier),
 // computed *in-network* under broadcast constraints, and wants to know the
 // price of the broadcast constraint in rounds. Demonstrates Theorem 1.2,
-// the Lemma 3.3 coupling, and the Lemma 3.1 orientation claim.
+// the Lemma 3.3 coupling, and the Lemma 3.1 orientation claim, all through
+// the bcclap::Runtime facade: one Runtime drives the whole t-sweep (facade
+// calls are call-order independent, so reuse is safe), and a second
+// Runtime seeds the coupling check (the Runtime's seed is the pipeline
+// seed).
 #include <cstdio>
 
 #include "core/bcclap.h"
@@ -18,14 +22,16 @@ int main() {
   const graph::Graph overlay = graph::random_regularish(n, 24, 4, stream);
   std::printf("overlay: %zu nodes, %zu links\n", n, overlay.num_edges());
 
+  RuntimeOptions ropts;
+  ropts.seed = 17;
+  Runtime rt(ropts);
   for (std::size_t t : {1u, 2u, 4u, 8u}) {
-    bcc::Network net(bcc::Model::kBroadcastCongest, overlay,
-                     bcc::Network::default_bandwidth(n));
     sparsify::SparsifyOptions opt;
     opt.epsilon = 0.5;
     opt.k = 2;
     opt.t = t;
-    const auto res = sparsify::spectral_sparsify(overlay, opt, 17, net);
+    const SparsifyRun run = rt.sparsify(overlay, opt);
+    const auto& res = run.result;
     const auto check = sparsify::check_sparsifier(overlay, res.sparsifier);
     const auto deg = spanner::out_degrees(n, res.out_vertex);
     std::size_t max_deg = 0;
@@ -37,22 +43,25 @@ int main() {
         100.0 * static_cast<double>(res.sparsifier.num_edges()) /
             static_cast<double>(overlay.num_edges()),
         check.valid ? check.achieved_epsilon() : -1.0, max_deg,
-        static_cast<long long>(res.rounds),
+        static_cast<long long>(run.stats.rounds),
         res.deduction_consistent ? "consistent" : "BROKEN");
   }
 
   // The Lemma 3.3 coupling, live: the centralized a-priori reference
-  // produces the identical skeleton from the same seed.
+  // produces the identical skeleton from the same seed (the coupling
+  // Runtime's seed).
   sparsify::SparsifyOptions opt;
   opt.epsilon = 0.5;
   opt.k = 2;
   opt.t = 2;
-  bcc::Network net(bcc::Model::kBroadcastCongest, overlay,
-                   bcc::Network::default_bandwidth(n));
-  const auto adhoc = sparsify::spectral_sparsify(overlay, opt, 99, net);
+  RuntimeOptions copts;
+  copts.seed = 99;
+  Runtime coupling_rt(copts);
+  const SparsifyRun adhoc = coupling_rt.sparsify(overlay, opt);
   const auto apriori = sparsify::spectral_sparsify_apriori(overlay, opt, 99);
   std::printf("coupling check (Lemma 3.3): ad-hoc vs a-priori skeletons %s\n",
-              adhoc.original_edge == apriori.original_edge ? "IDENTICAL"
-                                                           : "DIFFER");
+              adhoc.result.original_edge == apriori.original_edge
+                  ? "IDENTICAL"
+                  : "DIFFER");
   return 0;
 }

@@ -2,14 +2,19 @@
 //
 // A logistics network with arc capacities (lane throughput) and per-unit
 // tolls; the dispatcher wants the maximum volume from depot to port at the
-// least total toll. The BCC interior-point pipeline computes the *exact*
-// integral optimum; the combinatorial baseline confirms it.
+// least total toll. The BCC interior-point pipeline — driven through the
+// bcclap::Runtime facade — computes the *exact* integral optimum; the
+// combinatorial baseline confirms it.
 #include <cstdio>
 
 #include "core/bcclap.h"
 
 int main() {
   using namespace bcclap;
+
+  RuntimeOptions ropts;
+  ropts.seed = 2025;
+  Runtime rt(ropts);
 
   // Depot = 0, port = 11; random mid-size road network.
   rng::Stream stream(7);
@@ -21,40 +26,41 @@ int main() {
               roads.num_arcs());
 
   flow::McmfOptions opt;
-  opt.seed = 2025;
-  const auto plan = flow::min_cost_max_flow_ipm(roads, 0, n - 1, opt);
-  if (!plan.exact) {
+  opt.seed = 2025;  // Daitch-Spielman perturbation stream
+  const McmfRun plan = rt.min_cost_max_flow(roads, 0, n - 1, opt);
+  if (!plan.result.exact) {
     std::printf("IPM pipeline failed to round to a feasible plan\n");
     return 1;
   }
   std::printf("IPM plan:     volume %lld, total toll %lld "
               "(%zu path steps, %zu Newton steps, %lld BCC rounds, "
-              "%zu perturbation redraws)\n",
-              static_cast<long long>(plan.flow.value),
-              static_cast<long long>(plan.flow.cost), plan.path_steps,
-              plan.newton_steps, static_cast<long long>(plan.rounds),
-              plan.retries);
+              "%zu perturbation redraws, %.2f ms wall)\n",
+              static_cast<long long>(plan.result.flow.value),
+              static_cast<long long>(plan.result.flow.cost),
+              plan.stats.iterations, plan.stats.steps,
+              static_cast<long long>(plan.stats.rounds), plan.result.retries,
+              1e3 * plan.stats.wall_seconds);
 
   const auto baseline = flow::min_cost_max_flow_ssp(roads, 0, n - 1);
   std::printf("baseline SSP: volume %lld, total toll %lld -> %s\n",
               static_cast<long long>(baseline.value),
               static_cast<long long>(baseline.cost),
-              (plan.flow.value == baseline.value &&
-               plan.flow.cost == baseline.cost)
+              (plan.result.flow.value == baseline.value &&
+               plan.result.flow.cost == baseline.cost)
                   ? "EXACT MATCH"
                   : "MISMATCH");
 
   std::printf("lane loads (tail->head: used/capacity @ toll):\n");
   for (std::size_t a = 0; a < roads.num_arcs(); ++a) {
-    if (plan.flow.flow[a] == 0) continue;
+    if (plan.result.flow.flow[a] == 0) continue;
     const auto& arc = roads.arc(a);
     std::printf("  %2zu -> %2zu : %lld/%lld @ %lld\n", arc.tail, arc.head,
-                static_cast<long long>(plan.flow.flow[a]),
+                static_cast<long long>(plan.result.flow.flow[a]),
                 static_cast<long long>(arc.capacity),
                 static_cast<long long>(arc.cost));
   }
-  return plan.flow.value == baseline.value &&
-                 plan.flow.cost == baseline.cost
+  return plan.result.flow.value == baseline.value &&
+                 plan.result.flow.cost == baseline.cost
              ? 0
              : 1;
 }

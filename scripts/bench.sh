@@ -1,28 +1,29 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark trajectory (BENCH_pr3.json).
+# Machine-readable benchmark trajectory (BENCH_pr4.json).
 #
 # Builds the harness benches and runs the three pipeline-level binaries
 # under BCCLAP_THREADS=1 and BCCLAP_THREADS=N (default 4), then merges the
 # per-run JSON into one trajectory file at the repo root. The counters of
 # the two configurations must be identical — the engine's determinism
 # contract, which since PR 3 also covers the blocked LDLT factorization
-# and the sparsifier's pure-oracle sampling fast path (their fingerprint
-# counters are bitwise functions of the factors/edges) — and the script
-# fails loudly if they are not. The case list includes the n >= 256
-# factorization and pipeline instances added in PR 3.
+# and the sparsifier's pure-oracle sampling fast path, and since PR 4 the
+# `concurrent_runtimes` case: two bcclap::Runtimes (1 worker and the
+# env-resolved count) running the n=128 pipeline concurrently, whose
+# `identical` counter asserts byte-identical results in-run. The script
+# fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
 #   BUILD_DIR=<path>      build tree location (default: build)
 #   BENCH_THREADS=<n>     the multi-threaded configuration (default: 4)
 #   BENCH_REPEATS=<n>     measured repetitions per case (default: 3)
-#   BENCH_OUT=<path>      output file (default: BENCH_pr3.json)
+#   BENCH_OUT=<path>      output file (default: BENCH_pr4.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr3.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr4.json}"
 BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
@@ -64,7 +65,7 @@ echo "determinism gate: counters identical across thread counts"
 
 {
   echo '{'
-  echo '  "pr": 3,'
+  echo '  "pr": 4,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "common/encoding.h"
-#include "common/thread_pool.h"
 
 namespace bcclap::bcc {
 
@@ -26,8 +25,9 @@ std::int64_t Network::default_bandwidth(std::size_t n) {
 }
 
 Network::Network(Model model, const graph::Graph& g,
-                 std::int64_t bandwidth_bits)
-    : model_(model), n_(g.num_vertices()), bandwidth_(bandwidth_bits) {
+                 std::int64_t bandwidth_bits, const common::Context& ctx)
+    : model_(model), n_(g.num_vertices()), bandwidth_(bandwidth_bits),
+      ctx_(ctx) {
   assert(bandwidth_ >= 1);
   if (model_ == Model::kBroadcastCongest) {
     neighbours_.resize(n_);
@@ -43,8 +43,9 @@ Network::Network(Model model, const graph::Graph& g,
   }
 }
 
-Network::Network(Model model, std::size_t n, std::int64_t bandwidth_bits)
-    : model_(model), n_(n), bandwidth_(bandwidth_bits) {
+Network::Network(Model model, std::size_t n, std::int64_t bandwidth_bits,
+                 const common::Context& ctx)
+    : model_(model), n_(n), bandwidth_(bandwidth_bits), ctx_(ctx) {
   assert(model == Model::kBroadcastCongestedClique);
   (void)model;
   assert(bandwidth_ >= 1);
@@ -54,13 +55,12 @@ std::vector<std::vector<ReceivedMessage>> Network::exchange(
     const std::vector<std::vector<Message>>& outboxes,
     const std::string& label) {
   assert(outboxes.size() == n_);
-  auto& pool = common::ThreadPool::global();
 
   // Cost: nodes broadcast in parallel; each node serializes its own
   // messages, one B-bit broadcast per round. Max-over-nodes is
   // order-independent, so the charge is identical at any thread count.
   std::int64_t rounds = 0;
-  common::parallel_reduce_chunks(
+  ctx_.parallel_reduce_chunks(
       0, n_, kParallelGrainNodes, std::int64_t{0},
       [&](std::size_t lo, std::size_t hi, std::int64_t& local) {
         for (std::size_t v = lo; v < hi; ++v) {
@@ -90,7 +90,7 @@ std::vector<std::vector<ReceivedMessage>> Network::exchange(
       total_msgs += outboxes[s].size();
     }
   }
-  pool.parallel_for_chunks(
+  ctx_.parallel_for_chunks(
       0, n_, kParallelGrainNodes, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t recv = lo; recv < hi; ++recv) {
           auto& inbox = inboxes[recv];
@@ -126,8 +126,7 @@ std::vector<std::vector<ReceivedMessage>> Network::run_superstep(
   std::vector<std::vector<Message>> outboxes(n_);
   // Grain 1: per-node compute is the heavyweight part of a superstep, so
   // every node is its own unit of work.
-  common::ThreadPool::global().parallel_for(
-      0, n_, [&](std::size_t v) { outboxes[v] = compute(v); });
+  ctx_.parallel_for(0, n_, [&](std::size_t v) { outboxes[v] = compute(v); });
   return exchange(outboxes, label);
 }
 

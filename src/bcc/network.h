@@ -19,11 +19,17 @@
 //
 // Execution is thread-parallel: per-node outbox computation
 // (run_superstep), round costing, and per-recipient inbox assembly all fan
-// out across the common::ThreadPool workers. Delivery stays deterministic —
-// inboxes[v] is ordered by sender id regardless of thread count, and the
-// max-over-nodes round charge is order-independent — so a run with
-// BCCLAP_THREADS=1 and BCCLAP_THREADS=N produce byte-identical traffic and
-// equal round accounting (enforced by tests/test_network_determinism.cpp).
+// out across the workers of the network's execution context
+// (common/context.h — the view of the bcclap::Runtime the network was
+// built under; the deprecated context-less constructors fall back to the
+// process-default Runtime). Delivery stays deterministic — inboxes[v] is
+// ordered by sender id regardless of thread count, and the max-over-nodes
+// round charge is order-independent — so a 1-worker and an N-worker
+// configuration of the same Runtime produce byte-identical traffic and
+// equal round accounting (enforced by tests/test_network_determinism.cpp
+// and, across concurrent Runtimes, tests/test_runtime.cpp). Downstream
+// layers (spanner, sparsifier) reach the same context through context(),
+// so one Runtime's pipeline never touches another's pool.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +39,7 @@
 
 #include "bcc/message.h"
 #include "bcc/round_accountant.h"
+#include "common/context.h"
 #include "graph/graph.h"
 
 namespace bcclap::bcc {
@@ -45,14 +52,27 @@ enum class Model {
 class Network {
  public:
   // BC network over the topology of `g` (the usual setting: the input graph
-  // is also the communication graph).
-  Network(Model model, const graph::Graph& g, std::int64_t bandwidth_bits);
+  // is also the communication graph), executing on `ctx`'s worker pool.
+  Network(Model model, const graph::Graph& g, std::int64_t bandwidth_bits,
+          const common::Context& ctx);
   // BCC network over n nodes (no topology needed).
-  Network(Model model, std::size_t n, std::int64_t bandwidth_bits);
+  Network(Model model, std::size_t n, std::int64_t bandwidth_bits,
+          const common::Context& ctx);
+
+  // Deprecated path: context-less construction falls back to the
+  // process-default Runtime's context (identical to pre-Runtime behavior).
+  Network(Model model, const graph::Graph& g, std::int64_t bandwidth_bits)
+      : Network(model, g, bandwidth_bits, common::default_context()) {}
+  Network(Model model, std::size_t n, std::int64_t bandwidth_bits)
+      : Network(model, n, bandwidth_bits, common::default_context()) {}
 
   Model model() const { return model_; }
   std::size_t num_nodes() const { return n_; }
   std::int64_t bandwidth() const { return bandwidth_; }
+
+  // The execution context this network (and every layer running on it)
+  // dispatches parallel work through.
+  const common::Context& context() const { return ctx_; }
 
   // Runs one superstep: outboxes[v] are the messages node v broadcasts
   // (possibly empty). Returns inboxes: inboxes[v] = messages delivered to v,
@@ -95,6 +115,7 @@ class Network {
   Model model_;
   std::size_t n_;
   std::int64_t bandwidth_;
+  common::Context ctx_;
   // neighbours_[v]: sorted neighbour ids (BC mode only). Symmetric, so it
   // serves as both send and receive adjacency.
   std::vector<std::vector<std::size_t>> neighbours_;

@@ -10,6 +10,16 @@
 #include <thread>
 #include <vector>
 
+// The process-default pool is owned by Runtime::process_default()
+// (core/runtime.cpp); the legacy static accessors below are shims over it.
+// Declared here instead of including core/runtime.h so the common layer
+// stays include-clean of the facade layer (the archive links them
+// together).
+namespace bcclap::detail {
+common::ThreadPool& process_default_pool();
+void reset_process_default_threads(std::size_t threads);
+}  // namespace bcclap::detail
+
 namespace bcclap::common {
 
 namespace {
@@ -18,20 +28,6 @@ namespace {
 // parallel_for otherwise deadlocks waiting for workers that are busy
 // running the outer loop.
 thread_local bool t_inside_worker = false;
-
-std::size_t env_thread_count() {
-  if (const char* env = std::getenv("BCCLAP_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
-  }
-#ifdef BCCLAP_DEFAULT_THREADS
-  return static_cast<std::size_t>(BCCLAP_DEFAULT_THREADS);
-#else
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-#endif
-}
 
 // One parallel_for invocation. Owned by shared_ptr so a worker that wakes
 // late (or finishes its last chunk after the caller has already returned)
@@ -73,7 +69,36 @@ struct Job {
   }
 };
 
+// Decrements the pool's in-flight count even when the kernel throws.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<std::size_t>& counter)
+      : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~InFlightGuard() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<std::size_t>& counter_;
+};
+
 }  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("BCCLAP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+#ifdef BCCLAP_DEFAULT_THREADS
+  return static_cast<std::size_t>(BCCLAP_DEFAULT_THREADS);
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+#endif
+}
 
 struct ThreadPool::Impl {
   std::mutex mu;
@@ -134,6 +159,11 @@ ThreadPool::ThreadPool(std::size_t threads)
 }
 
 ThreadPool::~ThreadPool() {
+  drain();
+  delete impl_;
+}
+
+void ThreadPool::drain() {
   if (!impl_) return;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
@@ -141,7 +171,13 @@ ThreadPool::~ThreadPool() {
   }
   impl_->work_cv.notify_all();
   for (auto& t : impl_->workers) t.join();
-  delete impl_;
+  impl_->workers.clear();
+  // impl_ stays allocated: a dispatch that raced the drain (or arrives
+  // later through a retained pool pointer) publishes its job and then runs
+  // every chunk on the calling thread — the pool is work-conserving, so
+  // execution degrades to inline, never to use-after-free. The reported
+  // thread count drops to 1 to match what actually executes.
+  threads_ = 1;
 }
 
 void ThreadPool::parallel_for_chunks(
@@ -149,6 +185,7 @@ void ThreadPool::parallel_for_chunks(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (end <= begin) return;
   if (grain == 0) grain = 1;
+  const InFlightGuard in_flight(in_flight_);
   // Inline paths: single-threaded pool, a range that is one chunk anyway,
   // or a nested call from a worker thread.
   if (!impl_ || end - begin <= grain || t_inside_worker) {
@@ -186,34 +223,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   });
 }
 
-namespace {
-std::mutex g_global_mu;
-std::unique_ptr<ThreadPool> g_global_pool;
-// Published pointer for the lock-free fast path: global() is on the hot
-// path of every kernel (including nested inline ones), so it must not
-// funnel all workers through one mutex.
-std::atomic<ThreadPool*> g_global_ptr{nullptr};
-}  // namespace
-
 ThreadPool& ThreadPool::global() {
-  if (ThreadPool* p = g_global_ptr.load(std::memory_order_acquire)) {
-    return *p;
-  }
-  std::lock_guard<std::mutex> lock(g_global_mu);
-  if (!g_global_pool) {
-    g_global_pool = std::make_unique<ThreadPool>(env_thread_count());
-    g_global_ptr.store(g_global_pool.get(), std::memory_order_release);
-  }
-  return *g_global_pool;
+  return bcclap::detail::process_default_pool();
 }
 
 void ThreadPool::set_global_threads(std::size_t threads) {
-  std::lock_guard<std::mutex> lock(g_global_mu);
-  // Publish the replacement before destroying the old pool; callers must
-  // not have a parallel_for in flight (see header contract).
-  auto next = std::make_unique<ThreadPool>(threads);
-  g_global_ptr.store(next.get(), std::memory_order_release);
-  g_global_pool = std::move(next);
+  // 0 meant "one worker" in the pre-Runtime contract (never env
+  // resolution), so the shim pins it before the Runtime — whose own
+  // 0-means-env default applies only to RuntimeOptions — sees it.
+  bcclap::detail::reset_process_default_threads(threads == 0 ? 1 : threads);
 }
 
 std::size_t ThreadPool::global_threads() { return global().num_threads(); }

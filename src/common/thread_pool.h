@@ -18,9 +18,11 @@
 // sequential version — but never between two runs of itself, whatever the
 // worker count.
 //
-// Thread count resolution: BCCLAP_THREADS environment variable if set,
-// otherwise std::thread::hardware_concurrency(). Tests and benches override
-// it at runtime with set_global_threads().
+// Ownership: pools are owned by bcclap::Runtime instances (core/runtime.h).
+// The legacy process-global accessors below are shims over
+// Runtime::process_default(), whose pool is sized from BCCLAP_THREADS (or
+// hardware_concurrency) exactly as the old singleton was. New code should
+// take a common::Context (common/context.h) and never touch the global.
 //
 // Wakeup cost: workers spin briefly (yielding) for the next job before
 // parking on the condition variable, and the publisher skips the notify
@@ -30,6 +32,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -52,11 +55,16 @@ inline std::size_t chunk_grain(std::size_t items, std::size_t item_cost,
   return std::max<std::size_t>(1, std::min(items, grain));
 }
 
+// Thread count a defaulted (threads == 0) pool resolves to:
+// BCCLAP_THREADS environment variable if set, else the
+// BCCLAP_DEFAULT_THREADS compile-time knob, else hardware_concurrency.
+std::size_t default_thread_count();
+
 class ThreadPool {
  public:
   // Creates a pool with `threads` workers total (including the calling
   // thread, which participates in every parallel_for). threads == 0 is
-  // treated as 1.
+  // treated as 1 (env resolution is the Runtime's job, not the pool's).
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
@@ -84,26 +92,53 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  // The process-wide pool used by the simulator and the linalg kernels.
-  // First call sizes it from BCCLAP_THREADS (or hardware_concurrency).
+  // True while any parallel_for (from any thread) is executing on this
+  // pool. Used by Runtime::process_default's reset path to make the
+  // "no parallel_for in flight" precondition violation detectable.
+  bool busy() const {
+    return in_flight_.load(std::memory_order_acquire) != 0;
+  }
+
+  // Stops and joins the worker threads; the pool object stays valid and
+  // every later parallel_for runs all of its chunks on the calling thread
+  // (identical chunk boundaries, so results are unchanged byte for byte).
+  // Used when the process-default Runtime is retired: objects built on
+  // the deprecated path keep their pool pointer working — it just stops
+  // being parallel. Precondition: no parallel_for in flight.
+  void drain();
+
+  // The pool of Runtime::process_default() (core/runtime.h) — the one
+  // place the legacy global funnels through. First use lazily creates the
+  // default Runtime, which sizes the pool via default_thread_count().
+  // Deprecated entry point: new code takes a Context instead.
   static ThreadPool& global();
 
-  // Replaces the global pool with one of `threads` workers. Must not be
-  // called while a parallel_for is in flight. Used by the determinism
-  // tests and the bench harness to pin the thread count.
+  // Shim over Runtime::process_default(): retires the default Runtime
+  // (draining its pool — objects built before the reset stay valid and
+  // fall back to inline execution) and rebuilds it with `threads` workers
+  // (0 is treated as 1, the pre-Runtime contract). Must not be called
+  // while a parallel_for is in flight on the default pool — violations
+  // abort with a diagnostic instead of racing the swap. Used by the
+  // determinism tests and the bench harness to pin the thread count.
   static void set_global_threads(std::size_t threads);
 
-  // Thread count the global pool currently runs with (resolves the pool if
-  // it has not been created yet).
+  // Thread count the default Runtime's pool currently runs with (resolves
+  // the Runtime if it has not been created yet).
   static std::size_t global_threads();
 
  private:
   struct Impl;
   Impl* impl_;  // null when threads_ == 1 (pure inline execution)
   std::size_t threads_;
+  // Nesting-aware count of parallel_for invocations currently on this
+  // pool (incremented even on the inline paths: destroying the pool under
+  // any running call is what the precondition forbids).
+  std::atomic<std::size_t> in_flight_{0};
 };
 
-// Free-function shorthands over the global pool.
+// Free-function shorthands over the process-default Runtime's pool.
+// Deprecated path: kept so pre-Runtime call sites compile unchanged; new
+// code calls the Context-taking overloads in common/context.h.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& fn) {
   ThreadPool::global().parallel_for(begin, end, fn);
@@ -123,18 +158,27 @@ inline void parallel_for_chunks(
 // only on (begin, end, grain), so results are bit-identical at any thread
 // count. body(lo, hi, partial&); merge(partial&) called per chunk in order.
 template <typename Partial, typename Body, typename Merge>
-void parallel_reduce_chunks(std::size_t begin, std::size_t end,
-                            std::size_t grain, const Partial& init,
-                            Body&& body, Merge&& merge) {
+void parallel_reduce_chunks(ThreadPool& pool, std::size_t begin,
+                            std::size_t end, std::size_t grain,
+                            const Partial& init, Body&& body, Merge&& merge) {
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   const std::size_t num_chunks = (end - begin + grain - 1) / grain;
   std::vector<Partial> partials(num_chunks, init);
-  ThreadPool::global().parallel_for_chunks(
-      begin, end, grain, [&](std::size_t lo, std::size_t hi) {
-        body(lo, hi, partials[(lo - begin) / grain]);
-      });
+  pool.parallel_for_chunks(begin, end, grain,
+                           [&](std::size_t lo, std::size_t hi) {
+                             body(lo, hi, partials[(lo - begin) / grain]);
+                           });
   for (Partial& p : partials) merge(p);
+}
+
+// Deprecated-path overload over the process-default pool.
+template <typename Partial, typename Body, typename Merge>
+void parallel_reduce_chunks(std::size_t begin, std::size_t end,
+                            std::size_t grain, const Partial& init,
+                            Body&& body, Merge&& merge) {
+  parallel_reduce_chunks(ThreadPool::global(), begin, end, grain, init,
+                         std::forward<Body>(body), std::forward<Merge>(merge));
 }
 
 }  // namespace bcclap::common

@@ -4,17 +4,27 @@
 //   spanner  ->  sparsify  ->  laplacian  ->  lp  ->  flow
 // on top of the substrates bcc (model simulator), graph, linalg.
 //
-// Typical usage:
+// Typical usage (the Runtime facade, core/runtime.h):
 //   #include "core/bcclap.h"
+//   bcclap::RuntimeOptions opts;
+//   opts.threads = 4;
+//   opts.seed = 7;
+//   bcclap::Runtime rt(opts);
 //   auto g = bcclap::graph::random_connected_gnp(...);
-//   bcclap::laplacian::SparsifiedLaplacianSolver solver(g, {}, seed);
-//   auto x = solver.solve(b, 1e-8);
+//   auto res = rt.solve_laplacian(g, b);
+//   // res.x, res.stats.rounds / .iterations / .wall_seconds
+// Layer APIs remain available for fine-grained control; pass them
+// rt.context(). The pre-Runtime signatures (bare seeds, no context) are
+// deprecated shims over Runtime::process_default().
 #pragma once
 
 #include "bcc/message.h"          // IWYU pragma: export
 #include "bcc/network.h"          // IWYU pragma: export
 #include "bcc/round_accountant.h" // IWYU pragma: export
+#include "common/context.h"       // IWYU pragma: export
 #include "common/rng.h"           // IWYU pragma: export
+#include "core/runtime.h"         // IWYU pragma: export
+#include "core/stats.h"           // IWYU pragma: export
 #include "flow/dinic.h"           // IWYU pragma: export
 #include "flow/mcmf_lp.h"         // IWYU pragma: export
 #include "flow/mcmf_solver.h"     // IWYU pragma: export

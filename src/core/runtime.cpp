@@ -1,0 +1,160 @@
+#include "core/runtime.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "bcc/network.h"
+#include "laplacian/solver.h"
+
+namespace bcclap {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Process-default Runtime storage. The atomic pointer is the lock-free
+// fast path (process_default() sits behind every deprecated-path shim,
+// including ones on kernel hot paths); creation and reset serialize on the
+// mutex, and the pointer is published only under it.
+std::mutex g_default_mu;
+std::unique_ptr<Runtime> g_default;
+std::atomic<Runtime*> g_default_ptr{nullptr};
+// Past default Runtimes, retired (pool drained) but never destroyed:
+// objects built on the deprecated path before a reset — Networks,
+// solvers, factors — hold pointers into the old Runtime's pool, and the
+// pre-Runtime code re-resolved the global at every call, so destroying
+// the old instance would introduce a use-after-free the old API did not
+// have. Retirement is bounded by the number of set_global_threads calls
+// (a test/bench escape hatch), and a drained pool executes inline, so a
+// retired pool costs memory only, not threads.
+std::vector<std::unique_ptr<Runtime>> g_retired;  // under g_default_mu
+
+}  // namespace
+
+Runtime::Runtime(const RuntimeOptions& opts)
+    : opts_(opts),
+      pool_(std::make_unique<common::ThreadPool>(
+          opts.threads == 0 ? common::default_thread_count() : opts.threads)),
+      root_(opts.seed) {}
+
+Runtime::~Runtime() = default;
+
+Runtime& Runtime::process_default() {
+  if (Runtime* rt = g_default_ptr.load(std::memory_order_acquire)) {
+    return *rt;
+  }
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  if (!g_default) {
+    g_default = std::make_unique<Runtime>(RuntimeOptions{});
+    g_default_ptr.store(g_default.get(), std::memory_order_release);
+  }
+  return *g_default;
+}
+
+void Runtime::reset_process_default(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  RuntimeOptions opts;
+  opts.threads = threads;
+  if (g_default) {
+    // The precondition ("no parallel_for in flight on the default pool")
+    // used to be unenforced: a racing kernel would dispatch onto a pool
+    // being destroyed. Make the violation detectable instead of UB.
+    if (g_default->pool().busy()) {
+      std::fprintf(stderr,
+                   "bcclap: Runtime::reset_process_default called while a "
+                   "parallel_for is in flight on the default pool\n");
+      std::abort();
+    }
+    opts.seed = g_default->opts_.seed;
+    opts.min_work_per_chunk = g_default->opts_.min_work_per_chunk;
+  }
+  // Publish the replacement first so a concurrent process_default()
+  // fast-path load never observes a pointer to a dead instance, then
+  // retire the old Runtime: drain its workers (a dispatch that slipped
+  // past the busy() check falls back to inline execution — byte-identical
+  // results, no use-after-free) and keep the instance alive for the
+  // deprecated-path objects that still point into it.
+  auto next = std::make_unique<Runtime>(opts);
+  g_default_ptr.store(next.get(), std::memory_order_release);
+  std::swap(g_default, next);
+  if (next) {
+    next->pool().drain();
+    g_retired.push_back(std::move(next));
+  }
+}
+
+LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
+                                      const linalg::Vec& b,
+                                      const LaplacianSolveOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  LaplacianRun out;
+  laplacian::SparsifiedLaplacianSolver solver(context(), g, opt.sparsify);
+  out.usable = solver.usable();
+  if (out.usable) {
+    laplacian::SolveStats st;
+    out.x = solver.solve(b, opt.eps, &st);
+    out.stats.iterations = st.iterations;
+    out.stats.rounds = st.rounds;
+  }
+  out.tree_patched = solver.tree_patched();
+  out.sparsifier = solver.sparsifier();
+  out.preprocessing_rounds = solver.preprocessing_rounds();
+  out.stats.rounds += out.preprocessing_rounds;
+  out.stats.wall_seconds = seconds_since(start);
+  return out;
+}
+
+SparsifyRun Runtime::sparsify(const graph::Graph& g,
+                              const sparsify::SparsifyOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  SparsifyRun out;
+  bcc::Network net(bcc::Model::kBroadcastCongest, g,
+                   bcc::Network::default_bandwidth(g.num_vertices()),
+                   context());
+  out.result = sparsify::spectral_sparsify(context(), g, opt, net);
+  out.stats = out.result.stats;
+  out.stats.wall_seconds = seconds_since(start);
+  return out;
+}
+
+McmfRun Runtime::min_cost_max_flow(const graph::Digraph& g, std::size_t s,
+                                   std::size_t t,
+                                   const flow::McmfOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  McmfRun out;
+  out.result = flow::min_cost_max_flow_ipm(context(), g, s, t, opt);
+  out.stats = out.result.stats;
+  out.stats.wall_seconds = seconds_since(start);
+  return out;
+}
+
+}  // namespace bcclap
+
+// Link-level shims for the common layer (declared in thread_pool.cpp and
+// context.h): the default Runtime owns the pool the legacy global
+// accessors funnel through.
+namespace bcclap::detail {
+
+common::ThreadPool& process_default_pool() {
+  return Runtime::process_default().pool();
+}
+
+void reset_process_default_threads(std::size_t threads) {
+  Runtime::reset_process_default(threads);
+}
+
+}  // namespace bcclap::detail
+
+namespace bcclap::common {
+
+Context default_context() { return Runtime::process_default().context(); }
+
+}  // namespace bcclap::common

@@ -1,0 +1,155 @@
+// bcclap::Runtime — the execution context an entire pipeline runs inside.
+//
+// A Runtime owns the three things the layers used to reach for globally or
+// receive ad hoc: a worker pool (common/thread_pool.h), the root of the
+// deterministic RNG stream tree (common/rng.h), and the chunking policy.
+// Layers receive a lightweight common::Context view of it; two Runtimes
+// with different worker counts run two independently-configured pipelines
+// concurrently in one process, each keeping the byte-identical-determinism
+// contract against its own 1-thread configuration
+// (tests/test_runtime.cpp).
+//
+//   bcclap::RuntimeOptions opts;
+//   opts.threads = 4;
+//   opts.seed = 7;
+//   bcclap::Runtime rt(opts);
+//   auto res = rt.solve_laplacian(g, b);
+//   // res.x, res.stats.rounds / .iterations / .wall_seconds
+//
+// Runtime::process_default() is the lazily-created Runtime behind the
+// deprecated pre-Runtime signatures (and ThreadPool::global()); it resolves
+// its worker count from BCCLAP_THREADS / hardware_concurrency exactly as
+// the retired global singleton did, so existing callers behave
+// identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/context.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/stats.h"
+#include "flow/mcmf_solver.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "sparsify/spectral_sparsify.h"
+
+namespace bcclap {
+
+struct RuntimeOptions {
+  // Worker threads (including the calling thread). 0 resolves via
+  // common::default_thread_count(): BCCLAP_THREADS env if set, else the
+  // BCCLAP_DEFAULT_THREADS compile-time knob, else hardware_concurrency.
+  std::size_t threads = 0;
+  // Root seed of the Runtime's deterministic stream tree. Facade calls
+  // derive their randomness from this seed (not from the root stream's
+  // position), so results are independent of call order. One documented
+  // exception: min_cost_max_flow's Daitch-Spielman perturbation draws
+  // from McmfOptions::seed (so a fixed McmfOptions reproduces across
+  // Runtimes); this seed still governs every layer beneath it that a
+  // context-built gram_factory reaches.
+  std::uint64_t seed = 0;
+  // Minimum scalar operations per chunk before a kernel fans out to the
+  // pool; the knob behind common::Context::grain.
+  std::size_t min_work_per_chunk = common::kDefaultMinWorkPerChunk;
+};
+
+// ---- facade option/result shapes (stats unified on core::RunStats) ----
+
+struct LaplacianSolveOptions {
+  double eps = 1e-8;                    // energy-norm accuracy target
+  sparsify::SparsifyOptions sparsify;   // preconditioner construction
+};
+
+struct LaplacianRun {
+  linalg::Vec x;
+  bool usable = false;       // false: preconditioner factorization failed
+  bool tree_patched = false; // sparsifier lost connectivity, forest unioned
+  graph::Graph sparsifier;   // the preconditioner H actually used
+  std::int64_t preprocessing_rounds = 0;
+  // rounds = preprocessing + solve; iterations = Chebyshev iterations.
+  core::RunStats stats;
+};
+
+struct SparsifyRun {
+  sparsify::SparsifyResult result;
+  // rounds = BC rounds of the run; iterations = resolved outer iterations.
+  core::RunStats stats;
+};
+
+struct McmfRun {
+  flow::McmfIpmResult result;
+  // rounds = accounted BCC rounds; iterations = IPM path steps;
+  // steps = Newton centering steps.
+  core::RunStats stats;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeOptions& opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const RuntimeOptions& options() const { return opts_; }
+  common::ThreadPool& pool() const { return *pool_; }
+  std::size_t num_threads() const { return pool_->num_threads(); }
+  std::uint64_t seed() const { return opts_.seed; }
+
+  // Root of the stream tree, for callers that need sequential draws (e.g.
+  // workload generation). The facade methods never consume it — they
+  // derive from seed() — so drawing here does not perturb pipeline
+  // results.
+  rng::Stream& root_stream() { return root_; }
+
+  // The view handed to the layer APIs. Valid as long as this Runtime
+  // lives.
+  common::Context context() const {
+    return common::Context(*pool_, opts_.seed, opts_.min_work_per_chunk);
+  }
+
+  // ---- pipeline facade -------------------------------------------------
+  // Each call is a self-contained run on this Runtime's pool and seed,
+  // with wall time and per-layer counters folded into RunStats.
+
+  // Theorem 1.3: sparsifier-preconditioned solve of L_G x = b.
+  LaplacianRun solve_laplacian(const graph::Graph& g, const linalg::Vec& b,
+                               const LaplacianSolveOptions& opt = {});
+
+  // Theorem 1.2: Algorithm 5 spectral sparsification over a Broadcast
+  // CONGEST network on g's topology. Seeded by seed() — couple with
+  // spectral_sparsify_apriori(g, opt, rt.seed()) for the Lemma 3.3 check.
+  SparsifyRun sparsify(const graph::Graph& g,
+                       const sparsify::SparsifyOptions& opt = {});
+
+  // Theorem 1.1: exact min-cost max-flow via the IPM pipeline. The cost
+  // perturbation is seeded by opt.seed (see RuntimeOptions::seed).
+  McmfRun min_cost_max_flow(const graph::Digraph& g, std::size_t s,
+                            std::size_t t, const flow::McmfOptions& opt = {});
+
+  // The process-default Runtime: created on first use with RuntimeOptions{}
+  // (env-resolved thread count), the instance behind ThreadPool::global()
+  // and every deprecated-path wrapper. Lives for the whole process unless
+  // reset via reset_process_default / ThreadPool::set_global_threads.
+  static Runtime& process_default();
+
+  // Rebuilds the process-default Runtime with `threads` workers (0 =
+  // env-resolved; note ThreadPool::set_global_threads maps its legacy
+  // 0-means-1 contract before calling this), preserving seed and chunking
+  // policy. The old Runtime is *retired*, not destroyed: its pool is
+  // drained (workers joined; later dispatches run inline with identical
+  // results) and the instance kept alive, so deprecated-path objects
+  // created before the reset never dangle. Precondition: no parallel_for
+  // in flight on the default pool — violations abort with a diagnostic.
+  static void reset_process_default(std::size_t threads);
+
+ private:
+  RuntimeOptions opts_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  rng::Stream root_;
+};
+
+}  // namespace bcclap

@@ -1,0 +1,43 @@
+// Unified execution statistics for every layer of the pipeline.
+//
+// Before the Runtime API each layer reported progress in its own shape
+// (laplacian::SolveStats, the rounds/steps fields of LpResult and
+// McmfIpmResult, the sparsifier's bare round count). RunStats is the one
+// struct they all map onto, so the facade (core/runtime.h) can return a
+// single result shape and callers can aggregate across layers with +=.
+//
+// Field conventions:
+//   rounds      — BC/BCC rounds charged by the model simulator;
+//   iterations  — outer iterations of the layer (Chebyshev iterations,
+//                 IPM path steps, sparsifier outer iterations);
+//   steps       — inner steps where the layer has a second counter
+//                 (Newton centering steps); 0 when not applicable;
+//   wall_seconds — wall-clock time, filled by the Runtime facade (the
+//                 layers themselves never look at the clock).
+//
+// This header is dependency-free on purpose: every layer may include it
+// without inverting the spanner -> sparsify -> laplacian -> lp -> flow
+// layering that core/bcclap.h sits on top of.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bcclap::core {
+
+struct RunStats {
+  std::int64_t rounds = 0;
+  std::size_t iterations = 0;
+  std::size_t steps = 0;
+  double wall_seconds = 0.0;
+
+  RunStats& operator+=(const RunStats& o) {
+    rounds += o.rounds;
+    iterations += o.iterations;
+    steps += o.steps;
+    wall_seconds += o.wall_seconds;
+    return *this;
+  }
+};
+
+}  // namespace bcclap::core

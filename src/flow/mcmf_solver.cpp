@@ -93,7 +93,8 @@ StageLp build_stage(const graph::Digraph& g, std::size_t s, std::size_t t,
 
 }  // namespace
 
-McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
+McmfIpmResult min_cost_max_flow_ipm(const common::Context& ctx,
+                                    const graph::Digraph& g, std::size_t s,
                                     std::size_t t, const McmfOptions& opt) {
   McmfIpmResult out;
   const std::size_t m = g.num_arcs();
@@ -104,11 +105,16 @@ McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
   lp_a.epsilon = 0.05;
   StageLp stage_a = build_stage(g, s, t, /*with_f=*/true, 0.0, {},
                                 /*slack_penalty=*/2.0, /*f_cost=*/-1.0);
-  const auto res_a = lp::lp_solve(stage_a.problem, stage_a.x0, lp_a);
+  const auto res_a = lp::lp_solve(ctx, stage_a.problem, stage_a.x0, lp_a);
   out.path_steps += res_a.path_steps;
   out.newton_steps += res_a.newton_steps;
   out.rounds += res_a.rounds;
-  if (!res_a.converged) return out;
+  if (!res_a.converged) {
+    out.stats.rounds = out.rounds;
+    out.stats.iterations = out.path_steps;
+    out.stats.steps = out.newton_steps;
+    return out;
+  }
   std::int64_t f_star =
       std::llround(res_a.x[m + 2 * stage_a.nv1]);
   f_star = std::max<std::int64_t>(f_star, 0);
@@ -142,7 +148,7 @@ McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
       StageLp stage_b = build_stage(g, s, t, /*with_f=*/false,
                                     static_cast<double>(f_target), q_tilde,
                                     lambda, 0.0);
-      const auto res_b = lp::lp_solve(stage_b.problem, stage_b.x0, lp_b);
+      const auto res_b = lp::lp_solve(ctx, stage_b.problem, stage_b.x0, lp_b);
       out.path_steps += res_b.path_steps;
       out.newton_steps += res_b.newton_steps;
       out.rounds += res_b.rounds;
@@ -181,6 +187,9 @@ McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
     out.exact = true;
     out.max_flow_value = out.flow.value;
   }
+  out.stats.rounds = out.rounds;
+  out.stats.iterations = out.path_steps;
+  out.stats.steps = out.newton_steps;
   return out;
 }
 

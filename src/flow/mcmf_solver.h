@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "common/context.h"
+#include "core/stats.h"
 #include "graph/digraph.h"
 #include "lp/lp_solver.h"
 
@@ -35,9 +37,25 @@ struct McmfIpmResult {
   std::size_t newton_steps = 0;
   std::int64_t rounds = 0;     // accounted BCC rounds
   std::int64_t max_flow_value = 0;
+  // Unified shape (core/stats.h): iterations = path_steps, steps =
+  // newton_steps, rounds as above. Kept in sync with the legacy fields.
+  core::RunStats stats;
 };
 
-McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g, std::size_t s,
+// Runs both LP stages on ctx's pool. The Daitch-Spielman perturbation
+// stream stays seeded by opt.seed (so reruns with a fixed McmfOptions are
+// reproducible across Runtimes); ctx.seed() governs any sparsified Gram
+// engines a caller-supplied opt.lp.gram_factory builds from its context.
+McmfIpmResult min_cost_max_flow_ipm(const common::Context& ctx,
+                                    const graph::Digraph& g, std::size_t s,
                                     std::size_t t, const McmfOptions& opt);
+
+// Deprecated path: process-default Runtime.
+inline McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g,
+                                           std::size_t s, std::size_t t,
+                                           const McmfOptions& opt) {
+  return min_cost_max_flow_ipm(common::default_context().with_seed(opt.seed),
+                               g, s, t, opt);
+}
 
 }  // namespace bcclap::flow

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "common/thread_pool.h"
-
 namespace bcclap::graph {
 
 linalg::CsrMatrix laplacian(const Graph& g) {
@@ -48,26 +46,51 @@ linalg::CsrMatrix incidence(const Digraph& g, std::size_t drop_vertex) {
   return linalg::CsrMatrix(m, n - 1, std::move(trips));
 }
 
+namespace {
+
+// The grain of the chunked edge scatter below: scales with n so each
+// chunk's n-sized partial is amortized over at least n edges — the
+// zero-init + chunk-order merge stays O(m), never dominating the scatter
+// itself on sparse graphs.
+std::size_t scatter_grain(std::size_t n, std::size_t min_work) {
+  return std::max<std::size_t>({2 * min_work, n, 1});
+}
+
+linalg::Vec apply_laplacian_sequential(const Graph& g, const linalg::Vec& x) {
+  linalg::Vec y(x.size(), 0.0);
+  for (const Edge& e : g.edges()) {
+    const double d = e.weight * (x[e.u] - x[e.v]);
+    y[e.u] += d;
+    y[e.v] -= d;
+  }
+  return y;
+}
+
+}  // namespace
+
 linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x) {
   assert(x.size() == g.num_vertices());
-  linalg::Vec y(x.size(), 0.0);
+  // Deprecated path: resolve the default Runtime only when the input is
+  // large enough to dispatch — a small matvec must not cost a process-wide
+  // worker-pool spawn (the pre-Runtime code had the same laziness).
+  if (g.num_edges() <=
+      scatter_grain(x.size(), common::kDefaultMinWorkPerChunk)) {
+    return apply_laplacian_sequential(g, x);
+  }
+  return apply_laplacian(common::default_context(), g, x);
+}
+
+linalg::Vec apply_laplacian(const common::Context& ctx, const Graph& g,
+                            const linalg::Vec& x) {
+  assert(x.size() == g.num_vertices());
   const std::size_t m = g.num_edges();
   // Edge-scatter kernel. Small instances run the sequential loop; large
   // ones use the deterministic chunked reduction (common::thread_pool.h).
-  // The grain scales with n so each chunk's n-sized partial is amortized
-  // over at least n edges — the zero-init + chunk-order merge stays O(m),
-  // never dominating the scatter itself on sparse graphs.
   const std::size_t grain =
-      std::max<std::size_t>({32 * 1024, x.size(), 1});
-  if (m <= grain) {
-    for (const Edge& e : g.edges()) {
-      const double d = e.weight * (x[e.u] - x[e.v]);
-      y[e.u] += d;
-      y[e.v] -= d;
-    }
-    return y;
-  }
-  common::parallel_reduce_chunks(
+      scatter_grain(x.size(), ctx.min_work_per_chunk());
+  if (m <= grain) return apply_laplacian_sequential(g, x);
+  linalg::Vec y(x.size(), 0.0);
+  ctx.parallel_reduce_chunks(
       0, m, grain, linalg::Vec(x.size(), 0.0),
       [&](std::size_t lo, std::size_t hi, linalg::Vec& p) {
         for (std::size_t i = lo; i < hi; ++i) {

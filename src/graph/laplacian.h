@@ -6,6 +6,7 @@
 // does not depend on the orientation.
 #pragma once
 
+#include "common/context.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
 #include "linalg/csr_matrix.h"
@@ -25,6 +26,13 @@ linalg::CsrMatrix incidence(const Digraph& g, std::size_t drop_vertex);
 
 // Applies L_G to x directly from adjacency (one "distributed matvec";
 // each vertex needs only neighbouring values — Theorem 1.3's discussion).
+// Large edge counts fan out across ctx's pool via the deterministic
+// chunked reduction.
+linalg::Vec apply_laplacian(const common::Context& ctx, const Graph& g,
+                            const linalg::Vec& x);
+// Deprecated path: runs on the process-default Runtime's context. Small
+// inputs take the sequential edge sweep without creating the default
+// Runtime (the pre-Runtime lazy behavior).
 linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x);
 
 }  // namespace bcclap::graph

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/context.h"
 #include "common/encoding.h"
 #include "laplacian/sdd_reduction.h"
 #include "laplacian/solver.h"
@@ -14,9 +15,10 @@ namespace {
 
 class ExactSddEngine final : public SddEngine {
  public:
-  ExactSddEngine(linalg::DenseMatrix m, std::size_t network_n)
+  ExactSddEngine(const common::Context& ctx, linalg::DenseMatrix m,
+                 std::size_t network_n)
       : network_n_(std::max<std::size_t>(network_n, 2)) {
-    factor_ = linalg::LdltFactor::factor(m);
+    factor_ = linalg::LdltFactor::factor(ctx, m);
     if (!factor_) {
       // M may be only positive semi-definite in degenerate cases; add a
       // tiny Tikhonov ridge and retry (documented numerical guard).
@@ -24,7 +26,7 @@ class ExactSddEngine final : public SddEngine {
       double scale = 0.0;
       for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, m(i, i));
       for (std::size_t i = 0; i < n; ++i) m(i, i) += 1e-12 * (scale + 1.0);
-      factor_ = linalg::LdltFactor::factor(m);
+      factor_ = linalg::LdltFactor::factor(ctx, m);
     }
     assert(factor_);
   }
@@ -54,8 +56,8 @@ class ExactSddEngine final : public SddEngine {
 
 class SparsifiedSddEngine final : public SddEngine {
  public:
-  SparsifiedSddEngine(linalg::DenseMatrix m, std::uint64_t seed)
-      : matrix_(std::move(m)) {
+  SparsifiedSddEngine(const common::Context& ctx, linalg::DenseMatrix m)
+      : ctx_(ctx), matrix_(std::move(m)) {
     reduction_ = gremban_reduce(matrix_);
     assert(reduction_.valid && "matrix must be SDD");
     sparsify::SparsifyOptions opt;
@@ -66,7 +68,7 @@ class SparsifiedSddEngine final : public SddEngine {
     opt.k = 2;
     opt.t = 2;
     solver_ = std::make_unique<SparsifiedLaplacianSolver>(
-        reduction_.virtual_graph, opt, seed);
+        ctx_, reduction_.virtual_graph, opt);
   }
 
   linalg::Vec solve(const linalg::Vec& y, double eps) override {
@@ -79,7 +81,7 @@ class SparsifiedSddEngine final : public SddEngine {
       // weight spreads beyond double's reach through the Laplacian route;
       // detect and switch to the dense SDD factorization (LDL^T on a
       // diagonally dominant matrix is stable at any scaling).
-      const auto r = linalg::sub(matrix_.multiply(x), y);
+      const auto r = linalg::sub(matrix_.multiply(ctx_, x), y);
       const double rel = linalg::norm2(r) /
                          std::max(linalg::norm2(y), 1e-300);
       if (rel <= std::max(eps * 10.0, 1e-6)) return x;
@@ -87,14 +89,14 @@ class SparsifiedSddEngine final : public SddEngine {
     use_fallback_ = true;
     if (!fallback_) {
       auto m = matrix_;
-      fallback_ = linalg::LdltFactor::factor(m);
+      fallback_ = linalg::LdltFactor::factor(ctx_, m);
       if (!fallback_) {
         double scale = 0.0;
         for (std::size_t i = 0; i < m.rows(); ++i)
           scale = std::max(scale, m(i, i));
         for (std::size_t i = 0; i < m.rows(); ++i)
           m(i, i) += 1e-12 * (scale + 1.0);
-        fallback_ = linalg::LdltFactor::factor(m);
+        fallback_ = linalg::LdltFactor::factor(ctx_, m);
       }
       assert(fallback_);
     }
@@ -106,6 +108,7 @@ class SparsifiedSddEngine final : public SddEngine {
   }
 
  private:
+  common::Context ctx_;
   linalg::DenseMatrix matrix_;
   SddReduction reduction_;
   std::unique_ptr<SparsifiedLaplacianSolver> solver_;
@@ -116,14 +119,27 @@ class SparsifiedSddEngine final : public SddEngine {
 
 }  // namespace
 
+std::unique_ptr<SddEngine> make_exact_sdd_engine(const common::Context& ctx,
+                                                 linalg::DenseMatrix m,
+                                                 std::size_t network_n) {
+  return std::make_unique<ExactSddEngine>(ctx, std::move(m), network_n);
+}
+
+std::unique_ptr<SddEngine> make_sparsified_sdd_engine(
+    const common::Context& ctx, linalg::DenseMatrix m) {
+  return std::make_unique<SparsifiedSddEngine>(ctx, std::move(m));
+}
+
 std::unique_ptr<SddEngine> make_exact_sdd_engine(linalg::DenseMatrix m,
                                                  std::size_t network_n) {
-  return std::make_unique<ExactSddEngine>(std::move(m), network_n);
+  return make_exact_sdd_engine(common::default_context(), std::move(m),
+                               network_n);
 }
 
 std::unique_ptr<SddEngine> make_sparsified_sdd_engine(linalg::DenseMatrix m,
                                                       std::uint64_t seed) {
-  return std::make_unique<SparsifiedSddEngine>(std::move(m), seed);
+  return make_sparsified_sdd_engine(common::default_context().with_seed(seed),
+                                    std::move(m));
 }
 
 }  // namespace bcclap::laplacian

@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "bcc/round_accountant.h"
+#include "common/context.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 
@@ -31,7 +32,17 @@ class SddEngine {
   virtual std::int64_t rounds_charged() const = 0;
 };
 
-// Builds an engine for a concrete SDD matrix M (n x n dense).
+// Builds an engine for a concrete SDD matrix M (n x n dense), executing on
+// ctx's pool; the sparsified engine draws its sparsifier randomness from
+// ctx.seed().
+std::unique_ptr<SddEngine> make_exact_sdd_engine(const common::Context& ctx,
+                                                 linalg::DenseMatrix m,
+                                                 std::size_t network_n);
+std::unique_ptr<SddEngine> make_sparsified_sdd_engine(
+    const common::Context& ctx, linalg::DenseMatrix m);
+
+// Deprecated path: process-default Runtime (bare seed for the sparsified
+// engine).
 std::unique_ptr<SddEngine> make_exact_sdd_engine(linalg::DenseMatrix m,
                                                  std::size_t network_n);
 std::unique_ptr<SddEngine> make_sparsified_sdd_engine(linalg::DenseMatrix m,

@@ -57,12 +57,12 @@ void remove_component_means(linalg::Vec& x,
 }  // namespace
 
 SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
-    const graph::Graph& g, const sparsify::SparsifyOptions& opt,
-    std::uint64_t seed)
-    : g_(g) {
+    const common::Context& ctx, const graph::Graph& g,
+    const sparsify::SparsifyOptions& opt)
+    : ctx_(ctx), g_(g) {
   bandwidth_ = bcc::Network::default_bandwidth(g.num_vertices());
-  bcc::Network net(bcc::Model::kBroadcastCongest, g, bandwidth_);
-  auto sp = sparsify::spectral_sparsify(g, opt, seed, net);
+  bcc::Network net(bcc::Model::kBroadcastCongest, g, bandwidth_, ctx_);
+  auto sp = sparsify::spectral_sparsify(ctx_, g, opt, net);
   preprocessing_rounds_ = sp.rounds;
   h_ = std::move(sp.sparsifier);
   g_components_ = g_.component_labels();
@@ -81,7 +81,8 @@ SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
                static_cast<std::int64_t>(g_.num_vertices()));
     preprocessing_rounds_ += static_cast<std::int64_t>(g_.num_vertices());
   }
-  h_factor_ = linalg::ComponentLaplacianFactor::factor(graph::laplacian(h_));
+  h_factor_ =
+      linalg::ComponentLaplacianFactor::factor(ctx_, graph::laplacian(h_));
   if (!h_factor_) {
     // Extreme weight spreads (IPM-generated virtual graphs) can defeat the
     // sparsifier factorization numerically; fall back to preconditioning
@@ -89,7 +90,8 @@ SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
     // speedup claim is forfeited for this instance.
     tree_patched_ = true;
     h_ = g_;
-    h_factor_ = linalg::ComponentLaplacianFactor::factor(graph::laplacian(h_));
+    h_factor_ =
+        linalg::ComponentLaplacianFactor::factor(ctx_, graph::laplacian(h_));
   }
   accountant_.charge("laplacian/preprocessing", preprocessing_rounds_);
 }
@@ -101,7 +103,7 @@ linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
   remove_component_means(rhs, g_components_);
 
   const auto apply_a = [this](const linalg::Vec& x) {
-    return graph::apply_laplacian(g_, x);
+    return graph::apply_laplacian(ctx_, g_, x);
   };
   // B = (3/2) L_H  =>  B^{-1} r = (2/3) L_H^+ r.
   const auto solve_b = [this](const linalg::Vec& r) {
@@ -127,14 +129,25 @@ linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
   return y;
 }
 
-linalg::Vec exact_laplacian_solve(const graph::Graph& g,
+linalg::Vec exact_laplacian_solve(const common::Context& ctx,
+                                  const graph::Graph& g,
                                   const linalg::Vec& b) {
-  const auto factor = linalg::LaplacianFactor::factor(graph::laplacian(g));
+  const auto factor =
+      linalg::LaplacianFactor::factor(ctx, graph::laplacian(g));
   assert(factor && "graph must be connected");
   return factor->solve(b);
 }
 
+double laplacian_norm(const common::Context& ctx, const graph::Graph& g,
+                      const linalg::Vec& x) {
+  return std::sqrt(
+      std::max(0.0, linalg::dot(x, graph::apply_laplacian(ctx, g, x))));
+}
+
 double laplacian_norm(const graph::Graph& g, const linalg::Vec& x) {
+  // Same arithmetic as the pre-Runtime code (bitwise): the deprecated
+  // apply_laplacian overload already runs small inputs sequentially
+  // without creating the process-default Runtime.
   return std::sqrt(
       std::max(0.0, linalg::dot(x, graph::apply_laplacian(g, x))));
 }

@@ -11,6 +11,8 @@
 #include <optional>
 
 #include "bcc/round_accountant.h"
+#include "common/context.h"
+#include "core/stats.h"
 #include "graph/graph.h"
 #include "linalg/cholesky.h"
 #include "linalg/vector_ops.h"
@@ -18,21 +20,29 @@
 
 namespace bcclap::laplacian {
 
-struct SolveStats {
-  std::size_t iterations = 0;
-  std::int64_t rounds = 0;
-};
+// Unified stats shape (core/stats.h): iterations = Chebyshev iterations,
+// rounds = BCC rounds of the solve. The old {iterations, rounds} struct
+// had exactly these fields, so existing callers compile unchanged.
+using SolveStats = core::RunStats;
 
 class SparsifiedLaplacianSolver {
  public:
   // Builds the preconditioner by spectral sparsification over a Broadcast
-  // CONGEST network on g's topology. If the sparsifier has more connected
+  // CONGEST network on g's topology, executing on ctx's pool and drawing
+  // all randomness from ctx.seed(). If the sparsifier has more connected
   // components than G (possible with aggressively small bundle constants),
   // a spanning forest of G is unioned in; `tree_patched()` reports this.
-  // Disconnected inputs are handled per component.
+  // Disconnected inputs are handled per component. The solver keeps the
+  // context: the Runtime behind it must outlive the solver.
+  SparsifiedLaplacianSolver(const common::Context& ctx, const graph::Graph& g,
+                            const sparsify::SparsifyOptions& opt);
+
+  // Deprecated path: bare seed on the process-default Runtime's pool.
   SparsifiedLaplacianSolver(const graph::Graph& g,
                             const sparsify::SparsifyOptions& opt,
-                            std::uint64_t seed);
+                            std::uint64_t seed)
+      : SparsifiedLaplacianSolver(common::default_context().with_seed(seed),
+                                  g, opt) {}
 
   // Solves L_G x = b to ||x - y||_{L_G} <= eps ||x||_{L_G}. b is projected
   // onto range(L_G) (mean removed). Rounds are charged per Theorem 1.3:
@@ -50,6 +60,7 @@ class SparsifiedLaplacianSolver {
   bcc::RoundAccountant& accountant() { return accountant_; }
 
  private:
+  common::Context ctx_;
   const graph::Graph& g_;
   graph::Graph h_;
   std::vector<std::size_t> g_components_;
@@ -62,9 +73,17 @@ class SparsifiedLaplacianSolver {
 };
 
 // Exact reference solve (dense LDL^T on grounded L_G); test oracle.
-linalg::Vec exact_laplacian_solve(const graph::Graph& g, const linalg::Vec& b);
+linalg::Vec exact_laplacian_solve(const common::Context& ctx,
+                                  const graph::Graph& g,
+                                  const linalg::Vec& b);
+inline linalg::Vec exact_laplacian_solve(const graph::Graph& g,
+                                         const linalg::Vec& b) {
+  return exact_laplacian_solve(common::default_context(), g, b);
+}
 
 // Energy norm ||x||_{L_G} = sqrt(x' L_G x).
+double laplacian_norm(const common::Context& ctx, const graph::Graph& g,
+                      const linalg::Vec& x);
 double laplacian_norm(const graph::Graph& g, const linalg::Vec& x);
 
 }  // namespace bcclap::laplacian

@@ -5,8 +5,6 @@
 #include <cmath>
 #include <vector>
 
-#include "common/thread_pool.h"
-
 namespace bcclap::linalg {
 
 namespace {
@@ -20,7 +18,8 @@ constexpr std::size_t kLdltBlock = 64;
 
 }  // namespace
 
-std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
+std::optional<LdltFactor> LdltFactor::factor(const common::Context& ctx,
+                                             const DenseMatrix& a,
                                              double pivot_tol) {
   assert(a.rows() == a.cols());
   const std::size_t n = a.rows();
@@ -49,9 +48,8 @@ std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
   // the unit-lower factor. The strict upper triangle stays zero; the
   // diagonal slots hold trailing-matrix values until the final pass pins
   // them to 1.
-  common::parallel_for_chunks(
-      0, n, common::chunk_grain(n, n / 2 + 1),
-      [&](std::size_t lo, std::size_t hi) {
+  ctx.parallel_for_chunks(
+      0, n, ctx.grain(n, n / 2 + 1), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           double* li = l.row_data(i);
           const double* ai = a.row_data(i);
@@ -93,8 +91,8 @@ std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
     // the pool; each row also records its D-scaled copy, the right-hand
     // operand of the trailing GEMM below.
     const std::size_t rows_below = n - ke;
-    common::parallel_for_chunks(
-        ke, n, common::chunk_grain(rows_below, bw * bw / 2 + bw),
+    ctx.parallel_for_chunks(
+        ke, n, ctx.grain(rows_below, bw * bw / 2 + bw),
         [&](std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo; i < hi; ++i) {
             double* li = l.row_data(i);
@@ -121,7 +119,7 @@ std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a,
     for (std::size_t ilo = ke; ilo < n; ilo += kLdltBlock)
       for (std::size_t jlo = ke; jlo <= ilo; jlo += kLdltBlock)
         tiles.push_back({ilo, jlo});
-    common::parallel_for_chunks(
+    ctx.parallel_for_chunks(
         0, tiles.size(), 1, [&](std::size_t lo, std::size_t hi) {
           for (std::size_t t = lo; t < hi; ++t) {
             const std::size_t ihi = std::min(n, tiles[t].ilo + kLdltBlock);
@@ -165,7 +163,7 @@ Vec LdltFactor::solve(const Vec& b) const {
 }
 
 std::optional<LaplacianFactor> LaplacianFactor::factor(
-    const CsrMatrix& laplacian) {
+    const common::Context& ctx, const CsrMatrix& laplacian) {
   assert(laplacian.rows() == laplacian.cols());
   const std::size_t n = laplacian.rows();
   if (n < 2) return std::nullopt;
@@ -181,7 +179,7 @@ std::optional<LaplacianFactor> LaplacianFactor::factor(
       if (ci[k] + 1 < n) g(r, ci[k]) += vals[k];
     }
   }
-  auto f = LdltFactor::factor(g);
+  auto f = LdltFactor::factor(ctx, g);
   if (!f) return std::nullopt;
   return LaplacianFactor(n, std::move(*f));
 }
@@ -199,11 +197,12 @@ Vec LaplacianFactor::solve(const Vec& b) const {
 }
 
 std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
-    const CsrMatrix& laplacian) {
+    const common::Context& ctx, const CsrMatrix& laplacian) {
   assert(laplacian.rows() == laplacian.cols());
   const std::size_t n = laplacian.rows();
   ComponentLaplacianFactor f;
   f.n_ = n;
+  f.pool_ = &ctx.pool();
   // Connected components over the nonzero off-diagonal pattern.
   f.component_of_.assign(n, static_cast<std::size_t>(-1));
   const auto& rp = laplacian.row_ptr();
@@ -244,7 +243,7 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
   // component leaves its slot empty and is distinguished from a singleton
   // by size below.
   f.factors_.resize(num_comps);
-  common::parallel_for(0, num_comps, [&](std::size_t c) {
+  ctx.parallel_for(0, num_comps, [&](std::size_t c) {
     const auto& verts = f.component_vertices_[c];
     if (verts.size() < 2) return;
     const std::size_t dim = verts.size() - 1;
@@ -260,7 +259,7 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
         g(i, local[u]) += vals[k];
       }
     }
-    auto ldlt = LdltFactor::factor(g);
+    auto ldlt = LdltFactor::factor(ctx, g);
     if (ldlt) f.factors_[c] = std::move(*ldlt);
   });
   for (std::size_t c = 0; c < num_comps; ++c) {
@@ -274,8 +273,8 @@ Vec ComponentLaplacianFactor::solve(const Vec& b) const {
   assert(b.size() == n_);
   Vec x(n_, 0.0);
   // Per-component solves touch disjoint slots of x, so they fan out across
-  // the pool like the factorization does.
-  common::parallel_for(0, component_vertices_.size(), [&](std::size_t c) {
+  // the pool the factorization ran on.
+  pool_->parallel_for(0, component_vertices_.size(), [&](std::size_t c) {
     const auto& verts = component_vertices_[c];
     if (verts.size() < 2) return;  // singleton: L row is zero, x = 0
     // Project rhs onto the component's zero-sum subspace.

@@ -11,15 +11,19 @@
 // `LaplacianFactor` grounds the last vertex and solves on the quotient.
 //
 // `LdltFactor::factor` is a blocked right-looking factorization: the panel
-// solve and the trailing-matrix tiles fan out over the shared worker pool
-// (common/thread_pool.h) with fixed tile boundaries, so factors are
-// byte-identical at any thread count — the same contract the superstep
+// solve and the trailing-matrix tiles fan out over the execution context's
+// worker pool (common/context.h) with fixed tile boundaries, so factors
+// are byte-identical at any thread count — the same contract the superstep
 // engine gives the network. `ComponentLaplacianFactor` additionally
-// factors (and solves) its connected components in parallel.
+// factors (and solves) its connected components in parallel; it remembers
+// the pool it was factored on, so the owning Runtime must outlive the
+// factor. The context-less factor() overloads are the deprecated path and
+// run on the process-default Runtime.
 #pragma once
 
 #include <optional>
 
+#include "common/context.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
@@ -28,13 +32,18 @@ namespace bcclap::linalg {
 
 class LdltFactor {
  public:
-  // Factors a symmetric positive definite matrix. Returns nullopt if a pivot
-  // falls below `pivot_tol` relative to the largest diagonal magnitude
-  // (matrix not PD to working precision). Degenerate inputs — a 0x0 matrix
-  // or an all-zero diagonal — are rejected explicitly rather than left to
-  // threshold underflow.
-  static std::optional<LdltFactor> factor(const DenseMatrix& a,
+  // Factors a symmetric positive definite matrix on ctx's pool. Returns
+  // nullopt if a pivot falls below `pivot_tol` relative to the largest
+  // diagonal magnitude (matrix not PD to working precision). Degenerate
+  // inputs — a 0x0 matrix or an all-zero diagonal — are rejected
+  // explicitly rather than left to threshold underflow.
+  static std::optional<LdltFactor> factor(const common::Context& ctx,
+                                          const DenseMatrix& a,
                                           double pivot_tol = 1e-12);
+  static std::optional<LdltFactor> factor(const DenseMatrix& a,
+                                          double pivot_tol = 1e-12) {
+    return factor(common::default_context(), a, pivot_tol);
+  }
 
   Vec solve(const Vec& b) const;
   std::size_t dim() const { return n_; }
@@ -52,7 +61,11 @@ class LdltFactor {
 // and returns the mean-zero representative of the solution.
 class LaplacianFactor {
  public:
-  static std::optional<LaplacianFactor> factor(const CsrMatrix& laplacian);
+  static std::optional<LaplacianFactor> factor(const common::Context& ctx,
+                                               const CsrMatrix& laplacian);
+  static std::optional<LaplacianFactor> factor(const CsrMatrix& laplacian) {
+    return factor(common::default_context(), laplacian);
+  }
 
   // Requires sum(b) ~ 0 (the solver projects b to be safe). Returns x with
   // mean zero satisfying L x = b.
@@ -75,7 +88,11 @@ class LaplacianFactor {
 class ComponentLaplacianFactor {
  public:
   static std::optional<ComponentLaplacianFactor> factor(
-      const CsrMatrix& laplacian);
+      const common::Context& ctx, const CsrMatrix& laplacian);
+  static std::optional<ComponentLaplacianFactor> factor(
+      const CsrMatrix& laplacian) {
+    return factor(common::default_context(), laplacian);
+  }
 
   // Returns the minimum-norm-style representative: per component, the
   // solution with zero component mean for the component-projected rhs.
@@ -90,6 +107,9 @@ class ComponentLaplacianFactor {
   // One LDL^T per component of size >= 2 (grounded on its last vertex);
   // index aligned with component_vertices_, nullopt for singletons.
   std::vector<std::optional<LdltFactor>> factors_;
+  // Pool the factor was built on; solve() fans its per-component solves
+  // out over the same pool (never null after factor()).
+  common::ThreadPool* pool_ = nullptr;
 
   ComponentLaplacianFactor() = default;
 };

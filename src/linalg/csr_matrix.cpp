@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "common/thread_pool.h"
-
 namespace bcclap::linalg {
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
@@ -53,15 +51,15 @@ CsrMatrix CsrMatrix::from_raw(std::size_t rows, std::size_t cols,
   return m;
 }
 
-Vec CsrMatrix::multiply(const Vec& x) const {
+Vec CsrMatrix::multiply(const common::Context& ctx, const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);
   // Row-parallel and bitwise deterministic: y[r] depends only on row r.
   // Grain uses the average row cost nnz/rows (shared helper with the dense
   // kernels).
-  const std::size_t grain = common::chunk_grain(
-      rows_, nnz() / std::max<std::size_t>(rows_, 1));
-  common::parallel_for_chunks(
+  const std::size_t grain =
+      ctx.grain(rows_, nnz() / std::max<std::size_t>(rows_, 1));
+  ctx.parallel_for_chunks(
       0, rows_, grain, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           double s = 0.0;

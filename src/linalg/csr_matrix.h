@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/context.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 
@@ -37,8 +38,14 @@ class CsrMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return values_.size(); }
 
-  Vec multiply(const Vec& x) const;
-  Vec multiply_transpose(const Vec& x) const;
+  // Row-parallel matvec on ctx's pool (bitwise deterministic at any worker
+  // count of the same context).
+  Vec multiply(const common::Context& ctx, const Vec& x) const;
+  // Deprecated path: runs on the process-default Runtime's context.
+  Vec multiply(const Vec& x) const {
+    return multiply(common::default_context(), x);
+  }
+  Vec multiply_transpose(const Vec& x) const;  // sequential scatter
   Vec diagonal() const;
 
   CsrMatrix transpose() const;

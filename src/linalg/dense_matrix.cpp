@@ -3,13 +3,11 @@
 #include <cassert>
 #include <cmath>
 
-#include "common/thread_pool.h"
-
 namespace bcclap::linalg {
 
-// Chunk sizing comes from common::chunk_grain (shared with the CSR
-// kernels): chunks cover >= kDefaultMinWorkPerChunk multiply-adds, with
-// boundaries that are a pure function of the matrix shape.
+// Chunk sizing comes from ctx.grain (shared with the CSR kernels): chunks
+// cover >= ctx.min_work_per_chunk() multiply-adds, with boundaries that
+// are a pure function of the matrix shape and the context's policy.
 
 DenseMatrix DenseMatrix::identity(std::size_t n) {
   DenseMatrix m(n, n);
@@ -17,13 +15,13 @@ DenseMatrix DenseMatrix::identity(std::size_t n) {
   return m;
 }
 
-Vec DenseMatrix::multiply(const Vec& x) const {
+Vec DenseMatrix::multiply(const common::Context& ctx, const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);
   // Each output row is an independent dot product: embarrassingly parallel
   // and bitwise deterministic at any thread count.
-  common::parallel_for_chunks(
-      0, rows_, common::chunk_grain(rows_, cols_),
+  ctx.parallel_for_chunks(
+      0, rows_, ctx.grain(rows_, cols_),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           double s = 0.0;
@@ -35,10 +33,11 @@ Vec DenseMatrix::multiply(const Vec& x) const {
   return y;
 }
 
-Vec DenseMatrix::multiply_transpose(const Vec& x) const {
+Vec DenseMatrix::multiply_transpose(const common::Context& ctx,
+                                    const Vec& x) const {
   assert(x.size() == rows_);
   Vec y(cols_, 0.0);
-  if (rows_ * cols_ < common::kDefaultMinWorkPerChunk) {
+  if (rows_ * cols_ < ctx.min_work_per_chunk()) {
     for (std::size_t r = 0; r < rows_; ++r) {
       const double xr = x[r];
       if (xr == 0.0) continue;
@@ -52,10 +51,9 @@ Vec DenseMatrix::multiply_transpose(const Vec& x) const {
   // chunk count is capped so partial storage and the merge stay small
   // relative to the rows x cols multiply-adds, even for wide matrices.
   constexpr std::size_t kMaxChunks = 64;
-  const std::size_t grain =
-      std::max(common::chunk_grain(rows_, cols_),
-               (rows_ + kMaxChunks - 1) / kMaxChunks);
-  common::parallel_reduce_chunks(
+  const std::size_t grain = std::max(
+      ctx.grain(rows_, cols_), (rows_ + kMaxChunks - 1) / kMaxChunks);
+  ctx.parallel_reduce_chunks(
       0, rows_, grain, Vec(cols_, 0.0),
       [&](std::size_t lo, std::size_t hi, Vec& p) {
         for (std::size_t r = lo; r < hi; ++r) {
@@ -71,13 +69,14 @@ Vec DenseMatrix::multiply_transpose(const Vec& x) const {
   return y;
 }
 
-DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+DenseMatrix DenseMatrix::multiply(const common::Context& ctx,
+                                  const DenseMatrix& other) const {
   assert(cols_ == other.rows_);
   DenseMatrix out(rows_, other.cols_);
   // Row-parallel: output row r reads only row r of *this, writes only row r
   // of out. The k-loop order inside a row matches the sequential kernel.
-  common::parallel_for_chunks(
-      0, rows_, common::chunk_grain(rows_, cols_ * other.cols_),
+  ctx.parallel_for_chunks(
+      0, rows_, ctx.grain(rows_, cols_ * other.cols_),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           for (std::size_t k = 0; k < cols_; ++k) {

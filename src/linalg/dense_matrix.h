@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/context.h"
 #include "linalg/vector_ops.h"
 
 namespace bcclap::linalg {
@@ -34,9 +35,26 @@ class DenseMatrix {
   double* row_data(std::size_t r) { return &data_[r * cols_]; }
   const double* row_data(std::size_t r) const { return &data_[r * cols_]; }
 
-  Vec multiply(const Vec& x) const;
-  Vec multiply_transpose(const Vec& x) const;
-  DenseMatrix multiply(const DenseMatrix& other) const;
+  // Parallel kernels, dispatched on ctx's pool with ctx's chunking policy
+  // (chunk boundaries stay a pure function of the shape and the policy, so
+  // results are bit-identical at any worker count of the same context).
+  Vec multiply(const common::Context& ctx, const Vec& x) const;
+  Vec multiply_transpose(const common::Context& ctx, const Vec& x) const;
+  DenseMatrix multiply(const common::Context& ctx,
+                       const DenseMatrix& other) const;
+
+  // Deprecated path: context-less kernels run on the process-default
+  // Runtime's context.
+  Vec multiply(const Vec& x) const {
+    return multiply(common::default_context(), x);
+  }
+  Vec multiply_transpose(const Vec& x) const {
+    return multiply_transpose(common::default_context(), x);
+  }
+  DenseMatrix multiply(const DenseMatrix& other) const {
+    return multiply(common::default_context(), other);
+  }
+
   DenseMatrix transpose() const;
 
   // Frobenius norm of (this - other); used by tests.

@@ -7,31 +7,34 @@
 #include <vector>
 
 #include "common/encoding.h"
-#include "common/thread_pool.h"
 #include "linalg/cholesky.h"
 #include "linalg/jl_transform.h"
 
 namespace bcclap::lp {
 
-MatrixOracle dense_oracle(const linalg::DenseMatrix& m) {
+MatrixOracle dense_oracle(const common::Context& ctx,
+                          const linalg::DenseMatrix& m) {
   MatrixOracle o;
   o.m = m.rows();
   o.n = m.cols();
   // Gram matrix and its factorization are shared by the three closures.
-  auto gram = std::make_shared<linalg::DenseMatrix>(m.transpose().multiply(m));
+  auto gram = std::make_shared<linalg::DenseMatrix>(
+      m.transpose().multiply(ctx, m));
   auto factor = std::make_shared<std::optional<linalg::LdltFactor>>(
-      linalg::LdltFactor::factor(*gram));
+      linalg::LdltFactor::factor(ctx, *gram));
   if (!factor->has_value()) {
     // Semi-definite guard: tiny ridge.
     for (std::size_t i = 0; i < gram->rows(); ++i)
       (*gram)(i, i) += 1e-12 * ((*gram)(i, i) + 1.0);
-    *factor = linalg::LdltFactor::factor(*gram);
+    *factor = linalg::LdltFactor::factor(ctx, *gram);
   }
   assert(factor->has_value());
   auto mat = std::make_shared<linalg::DenseMatrix>(m);
-  o.apply = [mat](const linalg::Vec& x) { return mat->multiply(x); };
-  o.apply_t = [mat](const linalg::Vec& y) {
-    return mat->multiply_transpose(y);
+  o.apply = [mat, ctx](const linalg::Vec& x) {
+    return mat->multiply(ctx, x);
+  };
+  o.apply_t = [mat, ctx](const linalg::Vec& y) {
+    return mat->multiply_transpose(ctx, y);
   };
   o.solve_gram = [factor](const linalg::Vec& y) {
     return (*factor)->solve(y);
@@ -39,12 +42,13 @@ MatrixOracle dense_oracle(const linalg::DenseMatrix& m) {
   return o;
 }
 
-linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m) {
-  const MatrixOracle o = dense_oracle(m);
+linalg::Vec leverage_scores_exact(const common::Context& ctx,
+                                  const linalg::DenseMatrix& m) {
+  const MatrixOracle o = dense_oracle(ctx, m);
   linalg::Vec sigma(o.m, 0.0);
   // sigma_i = row_i (M^T M)^{-1} row_i^T: one Gram solve per row, each
   // writing only sigma[i] — rows fan out across the pool.
-  common::parallel_for(0, o.m, [&](std::size_t i) {
+  ctx.parallel_for(0, o.m, [&](std::size_t i) {
     linalg::Vec row(o.n);
     for (std::size_t j = 0; j < o.n; ++j) row[j] = m(i, j);
     const auto z = o.solve_gram(row);
@@ -53,7 +57,8 @@ linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m) {
   return sigma;
 }
 
-linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
+linalg::Vec leverage_scores_jl(const common::Context& ctx,
+                               const MatrixOracle& oracle,
                                const LeverageOptions& opt,
                                bcc::RoundAccountant* acct) {
   const std::size_t k = linalg::jl_dimension(oracle.m, opt.eta,
@@ -79,7 +84,7 @@ linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
   std::vector<linalg::Vec> batch(std::min<std::size_t>(kProbeBatch, dim));
   for (std::size_t base = 0; base < dim; base += kProbeBatch) {
     const std::size_t count = std::min(kProbeBatch, dim - base);
-    common::parallel_for(0, count, [&](std::size_t b) {
+    ctx.parallel_for(0, count, [&](std::size_t b) {
       // p^(j) = M (M^T M)^{-1} M^T Q^(j)  (Algorithm 6 line 5).
       const linalg::Vec qj = sketch.row(base + b);
       const linalg::Vec mt_q = oracle.apply_t(qj);

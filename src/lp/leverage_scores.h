@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "bcc/round_accountant.h"
+#include "common/context.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
@@ -25,11 +26,20 @@ struct MatrixOracle {
   std::function<linalg::Vec(const linalg::Vec&)> solve_gram;   // (M^T M)^{-1} y
 };
 
-// Builds an oracle for a dense M with an exact dense Gram solve.
-MatrixOracle dense_oracle(const linalg::DenseMatrix& m);
+// Builds an oracle for a dense M with an exact dense Gram solve; the
+// closures run their matvecs and the Gram factorization on ctx's pool.
+MatrixOracle dense_oracle(const common::Context& ctx,
+                          const linalg::DenseMatrix& m);
+inline MatrixOracle dense_oracle(const linalg::DenseMatrix& m) {
+  return dense_oracle(common::default_context(), m);
+}
 
-// Exact leverage scores (dense reference).
-linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m);
+// Exact leverage scores (dense reference); rows fan out on ctx's pool.
+linalg::Vec leverage_scores_exact(const common::Context& ctx,
+                                  const linalg::DenseMatrix& m);
+inline linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m) {
+  return leverage_scores_exact(common::default_context(), m);
+}
 
 struct LeverageOptions {
   double eta = 0.5;          // multiplicative accuracy target
@@ -40,9 +50,17 @@ struct LeverageOptions {
 
 // Algorithm 6: sigma_apx = sum_j (M (M^T M)^{-1} M^T Q^(j))^2. Charges the
 // leader's seed broadcast and the per-probe communication to `acct` when
-// provided (Lemma 4.5's round accounting).
-linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
+// provided (Lemma 4.5's round accounting). Probe batches fan out on ctx's
+// pool; the sketch seed stays opt.seed (the leader broadcast of the
+// model), independent of ctx.seed().
+linalg::Vec leverage_scores_jl(const common::Context& ctx,
+                               const MatrixOracle& oracle,
                                const LeverageOptions& opt,
                                bcc::RoundAccountant* acct = nullptr);
+inline linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
+                                      const LeverageOptions& opt,
+                                      bcc::RoundAccountant* acct = nullptr) {
+  return leverage_scores_jl(common::default_context(), oracle, opt, acct);
+}
 
 }  // namespace bcclap::lp

@@ -8,13 +8,14 @@ namespace bcclap::lp {
 
 namespace {
 
-linalg::Vec leverage_of(const linalg::DenseMatrix& m, const LewisOptions& opt,
+linalg::Vec leverage_of(const common::Context& ctx,
+                        const linalg::DenseMatrix& m, const LewisOptions& opt,
                         double eta) {
-  if (!opt.use_jl) return leverage_scores_exact(m);
+  if (!opt.use_jl) return leverage_scores_exact(ctx, m);
   LeverageOptions lev = opt.leverage;
   lev.eta = eta;
-  const MatrixOracle oracle = dense_oracle(m);
-  return leverage_scores_jl(oracle, lev);
+  const MatrixOracle oracle = dense_oracle(ctx, m);
+  return leverage_scores_jl(ctx, oracle, lev);
 }
 
 double median3(double a, double b, double c) {
@@ -41,11 +42,12 @@ linalg::DenseMatrix row_scaled(const linalg::DenseMatrix& m,
   return out;
 }
 
-linalg::Vec lewis_fixed_point(const linalg::DenseMatrix& m, double p,
+linalg::Vec lewis_fixed_point(const common::Context& ctx,
+                              const linalg::DenseMatrix& m, double p,
                               std::size_t iterations) {
   linalg::Vec w(m.rows(), 1.0);
   for (std::size_t it = 0; it < iterations; ++it) {
-    auto sigma = leverage_scores_exact(row_scaled(m, w, p));
+    auto sigma = leverage_scores_exact(ctx, row_scaled(m, w, p));
     // Cohen-Peng damped update: w <- (w^{... } sigma)^{p/2}; the plain
     // sigma map converges for p < 4 but the half-log step is more robust.
     for (std::size_t i = 0; i < w.size(); ++i) {
@@ -55,7 +57,8 @@ linalg::Vec lewis_fixed_point(const linalg::DenseMatrix& m, double p,
   return w;
 }
 
-linalg::Vec compute_apx_weights(const linalg::DenseMatrix& m, double p,
+linalg::Vec compute_apx_weights(const common::Context& ctx,
+                                const linalg::DenseMatrix& m, double p,
                                 const linalg::Vec& w0, double eta,
                                 const LewisOptions& opt) {
   const std::size_t n = m.cols();
@@ -70,7 +73,8 @@ linalg::Vec compute_apx_weights(const linalg::DenseMatrix& m, double p,
 
   linalg::Vec w = w0;
   for (std::size_t j = 0; j + 1 < t_iters; ++j) {
-    const auto sigma = leverage_of(row_scaled(m, w, p), opt, delta / 2.0);
+    const auto sigma =
+        leverage_of(ctx, row_scaled(m, w, p), opt, delta / 2.0);
     for (std::size_t i = 0; i < w.size(); ++i) {
       const double mid =
           w[i] - (1.0 / big_l) * (w0[i] - (w0[i] / w[i]) * sigma[i]);
@@ -80,7 +84,8 @@ linalg::Vec compute_apx_weights(const linalg::DenseMatrix& m, double p,
   return w;
 }
 
-linalg::Vec compute_initial_weights(const linalg::DenseMatrix& m,
+linalg::Vec compute_initial_weights(const common::Context& ctx,
+                                    const linalg::DenseMatrix& m,
                                     double p_target, double eta,
                                     const LewisOptions& opt) {
   const std::size_t rows = m.rows();
@@ -102,10 +107,11 @@ linalg::Vec compute_initial_weights(const linalg::DenseMatrix& m,
     for (std::size_t i = 0; i < rows; ++i)
       warm[i] = std::pow(std::max(w[i], 1e-300), p_new / p);
     const double call_eta = opt.trust_constant * p * p * (4.0 - p) / 4.0;
-    w = compute_apx_weights(m, p_new, warm, std::max(call_eta, 1e-3), opt);
+    w = compute_apx_weights(ctx, m, p_new, warm, std::max(call_eta, 1e-3),
+                            opt);
     p = p_new;
   }
-  return compute_apx_weights(m, p_target, w, eta, opt);
+  return compute_apx_weights(ctx, m, p_target, w, eta, opt);
 }
 
 double lewis_relative_error(const linalg::DenseMatrix& m, double p,

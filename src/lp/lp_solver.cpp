@@ -18,9 +18,11 @@ double median3(double a, double b, double c) {
 // One path-following run (Algorithm 10) shared by both phases.
 class PathFollower {
  public:
-  PathFollower(const LpProblem& prob, const LpOptions& opt,
-               const linalg::Vec& cost, bcc::RoundAccountant& acct)
-      : prob_(prob),
+  PathFollower(const common::Context& ctx, const LpProblem& prob,
+               const LpOptions& opt, const linalg::Vec& cost,
+               bcc::RoundAccountant& acct)
+      : ctx_(ctx),
+        prob_(prob),
         opt_(opt),
         cost_(cost),
         acct_(acct),
@@ -80,7 +82,7 @@ class PathFollower {
     // from leverage scores of A (the p = 2 point of the homotopy) and let
     // the per-step warm-started refinement track the path, which is the
     // same fixed-point machinery with a cheaper entry point.
-    linalg::Vec w = lewis_fixed_point(prob_.a.to_dense(), p_lewis_, 12);
+    linalg::Vec w = lewis_fixed_point(ctx_, prob_.a.to_dense(), p_lewis_, 12);
     for (double& v : w) v = std::max(v + c0_, c0_);
     return w;
   }
@@ -123,7 +125,7 @@ class PathFollower {
       auto engine = make_engine(assemble_gram(prob_.a, d));
       const linalg::Vec lam = engine->solve(rhs, 1e-12);
       acct_.charge("lp/gram-solve", engine->rounds_charged());
-      const linalg::Vec a_lam = prob_.a.multiply(lam);
+      const linalg::Vec a_lam = prob_.a.multiply(ctx_, lam);
       linalg::Vec dx(m_);
       for (std::size_t i = 0; i < m_; ++i)
         dx[i] = d[i] * (a_lam[i] - grad[i]);
@@ -161,7 +163,7 @@ class PathFollower {
     LewisOptions lw = opt_.lewis;
     lw.max_iterations = std::min<std::size_t>(lw.max_iterations, 6);
     const linalg::Vec target =
-        compute_apx_weights(ax, p_lewis_, w, 0.1, lw);
+        compute_apx_weights(ctx_, ax, p_lewis_, w, 0.1, lw);
 
     const double ck = 2.0 * std::log(4.0 * static_cast<double>(m_));
     if (!opt_.use_mixed_ball_update) {
@@ -196,7 +198,7 @@ class PathFollower {
   std::unique_ptr<laplacian::SddEngine> make_engine(
       linalg::DenseMatrix gram) const {
     if (opt_.gram_factory) return opt_.gram_factory(gram);
-    return laplacian::make_exact_sdd_engine(std::move(gram), n_ + 1);
+    return laplacian::make_exact_sdd_engine(ctx_, std::move(gram), n_ + 1);
   }
 
   void charge_step_rounds() {
@@ -207,6 +209,7 @@ class PathFollower {
     acct_.charge_broadcast_bits("lp/path-step", 4 * bits, bw);
   }
 
+  common::Context ctx_;
   const LpProblem& prob_;
   const LpOptions& opt_;
   const linalg::Vec& cost_;
@@ -237,8 +240,8 @@ linalg::DenseMatrix assemble_gram(const linalg::CsrMatrix& a,
   return gram;
 }
 
-LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
-                  const LpOptions& opt) {
+LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
+                  const linalg::Vec& x0, const LpOptions& opt) {
   const std::size_t m = prob.a.rows();
   LpResult out;
   out.x = x0;
@@ -256,7 +259,8 @@ LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
   // Initial weights (Algorithm 9 line 1). A dummy-cost follower is used
   // only to access the weight initializer; it charges no rounds.
   const linalg::Vec zero_cost(m, 0.0);
-  linalg::Vec w = PathFollower(prob, opt, zero_cost, acct).initial_weights();
+  linalg::Vec w =
+      PathFollower(ctx, prob, opt, zero_cost, acct).initial_weights();
 
   // Phase 1: recenter x0. With d = -w .* phi'(x0), x0 is the exact t = 1
   // minimizer of t d^T x + sum w_i phi_i; following d's path down to t1
@@ -269,10 +273,13 @@ LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
   linalg::Vec d_cost(m);
   for (std::size_t i = 0; i < m; ++i) d_cost[i] = -w[i] * phi1_x0[i];
 
-  PathFollower phase1(prob, opt, d_cost, acct);
+  PathFollower phase1(ctx, prob, opt, d_cost, acct);
   if (!phase1.follow(out.x, w, 1.0, t1, opt.centering_tol, &out.path_steps,
                      &out.newton_steps)) {
     out.rounds = acct.total();
+    out.stats.rounds = out.rounds;
+    out.stats.iterations = out.path_steps;
+    out.stats.steps = out.newton_steps;
     return out;
   }
 
@@ -280,7 +287,7 @@ LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
   double w_sum = 0.0;
   for (double v : w) w_sum += v;
   const double t2 = 4.0 * std::max(w_sum, 1.0) / opt.epsilon;
-  PathFollower phase2(prob, opt, prob.c, acct);
+  PathFollower phase2(ctx, prob, opt, prob.c, acct);
   const bool ok = phase2.follow(out.x, w, t1, t2, opt.centering_tol / 4.0,
                                 &out.path_steps, &out.newton_steps);
 
@@ -295,13 +302,13 @@ LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
     const auto gram = assemble_gram(prob.a, d);
     auto engine = opt.gram_factory
                       ? opt.gram_factory(gram)
-                      : laplacian::make_exact_sdd_engine(gram,
+                      : laplacian::make_exact_sdd_engine(ctx, gram,
                                                          prob.a.cols() + 1);
     linalg::Vec resid = prob.b;
     const auto ax = prob.a.multiply_transpose(out.x);
     for (std::size_t j = 0; j < resid.size(); ++j) resid[j] -= ax[j];
     const auto lam = engine->solve(resid, 1e-12);
-    const auto a_lam = prob.a.multiply(lam);
+    const auto a_lam = prob.a.multiply(ctx, lam);
     linalg::Vec dx(m);
     for (std::size_t i = 0; i < m; ++i) dx[i] = d[i] * a_lam[i];
     const double step = barrier.max_feasible_step(out.x, dx, 0.999);
@@ -311,6 +318,9 @@ LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
   out.converged = ok;
   out.objective = linalg::dot(prob.c, out.x);
   out.rounds = acct.total();
+  out.stats.rounds = out.rounds;
+  out.stats.iterations = out.path_steps;
+  out.stats.steps = out.newton_steps;
   return out;
 }
 

@@ -28,6 +28,8 @@
 #include <memory>
 
 #include "bcc/round_accountant.h"
+#include "common/context.h"
+#include "core/stats.h"
 #include "laplacian/bcc_solver.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/vector_ops.h"
@@ -75,13 +77,24 @@ struct LpResult {
   std::size_t path_steps = 0;    // t-updates across both phases
   std::size_t newton_steps = 0;  // total centering steps
   std::int64_t rounds = 0;       // accounted BCC rounds
+  // Unified shape (core/stats.h): iterations = path_steps, steps =
+  // newton_steps, rounds as above. Kept in sync with the legacy fields.
+  core::RunStats stats;
 };
 
 // LPSolve (Algorithm 9): phase 1 re-centers x0, phase 2 follows the real
 // cost to t2 ~ m/epsilon. x0 must satisfy A^T x0 = b strictly inside the
-// box.
-LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
-                  const LpOptions& opt);
+// box. Linear-algebra kernels run on ctx's pool; the default Gram engine
+// is built with ctx (a custom opt.gram_factory captures its own context).
+LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
+                  const linalg::Vec& x0, const LpOptions& opt);
+
+// Deprecated path: process-default Runtime, seed taken from opt.seed.
+inline LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
+                         const LpOptions& opt) {
+  return lp_solve(common::default_context().with_seed(opt.seed), prob, x0,
+                  opt);
+}
 
 // Assembles A^T D A (n x n dense) for diagonal D given as a vector.
 linalg::DenseMatrix assemble_gram(const linalg::CsrMatrix& a,

@@ -1,6 +1,10 @@
 // t-bundle spanner (Algorithm 3): t successive spanners, each computed on
 // the edge set remaining after removing everything the previous spanners
 // decided (F+ and F-).
+//
+// Execution context: all parallel phases dispatch through `net.context()`
+// (the Runtime the network was built under), so bundles of two different
+// Runtimes never share a pool.
 #pragma once
 
 #include <cstdint>

@@ -8,7 +8,7 @@
 #include <map>
 
 #include "common/encoding.h"
-#include "common/thread_pool.h"
+#include "common/context.h"
 #include "spanner/connect.h"
 
 namespace bcclap::spanner {
@@ -319,7 +319,7 @@ class SpannerRun {
                PerGroup&& per_group) {
     std::vector<std::vector<GroupDecision>> decided(n_);
     if (pure_oracle_) {
-      common::parallel_for(0, n_, [&](std::size_t v) {
+      net_.context().parallel_for(0, n_, [&](std::size_t v) {
         decided[v] = decide_node(v, groups[v]);
       });
     } else {
@@ -347,7 +347,7 @@ class SpannerRun {
     // marked clusters — one group per eligible node (its broadcast carries
     // the joined cluster, so the group has no target cluster of its own).
     std::vector<std::vector<PlannedGroup>> groups(n_);
-    common::parallel_for(0, n_, [&](std::size_t v) {
+    net_.context().parallel_for(0, n_, [&](std::size_t v) {
       if (!in_unmarked_cluster(v)) return;
       PlannedGroup grp;
       for (graph::EdgeId e : g_.incident(v)) {
@@ -373,7 +373,7 @@ class SpannerRun {
     const auto inboxes = net_.run_superstep(
         [&planned](std::size_t v) { return std::move(planned[v]); },
         "spanner/step2");
-    common::parallel_for(0, n_, [&](std::size_t u) {
+    net_.context().parallel_for(0, n_, [&](std::size_t u) {
       for (const auto& rm : inboxes[u]) {
         const Decoded d = decode_step2(rm.message);
         // Every neighbour learns W_v (needed for step-3 eligibility).
@@ -398,7 +398,7 @@ class SpannerRun {
     // Phase A (parallel): eligible candidates grouped by target cluster,
     // ascending cluster id (the broadcast order).
     std::vector<std::vector<PlannedGroup>> groups(n_);
-    common::parallel_for(0, n_, [&](std::size_t v) {
+    net_.context().parallel_for(0, n_, [&](std::size_t v) {
       if (!in_unmarked_cluster(v)) return;
       const std::size_t own = cluster_[v];
       std::map<std::size_t, std::vector<Candidate>> by_cluster;
@@ -428,7 +428,7 @@ class SpannerRun {
     const auto inboxes = net_.run_superstep(
         [&planned](std::size_t v) { return std::move(planned[v]); },
         lower_ids ? "spanner/step3.1" : "spanner/step3.2");
-    common::parallel_for(0, n_, [&](std::size_t u) {
+    net_.context().parallel_for(0, n_, [&](std::size_t u) {
       if (!in_unmarked_cluster(u)) return;
       for (const auto& rm : inboxes[u]) {
         const Decoded d = decode_cluster_msg(rm.message);
@@ -462,7 +462,7 @@ class SpannerRun {
     for (int sub = 1; sub <= 3; ++sub) {
       // Phase A (parallel).
       std::vector<std::vector<PlannedGroup>> groups(n_);
-      common::parallel_for(0, n_, [&](std::size_t v) {
+      net_.context().parallel_for(0, n_, [&](std::size_t v) {
         const bool clustered = cluster_[v] != kNone;
         if (sub == 1 && clustered) return;
         if (sub != 1 && !clustered) return;
@@ -495,7 +495,7 @@ class SpannerRun {
       const auto inboxes = net_.run_superstep(
           [&planned](std::size_t v) { return std::move(planned[v]); },
           "spanner/step4");
-      common::parallel_for(0, n_, [&](std::size_t u) {
+      net_.context().parallel_for(0, n_, [&](std::size_t u) {
         if (cluster_[u] == kNone) return;
         for (const auto& rm : inboxes[u]) {
           const Decoded d = decode_cluster_msg(rm.message);

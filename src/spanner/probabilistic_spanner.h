@@ -16,6 +16,10 @@
 // receiving vertex*; `deduction_consistent` reports whether every deduced
 // edge state matched the decider's, i.e. it machine-checks the paper's
 // implicit-communication claim on every run.
+//
+// Execution context: every parallel phase dispatches through
+// `net.context()` — the Runtime the network was built under — never a
+// process-global pool.
 #pragma once
 
 #include <cstdint>

@@ -4,8 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/context.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
 #include "spanner/bundle.h"
 
 namespace bcclap::sparsify {
@@ -62,14 +62,15 @@ SparsifyOptions resolve_options(const graph::Graph& g,
   return out;
 }
 
-SparsifyResult spectral_sparsify(const graph::Graph& g,
+SparsifyResult spectral_sparsify(const common::Context& ctx,
+                                 const graph::Graph& g,
                                  const SparsifyOptions& opt_in,
-                                 std::uint64_t seed, bcc::Network& net) {
+                                 bcc::Network& net) {
   const SparsifyOptions opt = resolve_options(g, opt_in);
   const std::size_t m = g.num_edges();
   const std::size_t L = opt.iterations;
-  const CoinSource coins(seed, m);
-  rng::Stream mark_stream(rng::derive_seed(seed, "cluster-marks"));
+  const CoinSource coins(ctx.seed(), m);
+  rng::Stream mark_stream = ctx.stream("cluster-marks");
 
   std::vector<bool> avail(m, true);
   std::vector<double> weight(m);
@@ -105,8 +106,7 @@ SparsifyResult spectral_sparsify(const graph::Graph& g,
     for (graph::EdgeId e : bundle.bundle_edges) in_bundle[e] = true;
     // Per-edge probability bookkeeping: every slot is written by exactly
     // one index, so the loop fans out across the pool deterministically.
-    common::parallel_for_chunks(0, m, 4096, [&](std::size_t lo,
-                                                std::size_t hi) {
+    ctx.parallel_for_chunks(0, m, 4096, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t e = lo; e < hi; ++e) {
         if (!avail[e]) continue;
         if (in_bundle[e]) {
@@ -137,8 +137,7 @@ SparsifyResult spectral_sparsify(const graph::Graph& g,
   // of (seed, iteration, edge), so they evaluate in parallel; the graph and
   // result assembly below then walks edges in id order as before.
   std::vector<std::uint8_t> sampled(m, 0);
-  common::parallel_for_chunks(0, m, 1024, [&](std::size_t lo,
-                                              std::size_t hi) {
+  ctx.parallel_for_chunks(0, m, 1024, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t e = lo; e < hi; ++e) {
       if (!avail[e] || in_last_bundle[e]) continue;
       bool exists = true;
@@ -180,21 +179,24 @@ SparsifyResult spectral_sparsify(const graph::Graph& g,
   result.rounds = net.accountant().since(start);
   result.resolved_t = opt.t;
   result.resolved_k = opt.k;
+  result.stats.rounds = result.rounds;
+  result.stats.iterations = L;
   return result;
 }
 
-SparsifyResult spectral_sparsify_apriori(const graph::Graph& g,
-                                         const SparsifyOptions& opt_in,
-                                         std::uint64_t seed) {
+SparsifyResult spectral_sparsify_apriori(const common::Context& ctx,
+                                         const graph::Graph& g,
+                                         const SparsifyOptions& opt_in) {
   const SparsifyOptions opt = resolve_options(g, opt_in);
   const std::size_t m = g.num_edges();
   const std::size_t L = opt.iterations;
-  const CoinSource coins(seed, m);
-  rng::Stream mark_stream(rng::derive_seed(seed, "cluster-marks"));
+  const CoinSource coins(ctx.seed(), m);
+  rng::Stream mark_stream = ctx.stream("cluster-marks");
   // Scratch network: the a-priori variant is the centralized reference;
   // its rounds are not meaningful (it is not BC-implementable).
   bcc::Network scratch(bcc::Model::kBroadcastCongest, g,
-                       bcc::Network::default_bandwidth(g.num_vertices()));
+                       bcc::Network::default_bandwidth(g.num_vertices()),
+                       ctx);
 
   std::vector<bool> exists(m, true);  // E_i, sampled a priori
   std::vector<double> weight(m);
@@ -247,6 +249,7 @@ SparsifyResult spectral_sparsify_apriori(const graph::Graph& g,
   result.rounds = 0;
   result.resolved_t = opt.t;
   result.resolved_k = opt.k;
+  result.stats.iterations = L;
   return result;
 }
 

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "bcc/network.h"
+#include "common/context.h"
+#include "core/stats.h"
 #include "graph/graph.h"
 
 namespace bcclap::sparsify {
@@ -51,21 +53,43 @@ struct SparsifyResult {
   // out-degree claim).
   std::vector<graph::VertexId> out_vertex;
   bool deduction_consistent = true;
-  std::int64_t rounds = 0;
+  std::int64_t rounds = 0;  // kept in sync with stats.rounds (legacy field)
   std::size_t resolved_t = 0;  // the t actually used
   std::size_t resolved_k = 0;
+  // Unified shape: rounds = BC rounds of the run, iterations = resolved
+  // outer iterations (core/stats.h).
+  core::RunStats stats;
 };
 
-// Algorithm 5 on a Broadcast CONGEST network over g's topology.
-SparsifyResult spectral_sparsify(const graph::Graph& g,
+// Algorithm 5 on a Broadcast CONGEST network over g's topology. All
+// randomness (survival coins, cluster marks) derives from ctx.seed(); all
+// parallel phases run on ctx's pool (which should be the pool `net` was
+// built with — both normally come from the same Runtime).
+SparsifyResult spectral_sparsify(const common::Context& ctx,
+                                 const graph::Graph& g,
                                  const SparsifyOptions& opt,
-                                 std::uint64_t seed, bcc::Network& net);
+                                 bcc::Network& net);
 
 // Algorithm 4 (a-priori sampling); centralized reference. Uses the same
 // seed-derived coin and marking streams as spectral_sparsify.
-SparsifyResult spectral_sparsify_apriori(const graph::Graph& g,
-                                         const SparsifyOptions& opt,
-                                         std::uint64_t seed);
+SparsifyResult spectral_sparsify_apriori(const common::Context& ctx,
+                                         const graph::Graph& g,
+                                         const SparsifyOptions& opt);
+
+// Deprecated-path wrappers (bare seed, process-default pool for the
+// a-priori scratch network): identical behavior to the pre-Runtime API.
+inline SparsifyResult spectral_sparsify(const graph::Graph& g,
+                                        const SparsifyOptions& opt,
+                                        std::uint64_t seed,
+                                        bcc::Network& net) {
+  return spectral_sparsify(net.context().with_seed(seed), g, opt, net);
+}
+inline SparsifyResult spectral_sparsify_apriori(const graph::Graph& g,
+                                                const SparsifyOptions& opt,
+                                                std::uint64_t seed) {
+  return spectral_sparsify_apriori(common::default_context().with_seed(seed),
+                                   g, opt);
+}
 
 // Resolves defaulted (0) option fields against a concrete graph.
 SparsifyOptions resolve_options(const graph::Graph& g,

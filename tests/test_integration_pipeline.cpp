@@ -2,6 +2,7 @@
 // spanner -> sparsifier -> Laplacian solver -> SDD engine -> LP -> flow.
 #include <gtest/gtest.h>
 
+#include "core/runtime.h"
 #include "flow/mcmf_solver.h"
 #include "flow/ssp.h"
 #include "graph/generators.h"
@@ -108,6 +109,52 @@ TEST(Pipeline, RoundAccountingAccumulatesAcrossLayers) {
   laplacian::SolveStats st;
   solver.solve(b, 1e-4, &st);
   EXPECT_EQ(solver.accountant().total(), pre + st.rounds);
+}
+
+TEST(Pipeline, RunStatsPropagateThroughFacade) {
+  // The unified core::RunStats shape carries rounds through every facade
+  // entry point, consistent with the per-layer accounting underneath.
+  rng::Stream gstream(8);
+  const auto g = graph::complete(24, 4, gstream);
+  RuntimeOptions ropts;
+  ropts.threads = 1;
+  ropts.seed = 55;
+  Runtime rt(ropts);
+  const auto sopt = testsupport::small_sparsify_options(0.5, 2, 3);
+
+  const auto sp = rt.sparsify(g, sopt);
+  EXPECT_GT(sp.stats.rounds, 0);
+  EXPECT_EQ(sp.stats.rounds, sp.result.rounds);
+  EXPECT_EQ(sp.stats.iterations,
+            sparsify::resolve_options(g, sopt).iterations);
+
+  linalg::Vec b(24, 0.0);
+  b[0] = 1.0;
+  b[23] = -1.0;
+  LaplacianSolveOptions lopt;
+  lopt.sparsify = sopt;
+  const auto lap = rt.solve_laplacian(g, b, lopt);
+  ASSERT_TRUE(lap.usable);
+  // Facade rounds = preprocessing + per-instance solve, matching the
+  // layer's own split.
+  laplacian::SparsifiedLaplacianSolver solver(rt.context(), g, sopt);
+  laplacian::SolveStats st;
+  const auto x = solver.solve(b, lopt.eps, &st);
+  EXPECT_EQ(lap.preprocessing_rounds, solver.preprocessing_rounds());
+  EXPECT_EQ(lap.stats.rounds, solver.preprocessing_rounds() + st.rounds);
+  EXPECT_EQ(lap.stats.iterations, st.iterations);
+  EXPECT_EQ(lap.x, x);
+
+  // LP layer: the legacy rounds/steps fields and the unified stats agree.
+  const auto p = testsupport::diamond_lp();
+  lp::LpOptions lpopt;
+  lpopt.epsilon = 1e-4;
+  const auto res = lp::lp_solve(rt.context(), p, {0.5, 0.5, 0.5, 0.5}, lpopt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.stats.rounds, res.rounds);
+  EXPECT_EQ(res.stats.iterations, res.path_steps);
+  EXPECT_EQ(res.stats.steps, res.newton_steps);
+  EXPECT_GT(res.stats.rounds, 0);
 }
 
 }  // namespace
