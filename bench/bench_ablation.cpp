@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "core/runtime.h"
 #include "graph/generators.h"
 #include "graph/laplacian.h"
 #include "laplacian/solver.h"
@@ -16,6 +17,13 @@ namespace {
 
 using namespace bcclap;
 
+// Execution context for the micro-benches: the process-default Runtime's
+// context (BCCLAP_THREADS-sized) with the given seed — what the retired
+// context-less wrappers resolved to.
+common::Context gb_context(std::uint64_t seed = 0) {
+  return Runtime::process_default().context().with_seed(seed);
+}
+
 void BM_AblationBundleGrowth(benchmark::State& state) {
   const bool growing = state.range(0) != 0;
   const std::size_t n = 48;
@@ -25,13 +33,14 @@ void BM_AblationBundleGrowth(benchmark::State& state) {
   std::size_t runs = 0;
   for (auto _ : state) {
     bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                     bcc::Network::default_bandwidth(n));
+                     bcc::Network::default_bandwidth(n), gb_context());
     sparsify::SparsifyOptions opt;
     opt.epsilon = 0.5;
     opt.k = 2;
     opt.t = 1;
     opt.growing_t = growing;
-    const auto res = sparsify::spectral_sparsify(g, opt, runs + 3, net);
+    const auto res = sparsify::spectral_sparsify(
+        net.context().with_seed(runs + 3), g, opt, net);
     size += static_cast<double>(res.sparsifier.num_edges());
     const auto check = sparsify::check_sparsifier(g, res.sparsifier);
     eps += check.valid ? check.achieved_epsilon() : 99.0;
@@ -62,7 +71,8 @@ void BM_AblationPreconditioning(benchmark::State& state) {
   opt.epsilon = 0.5;
   opt.k = 2;
   opt.t = 3;
-  laplacian::SparsifiedLaplacianSolver solver(g, opt, 11);
+  laplacian::SparsifiedLaplacianSolver solver(gb_context(11), g,
+                                              opt);
 
   double cheb_iters = 0, cg_iters = 0;
   std::size_t runs = 0;
@@ -70,9 +80,10 @@ void BM_AblationPreconditioning(benchmark::State& state) {
     laplacian::SolveStats stats;
     benchmark::DoNotOptimize(solver.solve(b, 1e-8, &stats));
     cheb_iters += static_cast<double>(stats.iterations);
+    const auto ctx = gb_context();
     const auto cg = linalg::conjugate_gradient(
-        [&lap](const linalg::Vec& x) { return lap.multiply(x); }, b, 1e-8,
-        20000);
+        [&lap, ctx](const linalg::Vec& x) { return lap.multiply(ctx, x); }, b,
+        1e-8, 20000);
     cg_iters += static_cast<double>(cg.iterations);
     ++runs;
   }
@@ -99,9 +110,11 @@ void BM_AblationCouplingMatchRate(benchmark::State& state) {
     opt.k = 2;
     opt.t = 2;
     bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                     bcc::Network::default_bandwidth(n));
-    const auto adhoc = sparsify::spectral_sparsify(g, opt, runs + 1, net);
-    const auto apriori = sparsify::spectral_sparsify_apriori(g, opt, runs + 1);
+                     bcc::Network::default_bandwidth(n), gb_context());
+    const auto adhoc = sparsify::spectral_sparsify(
+        net.context().with_seed(runs + 1), g, opt, net);
+    const auto apriori = sparsify::spectral_sparsify_apriori(
+        gb_context(runs + 1), g, opt);
     match += (adhoc.original_edge == apriori.original_edge) ? 1 : 0;
     ++runs;
   }

@@ -5,6 +5,8 @@
 // short-step schedule takes measurably fewer path steps.
 #include <benchmark/benchmark.h>
 
+#include "core/runtime.h"
+
 #include <cmath>
 
 #include "flow/mcmf_lp.h"
@@ -14,6 +16,13 @@
 namespace {
 
 using namespace bcclap;
+
+// Execution context for the micro-benches: the process-default Runtime's
+// context (BCCLAP_THREADS-sized) with the given seed — what the retired
+// context-less wrappers resolved to.
+common::Context gb_context(std::uint64_t seed = 0) {
+  return Runtime::process_default().context().with_seed(seed);
+}
 
 // Simple structured LP with m >> n: x in R^m, n block-sum constraints.
 lp::LpProblem block_lp(std::size_t blocks, std::size_t per_block,
@@ -48,7 +57,8 @@ void BM_LpShortStepModes(benchmark::State& state) {
     opt.steps = lp::StepMode::kShortStep;
     opt.alpha_constant = 2.0;
     opt.epsilon = 1e-3;
-    const auto res = lp::lp_solve(prob, x0, opt);
+    const auto res = lp::lp_solve(gb_context(opt.seed), prob, x0,
+                                  opt);
     steps += static_cast<double>(res.path_steps);
     newton += static_cast<double>(res.newton_steps);
     obj += res.objective;
@@ -81,7 +91,8 @@ void BM_LpFlowAdaptive(benchmark::State& state) {
   for (auto _ : state) {
     lp::LpOptions opt;
     opt.epsilon = 1e-2;
-    const auto res = lp::lp_solve(mlp.problem, mlp.interior_point, opt);
+    const auto res = lp::lp_solve(gb_context(opt.seed), mlp.problem,
+                                  mlp.interior_point, opt);
     steps += static_cast<double>(res.path_steps);
     newton += static_cast<double>(res.newton_steps);
     rounds += static_cast<double>(res.rounds);

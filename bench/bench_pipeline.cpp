@@ -8,6 +8,7 @@
 // BCCLAP_THREADS=1 and BCCLAP_THREADS=N runs — only wall time may differ.
 #include "support/harness.h"
 
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -31,7 +32,8 @@ void pipeline_sparsify_and_solve(bench::State& s, std::size_t n) {
   opt.epsilon = 0.5;
   opt.k = 2;
   opt.t = 3;
-  laplacian::SparsifiedLaplacianSolver solver(g, opt, s.iteration() + 1);
+  laplacian::SparsifiedLaplacianSolver solver(
+      bench::bench_context(s.iteration() + 1), g, opt);
   const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
   linalg::Vec b(n, 0.0);
   b[0] = 1.0;
@@ -96,6 +98,40 @@ void pipeline_concurrent_runtimes(bench::State& s, std::size_t n) {
   s.counter("fingerprint_xnorm", linalg::norm2(ra.x));
 }
 
+// PR 5: the batched facade — one rt.solve_laplacian_many call sparsifies
+// and factors once for a whole k-wide panel. Bounded-degree sparse
+// generator, so the n = 256 batched cases do not inherit the dense
+// pipeline case's wall time.
+void pipeline_batched_solve(bench::State& s, std::size_t n, std::size_t k) {
+  rng::Stream gstream(n * 3 + 1);
+  const auto g = graph::random_regularish(n, 8, 4, gstream);
+  RuntimeOptions opts;
+  opts.threads = 0;  // BCCLAP_THREADS / hardware
+  opts.seed = 77;
+  Runtime rt(opts);
+  LaplacianSolveOptions lopt;
+  lopt.sparsify.epsilon = 0.5;
+  lopt.sparsify.k = 2;
+  lopt.sparsify.t = 2;
+  rng::Stream bstream(n * 17 + k);
+  linalg::DenseMatrix b(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) b(i, j) = bstream.next_gaussian();
+  }
+  const auto run = rt.solve_laplacian_many(g, b, lopt);
+  s.counter("n", static_cast<double>(n));
+  s.counter("k", static_cast<double>(k));
+  s.counter("usable", run.usable ? 1.0 : 0.0);
+  s.counter("rounds", static_cast<double>(run.stats.rounds));
+  s.counter("panels", static_cast<double>(run.stats.panels));
+  double frob = 0.0;
+  for (std::size_t i = 0; i < run.x.rows(); ++i) {
+    const double* xi = run.x.row_data(i);
+    for (std::size_t j = 0; j < run.x.cols(); ++j) frob += xi[j] * xi[j];
+  }
+  s.counter("fingerprint_xfrob", std::sqrt(frob));
+}
+
 void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
   rng::Stream gstream(s.iteration() * 37 + n);
   const auto g = graph::random_flow_network(n, n + 4, 3, 3, gstream);
@@ -104,14 +140,16 @@ void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
   opt.seed = s.iteration() + 9;
   std::uint64_t engine_seed = 5000;
   opt.lp.gram_factory = [&engine_seed](const linalg::DenseMatrix& gram) {
-    return laplacian::make_sparsified_sdd_engine(gram, engine_seed++);
+    return laplacian::make_sparsified_sdd_engine(
+        bench::bench_context(engine_seed++), gram);
   };
   // The sparsified engine is expensive per solve; bound the centering
   // work and skip boosting retries.
   opt.lp.epsilon = 1e-2;
   opt.lp.max_center_steps = 25;
   opt.max_retries = 0;
-  const auto ipm = flow::min_cost_max_flow_ipm(g, 0, n - 1, opt);
+  const auto ipm = flow::min_cost_max_flow_ipm(bench::bench_context(opt.seed),
+                                               g, 0, n - 1, opt);
   s.counter("n", static_cast<double>(n));
   s.counter("exact_match",
             (ipm.exact && ipm.flow.value == baseline.value &&
@@ -147,5 +185,14 @@ int main(int argc, char** argv) {
       "pipeline_flow_full_stack/n=5",
       [](bench::State& s) { pipeline_flow_full_stack(s, 5); },
       /*repeats_override=*/1, /*warmup_override=*/0);
+  // PR 5: batched facade at n = 256 (sparse generator), k = 1 / 8 / 32.
+  // Each call re-sparsifies (that is the amortization being measured);
+  // run each exactly once.
+  for (const std::size_t k : {1u, 8u, 32u}) {
+    h.add(
+        "pipeline_batched_solve/n=256/k=" + std::to_string(k),
+        [k](bench::State& s) { pipeline_batched_solve(s, 256, k); },
+        /*repeats_override=*/1, /*warmup_override=*/0);
+  }
   return h.run(argc, argv);
 }

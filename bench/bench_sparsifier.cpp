@@ -20,12 +20,14 @@ void sparsifier_size(bench::State& s, std::size_t n, std::size_t t) {
   rng::Stream gstream(n);
   const auto g = graph::complete(n, 4, gstream);
   bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                   bcc::Network::default_bandwidth(n));
+                   bcc::Network::default_bandwidth(n),
+                   bench::bench_context());
   sparsify::SparsifyOptions opt;
   opt.epsilon = 0.5;
   opt.k = 2;
   opt.t = t;
-  const auto res = sparsify::spectral_sparsify(g, opt, s.iteration() + 1, net);
+  const auto res = sparsify::spectral_sparsify(
+      net.context().with_seed(s.iteration() + 1), g, opt, net);
   const auto deg = spanner::out_degrees(n, res.out_vertex);
   std::size_t mx = 0;
   for (auto d : deg) mx = std::max(mx, d);
@@ -44,12 +46,14 @@ void sparsifier_quality(bench::State& s, std::size_t n, std::size_t t) {
   rng::Stream gstream(n * 13);
   const auto g = graph::complete(n, 2, gstream);
   bcc::Network net(bcc::Model::kBroadcastCongest, g,
-                   bcc::Network::default_bandwidth(n));
+                   bcc::Network::default_bandwidth(n),
+                   bench::bench_context());
   sparsify::SparsifyOptions opt;
   opt.epsilon = 0.5;
   opt.k = 2;
   opt.t = t;
-  const auto res = sparsify::spectral_sparsify(g, opt, s.iteration() + 7, net);
+  const auto res = sparsify::spectral_sparsify(
+      net.context().with_seed(s.iteration() + 7), g, opt, net);
   const auto check = sparsify::check_sparsifier(g, res.sparsifier);
   s.counter("n", static_cast<double>(n));
   s.counter("t", static_cast<double>(t));

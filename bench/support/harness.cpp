@@ -10,8 +10,13 @@
 #include <sstream>
 
 #include "common/thread_pool.h"
+#include "core/runtime.h"
 
 namespace bcclap::bench {
+
+common::Context bench_context(std::uint64_t seed) {
+  return Runtime::process_default().context().with_seed(seed);
+}
 
 namespace {
 
@@ -110,6 +115,8 @@ int Harness::run(int argc, char** argv) {
   }
 
   const std::size_t threads = common::ThreadPool::global_threads();
+  // (bench_context below resolves through the same process-default
+  // Runtime, so this is also the thread count every case ran with.)
   std::vector<CaseResult> results;
   std::printf("%-44s %10s %10s %10s  (threads=%zu)\n", "case", "mean_ms",
               "min_ms", "max_ms", threads);

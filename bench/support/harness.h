@@ -21,12 +21,22 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/context.h"
+
 namespace bcclap::bench {
+
+// Execution context bench bodies hand to the layer APIs: the
+// process-default Runtime's context (sized by BCCLAP_THREADS — the knob
+// scripts/bench.sh varies) with the given seed. Byte-identical to what
+// the retired context-less wrappers resolved to, so counters stay
+// comparable across the recorded trajectory.
+common::Context bench_context(std::uint64_t seed = 0);
 
 // Passed to the case body once per repetition (warmup and measured).
 class State {

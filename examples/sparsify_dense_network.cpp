@@ -58,7 +58,8 @@ int main() {
   copts.seed = 99;
   Runtime coupling_rt(copts);
   const SparsifyRun adhoc = coupling_rt.sparsify(overlay, opt);
-  const auto apriori = sparsify::spectral_sparsify_apriori(overlay, opt, 99);
+  const auto apriori =
+      sparsify::spectral_sparsify_apriori(coupling_rt.context(), overlay, opt);
   std::printf("coupling check (Lemma 3.3): ad-hoc vs a-priori skeletons %s\n",
               adhoc.result.original_edge == apriori.original_edge
                   ? "IDENTICAL"

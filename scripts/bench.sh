@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark trajectory (BENCH_pr4.json).
+# Machine-readable benchmark trajectory (BENCH_pr5.json).
 #
 # Builds the harness benches and runs the three pipeline-level binaries
 # under BCCLAP_THREADS=1 and BCCLAP_THREADS=N (default 4), then merges the
@@ -9,21 +9,25 @@
 # and the sparsifier's pure-oracle sampling fast path, and since PR 4 the
 # `concurrent_runtimes` case: two bcclap::Runtimes (1 worker and the
 # env-resolved count) running the n=128 pipeline concurrently, whose
-# `identical` counter asserts byte-identical results in-run. The script
-# fails loudly if any counter differs between configurations.
+# `identical` counter asserts byte-identical results in-run. Since PR 5
+# the laplacian/pipeline benches carry `batched_solve` cases (k = 1/8/32
+# right-hand sides at n = 256 on the bounded-degree sparse generator), and
+# a second gate checks the amortization claim: per-RHS wall time at k = 32
+# must land strictly below the k = 1 case (factor once, solve many). The
+# script fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
 #   BUILD_DIR=<path>      build tree location (default: build)
 #   BENCH_THREADS=<n>     the multi-threaded configuration (default: 4)
 #   BENCH_REPEATS=<n>     measured repetitions per case (default: 3)
-#   BENCH_OUT=<path>      output file (default: BENCH_pr4.json)
+#   BENCH_OUT=<path>      output file (default: BENCH_pr5.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr4.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr5.json}"
 BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
@@ -63,9 +67,30 @@ for bench in "${BENCHES[@]}"; do
 done
 echo "determinism gate: counters identical across thread counts"
 
+# Batched-solve amortization gate: per-RHS wall time of the k=32 panel must
+# be strictly below the k=1 case (same instance, same eps — the only
+# difference is amortizing sparsify+factor+dispatch across the panel).
+wall_of() {  # wall_of <json> <case-name> -> mean wall ms
+  grep -F "\"name\": \"$2\"" "$1" \
+    | sed 's/.*"mean": \([0-9.eE+-]*\).*/\1/'
+}
+lap_t1="$json_dir/bench_laplacian_t1.json"
+w1="$(wall_of "$lap_t1" "batched_solve/n=256/k=1")"
+w32="$(wall_of "$lap_t1" "batched_solve/n=256/k=32")"
+if [ -z "$w1" ] || [ -z "$w32" ]; then
+  echo "ERROR: batched_solve cases missing from $lap_t1" >&2
+  exit 1
+fi
+if ! awk -v w1="$w1" -v w32="$w32" 'BEGIN { exit !(w32 / 32 < w1) }'; then
+  echo "ERROR: batched per-RHS cost did not amortize:" >&2
+  echo "  k=1 wall ${w1} ms vs k=32 per-RHS $(awk -v w=$w32 'BEGIN{print w/32}') ms" >&2
+  exit 1
+fi
+echo "batched gate: k=32 per-RHS $(awk -v w=$w32 'BEGIN{printf "%.3f", w/32}') ms < k=1 ${w1} ms"
+
 {
   echo '{'
-  echo '  "pr": 4,'
+  echo '  "pr": 5,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

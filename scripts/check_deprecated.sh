@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Deprecated-surface ratchet (PR 5).
+#
+# PR 5 removed every context-less algorithm wrapper (factor/solve/multiply/
+# sparsify/lp/flow overloads over common::default_context()) after
+# migrating the suites onto explicit Contexts. What remains of the
+# deprecated surface is the ThreadPool global shim family plus
+# default_context() itself — kept deliberately (test_runtime and
+# test_thread_pool pin the legacy contracts; the bench harness uses the
+# shims to report the thread count).
+#
+# This script counts the remaining call sites over src/ tests/ bench/
+# examples/ and compares the total against the checked-in baseline
+# (scripts/deprecated_baseline.txt). CI fails when the count INCREASES —
+# new code must take a common::Context / bcclap::Runtime, never reach for
+# the process-global accessors. When the count decreases, re-run with
+# --update and commit the lowered baseline (the ratchet only tightens).
+#
+# Usage: scripts/check_deprecated.sh [--update]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+baseline_file="scripts/deprecated_baseline.txt"
+
+# Literal call-site patterns of the remaining deprecated surface. Fixed
+# strings (grep -F) so the gate never drifts with regex quoting.
+patterns=(
+  "ThreadPool::global()"
+  "set_global_threads("
+  "global_threads()"
+  "default_context("
+)
+
+count_pattern() {
+  grep -rFo --include='*.h' --include='*.cpp' -- "$1" \
+    src tests bench examples 2>/dev/null | wc -l
+}
+
+total=0
+breakdown=""
+for p in "${patterns[@]}"; do
+  c="$(count_pattern "$p")"
+  breakdown+="$(printf '%6d  %s' "$c" "$p")"$'\n'
+  total=$((total + c))
+done
+
+echo "deprecated-surface call sites (src/ tests/ bench/ examples/):"
+printf '%s' "$breakdown"
+echo "total: $total"
+
+if [ "${1:-}" = "--update" ]; then
+  printf '%d\n' "$total" > "$baseline_file"
+  echo "wrote $baseline_file"
+  exit 0
+fi
+
+if [ ! -f "$baseline_file" ]; then
+  echo "ERROR: $baseline_file missing; run $0 --update and commit it" >&2
+  exit 1
+fi
+baseline="$(head -n1 "$baseline_file" | tr -d '[:space:]')"
+
+if [ "$total" -gt "$baseline" ]; then
+  echo "ERROR: deprecated-surface call sites increased: $total > baseline" \
+       "$baseline" >&2
+  echo "New code must take a common::Context (rt.context()) instead of the" >&2
+  echo "process-global accessors; see README 'Deprecation path'." >&2
+  exit 1
+fi
+if [ "$total" -lt "$baseline" ]; then
+  echo "note: count dropped below baseline ($total < $baseline);" \
+       "ratchet down with: $0 --update"
+fi
+echo "deprecated-surface ratchet: OK ($total <= $baseline)"

@@ -59,13 +59,6 @@ class Network {
   Network(Model model, std::size_t n, std::int64_t bandwidth_bits,
           const common::Context& ctx);
 
-  // Deprecated path: context-less construction falls back to the
-  // process-default Runtime's context (identical to pre-Runtime behavior).
-  Network(Model model, const graph::Graph& g, std::int64_t bandwidth_bits)
-      : Network(model, g, bandwidth_bits, common::default_context()) {}
-  Network(Model model, std::size_t n, std::int64_t bandwidth_bits)
-      : Network(model, n, bandwidth_bits, common::default_context()) {}
-
   Model model() const { return model_; }
   std::size_t num_nodes() const { return n_; }
   std::int64_t bandwidth() const { return bandwidth_; }

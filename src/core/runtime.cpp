@@ -112,6 +112,28 @@ LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
   return out;
 }
 
+LaplacianManyRun Runtime::solve_laplacian_many(
+    const graph::Graph& g, const linalg::DenseMatrix& b,
+    const LaplacianSolveOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  LaplacianManyRun out;
+  laplacian::SparsifiedLaplacianSolver solver(context(), g, opt.sparsify);
+  out.usable = solver.usable();
+  if (out.usable) {
+    laplacian::SolveStats st;
+    out.x = solver.solve_many(b, opt.eps, &st);
+    out.stats.iterations = st.iterations;
+    out.stats.rounds = st.rounds;
+    out.stats.panels = st.panels;
+  }
+  out.tree_patched = solver.tree_patched();
+  out.sparsifier = solver.sparsifier();
+  out.preprocessing_rounds = solver.preprocessing_rounds();
+  out.stats.rounds += out.preprocessing_rounds;
+  out.stats.wall_seconds = seconds_since(start);
+  return out;
+}
+
 SparsifyRun Runtime::sparsify(const graph::Graph& g,
                               const sparsify::SparsifyOptions& opt) {
   const auto start = std::chrono::steady_clock::now();

@@ -33,6 +33,7 @@
 #include "flow/mcmf_solver.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
+#include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 #include "sparsify/spectral_sparsify.h"
 
@@ -70,6 +71,17 @@ struct LaplacianRun {
   graph::Graph sparsifier;   // the preconditioner H actually used
   std::int64_t preprocessing_rounds = 0;
   // rounds = preprocessing + solve; iterations = Chebyshev iterations.
+  core::RunStats stats;
+};
+
+struct LaplacianManyRun {
+  linalg::DenseMatrix x;  // n x k, one solution per column of the panel
+  bool usable = false;
+  bool tree_patched = false;
+  graph::Graph sparsifier;
+  std::int64_t preprocessing_rounds = 0;
+  // Per-panel stats: rounds = preprocessing + the whole panel's solve,
+  // iterations = per-column Chebyshev iterations, panels = 1.
   core::RunStats stats;
 };
 
@@ -118,6 +130,15 @@ class Runtime {
   // Theorem 1.3: sparsifier-preconditioned solve of L_G x = b.
   LaplacianRun solve_laplacian(const graph::Graph& g, const linalg::Vec& b,
                                const LaplacianSolveOptions& opt = {});
+
+  // Batched multi-RHS form: b is n x k, one right-hand side per column.
+  // The sparsifier is built and factored once for the whole panel — the
+  // "factor once, solve many" amortization the repeated-solve workloads
+  // (JL probes, IPM re-solves) are built on. Column j of the result is
+  // byte-identical to solve_laplacian(g, column j, opt).x.
+  LaplacianManyRun solve_laplacian_many(const graph::Graph& g,
+                                        const linalg::DenseMatrix& b,
+                                        const LaplacianSolveOptions& opt = {});
 
   // Theorem 1.2: Algorithm 5 spectral sparsification over a Broadcast
   // CONGEST network on g's topology. Seeded by seed() — couple with

@@ -12,6 +12,10 @@
 //                 IPM path steps, sparsifier outer iterations);
 //   steps       — inner steps where the layer has a second counter
 //                 (Newton centering steps); 0 when not applicable;
+//   panels      — multi-RHS panels solved through the batched solve_many
+//                 interfaces (a single-RHS solve routed through the panel
+//                 path counts as one k = 1 panel); 0 when the layer never
+//                 touched the batched stack;
 //   wall_seconds — wall-clock time, filled by the Runtime facade (the
 //                 layers themselves never look at the clock).
 //
@@ -29,12 +33,14 @@ struct RunStats {
   std::int64_t rounds = 0;
   std::size_t iterations = 0;
   std::size_t steps = 0;
+  std::size_t panels = 0;
   double wall_seconds = 0.0;
 
   RunStats& operator+=(const RunStats& o) {
     rounds += o.rounds;
     iterations += o.iterations;
     steps += o.steps;
+    panels += o.panels;
     wall_seconds += o.wall_seconds;
     return *this;
   }

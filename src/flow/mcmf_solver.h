@@ -50,12 +50,4 @@ McmfIpmResult min_cost_max_flow_ipm(const common::Context& ctx,
                                     const graph::Digraph& g, std::size_t s,
                                     std::size_t t, const McmfOptions& opt);
 
-// Deprecated path: process-default Runtime.
-inline McmfIpmResult min_cost_max_flow_ipm(const graph::Digraph& g,
-                                           std::size_t s, std::size_t t,
-                                           const McmfOptions& opt) {
-  return min_cost_max_flow_ipm(common::default_context().with_seed(opt.seed),
-                               g, s, t, opt);
-}
-
 }  // namespace bcclap::flow

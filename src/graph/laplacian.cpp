@@ -68,18 +68,6 @@ linalg::Vec apply_laplacian_sequential(const Graph& g, const linalg::Vec& x) {
 
 }  // namespace
 
-linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x) {
-  assert(x.size() == g.num_vertices());
-  // Deprecated path: resolve the default Runtime only when the input is
-  // large enough to dispatch — a small matvec must not cost a process-wide
-  // worker-pool spawn (the pre-Runtime code had the same laziness).
-  if (g.num_edges() <=
-      scatter_grain(x.size(), common::kDefaultMinWorkPerChunk)) {
-    return apply_laplacian_sequential(g, x);
-  }
-  return apply_laplacian(common::default_context(), g, x);
-}
-
 linalg::Vec apply_laplacian(const common::Context& ctx, const Graph& g,
                             const linalg::Vec& x) {
   assert(x.size() == g.num_vertices());
@@ -102,6 +90,60 @@ linalg::Vec apply_laplacian(const common::Context& ctx, const Graph& g,
       },
       [&](linalg::Vec& p) {
         for (std::size_t v = 0; v < y.size(); ++v) y[v] += p[v];
+      });
+  return y;
+}
+
+linalg::DenseMatrix apply_laplacian_many(const common::Context& ctx,
+                                         const Graph& g,
+                                         const linalg::DenseMatrix& x) {
+  assert(x.rows() == g.num_vertices());
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  const std::size_t m = g.num_edges();
+  linalg::DenseMatrix y(n, k);
+  if (k == 0) return y;
+  // Same dispatch threshold and chunk boundaries as the single-vector
+  // kernel (they depend only on n, m and the chunking policy, never on k),
+  // with every per-edge update widened across the panel's columns — each
+  // column sees the additions of its sequential run in the same order.
+  const std::size_t grain = scatter_grain(n, ctx.min_work_per_chunk());
+  if (m <= grain) {
+    for (const Edge& e : g.edges()) {
+      double* yu = y.row_data(e.u);
+      double* yv = y.row_data(e.v);
+      const double* xu = x.row_data(e.u);
+      const double* xv = x.row_data(e.v);
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d = e.weight * (xu[j] - xv[j]);
+        yu[j] += d;
+        yv[j] -= d;
+      }
+    }
+    return y;
+  }
+  ctx.parallel_reduce_chunks(
+      0, m, grain, linalg::DenseMatrix(n, k),
+      [&](std::size_t lo, std::size_t hi, linalg::DenseMatrix& p) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Edge& e = g.edge(i);
+          double* pu = p.row_data(e.u);
+          double* pv = p.row_data(e.v);
+          const double* xu = x.row_data(e.u);
+          const double* xv = x.row_data(e.v);
+          for (std::size_t j = 0; j < k; ++j) {
+            const double d = e.weight * (xu[j] - xv[j]);
+            pu[j] += d;
+            pv[j] -= d;
+          }
+        }
+      },
+      [&](linalg::DenseMatrix& p) {
+        for (std::size_t v = 0; v < n; ++v) {
+          double* yv = y.row_data(v);
+          const double* pv = p.row_data(v);
+          for (std::size_t j = 0; j < k; ++j) yv[j] += pv[j];
+        }
       });
   return y;
 }

@@ -30,9 +30,13 @@ linalg::CsrMatrix incidence(const Digraph& g, std::size_t drop_vertex);
 // chunked reduction.
 linalg::Vec apply_laplacian(const common::Context& ctx, const Graph& g,
                             const linalg::Vec& x);
-// Deprecated path: runs on the process-default Runtime's context. Small
-// inputs take the sequential edge sweep without creating the default
-// Runtime (the pre-Runtime lazy behavior).
-linalg::Vec apply_laplacian(const Graph& g, const linalg::Vec& x);
+
+// Multi-RHS panel application: x is n x k, one vector per column, and one
+// edge sweep (sequential or chunked-reduction, same thresholds and chunk
+// boundaries as the single-vector kernel) covers every column. Column j of
+// the result is byte-identical to apply_laplacian(ctx, g, column j).
+linalg::DenseMatrix apply_laplacian_many(const common::Context& ctx,
+                                         const Graph& g,
+                                         const linalg::DenseMatrix& x);
 
 }  // namespace bcclap::graph

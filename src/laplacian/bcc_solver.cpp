@@ -11,13 +11,21 @@
 
 namespace bcclap::laplacian {
 
+linalg::DenseMatrix SddEngine::solve_many(const linalg::DenseMatrix& y,
+                                          double eps) {
+  linalg::DenseMatrix x(y.rows(), y.cols());
+  for (std::size_t j = 0; j < y.cols(); ++j)
+    x.set_column(j, solve(y.column(j), eps));
+  return x;
+}
+
 namespace {
 
 class ExactSddEngine final : public SddEngine {
  public:
   ExactSddEngine(const common::Context& ctx, linalg::DenseMatrix m,
                  std::size_t network_n)
-      : network_n_(std::max<std::size_t>(network_n, 2)) {
+      : ctx_(ctx), network_n_(std::max<std::size_t>(network_n, 2)) {
     factor_ = linalg::LdltFactor::factor(ctx, m);
     if (!factor_) {
       // M may be only positive semi-definite in degenerate cases; add a
@@ -32,9 +40,26 @@ class ExactSddEngine final : public SddEngine {
   }
 
   linalg::Vec solve(const linalg::Vec& y, double eps) override {
-    // Analytical round model (Lemma 5.1 / Theorem 1.3): one sparsification
-    // (preprocessing) has already been charged per path-following phase by
-    // the caller; each solve costs O(log(1/eps) log(n/eps)) rounds.
+    charge_solve(eps);
+    return factor_->solve(y);
+  }
+
+  linalg::DenseMatrix solve_many(const linalg::DenseMatrix& y,
+                                 double eps) override {
+    // The factorization is shared; the panel fans the k substitutions out
+    // over the pool. The model still charges per right-hand side, so the
+    // rounds match k sequential solves exactly.
+    for (std::size_t j = 0; j < y.cols(); ++j) charge_solve(eps);
+    return factor_->solve_many(ctx_, y);
+  }
+
+  std::int64_t rounds_charged() const override { return rounds_; }
+
+ private:
+  // Analytical round model (Lemma 5.1 / Theorem 1.3): one sparsification
+  // (preprocessing) has already been charged per path-following phase by
+  // the caller; each solve costs O(log(1/eps) log(n/eps)) rounds.
+  void charge_solve(double eps) {
     const double safe = std::max(eps, 1e-12);
     const double logn = std::log2(static_cast<double>(network_n_));
     const std::int64_t iters = static_cast<std::int64_t>(
@@ -43,12 +68,9 @@ class ExactSddEngine final : public SddEngine {
         static_cast<double>(network_n_) / safe, safe);
     rounds_ += iters * enc::rounds_for_bits(
                            bits, static_cast<std::int64_t>(2 * logn) + 2);
-    return factor_->solve(y);
   }
 
-  std::int64_t rounds_charged() const override { return rounds_; }
-
- private:
+  common::Context ctx_;
   std::optional<linalg::LdltFactor> factor_;
   std::size_t network_n_;
   std::int64_t rounds_ = 0;
@@ -81,26 +103,49 @@ class SparsifiedSddEngine final : public SddEngine {
       // weight spreads beyond double's reach through the Laplacian route;
       // detect and switch to the dense SDD factorization (LDL^T on a
       // diagonally dominant matrix is stable at any scaling).
-      const auto r = linalg::sub(matrix_.multiply(ctx_, x), y);
-      const double rel = linalg::norm2(r) /
-                         std::max(linalg::norm2(y), 1e-300);
-      if (rel <= std::max(eps * 10.0, 1e-6)) return x;
+      if (residual_ok(x, y, eps)) return x;
     }
     use_fallback_ = true;
-    if (!fallback_) {
-      auto m = matrix_;
-      fallback_ = linalg::LdltFactor::factor(ctx_, m);
-      if (!fallback_) {
-        double scale = 0.0;
-        for (std::size_t i = 0; i < m.rows(); ++i)
-          scale = std::max(scale, m(i, i));
-        for (std::size_t i = 0; i < m.rows(); ++i)
-          m(i, i) += 1e-12 * (scale + 1.0);
-        fallback_ = linalg::LdltFactor::factor(ctx_, m);
-      }
-      assert(fallback_);
-    }
+    ensure_fallback();
     return fallback_->solve(y);
+  }
+
+  linalg::DenseMatrix solve_many(const linalg::DenseMatrix& y,
+                                 double eps) override {
+    const std::size_t k = y.cols();
+    linalg::DenseMatrix x(y.rows(), k);
+    if (k == 0) return x;
+    // Columns [0, checked) passed the residual guard on the sparsified
+    // path; the rest (first guard failure onward — the sequential loop's
+    // sticky use_fallback_) go through the dense factorization.
+    std::size_t checked = 0;
+    if (solver_->usable() && !use_fallback_) {
+      // One batched sparsified attempt covers the whole panel; the guard
+      // then walks columns in order, replaying the sequential loop's
+      // charging: every attempted column (passing or first-failing) costs
+      // its single-RHS rounds, columns after the first failure cost none.
+      SolveStats stats;
+      const auto x12 = solver_->solve_many(lift_rhs_many(y), eps, &stats);
+      const auto cand = project_solution_many(x12);
+      const std::int64_t per_col = stats.rounds / static_cast<std::int64_t>(k);
+      while (checked < k) {
+        rounds_ += per_col;
+        const linalg::Vec xc = cand.column(checked);
+        if (!residual_ok(xc, y.column(checked), eps)) break;
+        x.set_column(checked, xc);
+        ++checked;
+      }
+      if (checked == k) return x;
+    }
+    use_fallback_ = true;
+    ensure_fallback();
+    linalg::DenseMatrix rest(y.rows(), k - checked);
+    for (std::size_t j = checked; j < k; ++j)
+      rest.set_column(j - checked, y.column(j));
+    const linalg::DenseMatrix xr = fallback_->solve_many(ctx_, rest);
+    for (std::size_t j = checked; j < k; ++j)
+      x.set_column(j, xr.column(j - checked));
+    return x;
   }
 
   std::int64_t rounds_charged() const override {
@@ -108,6 +153,28 @@ class SparsifiedSddEngine final : public SddEngine {
   }
 
  private:
+  bool residual_ok(const linalg::Vec& x, const linalg::Vec& y,
+                   double eps) const {
+    const auto r = linalg::sub(matrix_.multiply(ctx_, x), y);
+    const double rel = linalg::norm2(r) / std::max(linalg::norm2(y), 1e-300);
+    return rel <= std::max(eps * 10.0, 1e-6);
+  }
+
+  void ensure_fallback() {
+    if (fallback_) return;
+    auto m = matrix_;
+    fallback_ = linalg::LdltFactor::factor(ctx_, m);
+    if (!fallback_) {
+      double scale = 0.0;
+      for (std::size_t i = 0; i < m.rows(); ++i)
+        scale = std::max(scale, m(i, i));
+      for (std::size_t i = 0; i < m.rows(); ++i)
+        m(i, i) += 1e-12 * (scale + 1.0);
+      fallback_ = linalg::LdltFactor::factor(ctx_, m);
+    }
+    assert(fallback_);
+  }
+
   common::Context ctx_;
   linalg::DenseMatrix matrix_;
   SddReduction reduction_;
@@ -128,18 +195,6 @@ std::unique_ptr<SddEngine> make_exact_sdd_engine(const common::Context& ctx,
 std::unique_ptr<SddEngine> make_sparsified_sdd_engine(
     const common::Context& ctx, linalg::DenseMatrix m) {
   return std::make_unique<SparsifiedSddEngine>(ctx, std::move(m));
-}
-
-std::unique_ptr<SddEngine> make_exact_sdd_engine(linalg::DenseMatrix m,
-                                                 std::size_t network_n) {
-  return make_exact_sdd_engine(common::default_context(), std::move(m),
-                               network_n);
-}
-
-std::unique_ptr<SddEngine> make_sparsified_sdd_engine(linalg::DenseMatrix m,
-                                                      std::uint64_t seed) {
-  return make_sparsified_sdd_engine(common::default_context().with_seed(seed),
-                                    std::move(m));
 }
 
 }  // namespace bcclap::laplacian

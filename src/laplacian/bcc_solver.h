@@ -29,6 +29,15 @@ class SddEngine {
   virtual ~SddEngine() = default;
   // Solve M x = y to (at least) relative residual `eps`.
   virtual linalg::Vec solve(const linalg::Vec& y, double eps) = 0;
+
+  // Batched multi-RHS solve: y is n x k, one right-hand side per column.
+  // The base implementation is a sequential column loop over solve() —
+  // engines with a real panel path (both engines below) override it with
+  // one that factors/sparsifies once and fans the panel out, byte-identical
+  // to the column loop (outputs and rounds) at any thread count.
+  virtual linalg::DenseMatrix solve_many(const linalg::DenseMatrix& y,
+                                         double eps);
+
   virtual std::int64_t rounds_charged() const = 0;
 };
 
@@ -40,12 +49,5 @@ std::unique_ptr<SddEngine> make_exact_sdd_engine(const common::Context& ctx,
                                                  std::size_t network_n);
 std::unique_ptr<SddEngine> make_sparsified_sdd_engine(
     const common::Context& ctx, linalg::DenseMatrix m);
-
-// Deprecated path: process-default Runtime (bare seed for the sparsified
-// engine).
-std::unique_ptr<SddEngine> make_exact_sdd_engine(linalg::DenseMatrix m,
-                                                 std::size_t network_n);
-std::unique_ptr<SddEngine> make_sparsified_sdd_engine(linalg::DenseMatrix m,
-                                                      std::uint64_t seed);
 
 }  // namespace bcclap::laplacian

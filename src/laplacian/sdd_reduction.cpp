@@ -56,4 +56,26 @@ linalg::Vec project_solution(const linalg::Vec& x12) {
   return x;
 }
 
+linalg::DenseMatrix lift_rhs_many(const linalg::DenseMatrix& y) {
+  linalg::DenseMatrix out(2 * y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+      out(i, j) = y(i, j);
+      out(i + y.rows(), j) = -y(i, j);
+    }
+  }
+  return out;
+}
+
+linalg::DenseMatrix project_solution_many(const linalg::DenseMatrix& x12) {
+  assert(x12.rows() % 2 == 0);
+  const std::size_t n = x12.rows() / 2;
+  linalg::DenseMatrix x(n, x12.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < x12.cols(); ++j)
+      x(i, j) = 0.5 * (x12(i, j) - x12(i + n, j));
+  }
+  return x;
+}
+
 }  // namespace bcclap::laplacian

@@ -29,4 +29,9 @@ SddReduction gremban_reduce(const linalg::DenseMatrix& m, double tol = 1e-12);
 linalg::Vec lift_rhs(const linalg::Vec& y);
 linalg::Vec project_solution(const linalg::Vec& x12);
 
+// Panel forms for the batched SDD engines: column j of the output is
+// lift_rhs / project_solution of column j of the input.
+linalg::DenseMatrix lift_rhs_many(const linalg::DenseMatrix& y);
+linalg::DenseMatrix project_solution_many(const linalg::DenseMatrix& x12);
+
 }  // namespace bcclap::laplacian

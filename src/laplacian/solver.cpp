@@ -129,27 +129,83 @@ linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
   return y;
 }
 
+linalg::DenseMatrix SparsifiedLaplacianSolver::solve_many(
+    const linalg::DenseMatrix& b, double eps, SolveStats* stats) {
+  assert(h_factor_ && "sparsifier must be factorizable");
+  const std::size_t k = b.cols();
+  linalg::DenseMatrix rhs = b;
+  for (std::size_t j = 0; j < k; ++j) {
+    linalg::Vec col = rhs.column(j);
+    remove_component_means(col, g_components_);
+    rhs.set_column(j, col);
+  }
+
+  const auto apply_a = [this](const linalg::DenseMatrix& x) {
+    return graph::apply_laplacian_many(ctx_, g_, x);
+  };
+  // B = (3/2) L_H  =>  B^{-1} R = (2/3) L_H^+ R, one panel solve per
+  // iteration shared by every column.
+  const auto solve_b = [this](const linalg::DenseMatrix& r) {
+    linalg::DenseMatrix z = h_factor_->solve_many(r);
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      double* zi = z.row_data(i);
+      for (std::size_t j = 0; j < z.cols(); ++j) zi[j] *= 2.0 / 3.0;
+    }
+    return z;
+  };
+  const auto res =
+      linalg::preconditioned_chebyshev_many(apply_a, solve_b, rhs, 3.0, eps);
+
+  // Round accounting: each column still broadcasts its own vector per
+  // iteration — a k-wide panel costs k x the single-RHS rounds (the model
+  // charges communication; the batching amortizes wall time only).
+  const int bits = enc::real_bits(
+      static_cast<double>(g_.num_vertices()) * weight_bound_, eps);
+  const std::int64_t per_iter = enc::rounds_for_bits(bits, bandwidth_);
+  const std::int64_t rounds = static_cast<std::int64_t>(k) *
+                              static_cast<std::int64_t>(res.iterations) *
+                              per_iter;
+  accountant_.charge("laplacian/solve", rounds);
+  if (stats) {
+    stats->iterations = res.iterations;
+    stats->rounds = rounds;
+    stats->panels = 1;
+  }
+  linalg::DenseMatrix y = res.x;
+  for (std::size_t j = 0; j < k; ++j) {
+    linalg::Vec col = y.column(j);
+    remove_component_means(col, g_components_);
+    y.set_column(j, col);
+  }
+  return y;
+}
+
+ExactLaplacianSolver::ExactLaplacianSolver(const common::Context& ctx,
+                                           const graph::Graph& g)
+    : ctx_(ctx),
+      factor_(linalg::LaplacianFactor::factor(ctx, graph::laplacian(g))) {}
+
+linalg::Vec ExactLaplacianSolver::solve(const linalg::Vec& b) const {
+  assert(factor_ && "graph must be connected");
+  return factor_->solve(b);
+}
+
+linalg::DenseMatrix ExactLaplacianSolver::solve_many(
+    const linalg::DenseMatrix& b) const {
+  assert(factor_ && "graph must be connected");
+  return factor_->solve_many(ctx_, b);
+}
+
 linalg::Vec exact_laplacian_solve(const common::Context& ctx,
                                   const graph::Graph& g,
                                   const linalg::Vec& b) {
-  const auto factor =
-      linalg::LaplacianFactor::factor(ctx, graph::laplacian(g));
-  assert(factor && "graph must be connected");
-  return factor->solve(b);
+  return ExactLaplacianSolver(ctx, g).solve(b);
 }
 
 double laplacian_norm(const common::Context& ctx, const graph::Graph& g,
                       const linalg::Vec& x) {
   return std::sqrt(
       std::max(0.0, linalg::dot(x, graph::apply_laplacian(ctx, g, x))));
-}
-
-double laplacian_norm(const graph::Graph& g, const linalg::Vec& x) {
-  // Same arithmetic as the pre-Runtime code (bitwise): the deprecated
-  // apply_laplacian overload already runs small inputs sequentially
-  // without creating the process-default Runtime.
-  return std::sqrt(
-      std::max(0.0, linalg::dot(x, graph::apply_laplacian(g, x))));
 }
 
 }  // namespace bcclap::laplacian

@@ -37,18 +37,23 @@ class SparsifiedLaplacianSolver {
   SparsifiedLaplacianSolver(const common::Context& ctx, const graph::Graph& g,
                             const sparsify::SparsifyOptions& opt);
 
-  // Deprecated path: bare seed on the process-default Runtime's pool.
-  SparsifiedLaplacianSolver(const graph::Graph& g,
-                            const sparsify::SparsifyOptions& opt,
-                            std::uint64_t seed)
-      : SparsifiedLaplacianSolver(common::default_context().with_seed(seed),
-                                  g, opt) {}
-
   // Solves L_G x = b to ||x - y||_{L_G} <= eps ||x||_{L_G}. b is projected
   // onto range(L_G) (mean removed). Rounds are charged per Theorem 1.3:
   // O(log(1/eps)) iterations x O(log(n U / eps)) bits per matvec broadcast.
   linalg::Vec solve(const linalg::Vec& b, double eps,
                     SolveStats* stats = nullptr);
+
+  // Batched multi-RHS solve: b is n x k, one right-hand side per column.
+  // The sparsifier and its factorization were built once at construction;
+  // every column rides one shared Chebyshev panel loop (one L_G panel
+  // apply + one L_H panel solve per iteration), byte-identical per column
+  // to solve(column, eps) at any thread count. Rounds are charged k x the
+  // per-column solve cost (broadcasting k vectors costs k x the bits; the
+  // panel amortizes wall time, not communication). stats: iterations =
+  // per-column Chebyshev iterations, rounds = the panel's total, panels
+  // = 1.
+  linalg::DenseMatrix solve_many(const linalg::DenseMatrix& b, double eps,
+                                 SolveStats* stats = nullptr);
 
   // False when even the fallback factorization failed (numerically
   // degenerate input); solve() must not be called in that case.
@@ -72,18 +77,34 @@ class SparsifiedLaplacianSolver {
   double weight_bound_ = 1.0;
 };
 
-// Exact reference solve (dense LDL^T on grounded L_G); test oracle.
+// Factor-once exact Laplacian solver (dense LDL^T on grounded L_G): test
+// oracles, benches and the exact engines solve many right-hand sides
+// against one graph without re-paying the O(n^3) factorization per call.
+// Requires a connected graph (same contract as exact_laplacian_solve).
+class ExactLaplacianSolver {
+ public:
+  ExactLaplacianSolver(const common::Context& ctx, const graph::Graph& g);
+
+  bool usable() const { return factor_.has_value(); }
+  linalg::Vec solve(const linalg::Vec& b) const;
+  // Panel solve; columns fan out on the construction context's pool,
+  // per-column byte-identical to solve().
+  linalg::DenseMatrix solve_many(const linalg::DenseMatrix& b) const;
+
+ private:
+  common::Context ctx_;
+  std::optional<linalg::LaplacianFactor> factor_;
+};
+
+// Exact reference solve (dense LDL^T on grounded L_G); one-shot test
+// oracle. Re-factors per call — callers with several right-hand sides on
+// one graph use ExactLaplacianSolver instead.
 linalg::Vec exact_laplacian_solve(const common::Context& ctx,
                                   const graph::Graph& g,
                                   const linalg::Vec& b);
-inline linalg::Vec exact_laplacian_solve(const graph::Graph& g,
-                                         const linalg::Vec& b) {
-  return exact_laplacian_solve(common::default_context(), g, b);
-}
 
 // Energy norm ||x||_{L_G} = sqrt(x' L_G x).
 double laplacian_norm(const common::Context& ctx, const graph::Graph& g,
                       const linalg::Vec& x);
-double laplacian_norm(const graph::Graph& g, const linalg::Vec& x);
 
 }  // namespace bcclap::laplacian

@@ -5,7 +5,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
+#include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 
 namespace bcclap::linalg {
@@ -25,5 +27,26 @@ struct CgResult {
 CgResult conjugate_gradient(const LinearOperator& apply_a, const Vec& b,
                             double tol, std::size_t max_iter,
                             const LinearOperator* precond = nullptr);
+
+struct CgPanelResult {
+  DenseMatrix x;  // n x k, one solution per column
+  std::vector<std::size_t> iterations;  // per column
+  std::vector<double> residual_norm;    // per column
+  std::vector<bool> converged;          // per column
+  // Panel A-applications (each covers every still-active column).
+  std::size_t a_multiplies = 0;
+};
+
+// Batched multi-RHS CG: the panel's columns run in lockstep sharing one
+// A-application and one preconditioner application per iteration; CG's
+// scalars (alpha, beta, residuals) are tracked per column, and a column
+// that converges (or loses positive-definiteness) is frozen — its state
+// stops updating at exactly the iteration its sequential run would have
+// stopped. With column-wise operators (dense_matrix.h) the result is
+// byte-identical per column to conjugate_gradient on that column.
+CgPanelResult conjugate_gradient_many(const PanelOperator& apply_a,
+                                      const DenseMatrix& b, double tol,
+                                      std::size_t max_iter,
+                                      const PanelOperator* precond = nullptr);
 
 }  // namespace bcclap::linalg

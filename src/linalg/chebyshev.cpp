@@ -56,4 +56,71 @@ ChebyshevResult preconditioned_chebyshev(
   return preconditioned_chebyshev_fixed(apply_a, solve_b, b, kappa, iters);
 }
 
+// Panel driver: identical recurrence, every vector op widened to an n x k
+// panel. The elementwise updates touch each (row, column) slot with the
+// same multiply-add the single-vector driver applies to that column, so
+// per-column results match the single-RHS driver bit for bit.
+ChebyshevPanelResult preconditioned_chebyshev_many_fixed(
+    const PanelOperator& apply_a, const PanelOperator& solve_b,
+    const DenseMatrix& b, double kappa, std::size_t iterations) {
+  ChebyshevPanelResult out;
+  const std::size_t n = b.rows();
+  const std::size_t k = b.cols();
+  out.x = DenseMatrix(n, k);
+  if (k == 0) return out;
+  const double lmin = 1.0 / kappa;
+  const double lmax = 1.0;
+  const double theta = 0.5 * (lmax + lmin);
+  const double delta = 0.5 * (lmax - lmin);
+
+  DenseMatrix r = b;  // R = B - A X, X = 0
+  DenseMatrix p;
+  double alpha = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    DenseMatrix z = solve_b(r);
+    ++out.b_solves;
+    if (it == 0) {
+      p = std::move(z);
+      alpha = 1.0 / theta;
+    } else {
+      double beta;
+      if (it == 1) {
+        beta = 0.5 * (delta * alpha) * (delta * alpha);
+      } else {
+        beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      }
+      alpha = 1.0 / (theta - beta / alpha);
+      for (std::size_t i = 0; i < n; ++i) {
+        double* pi = p.row_data(i);
+        const double* zi = z.row_data(i);
+        for (std::size_t j = 0; j < k; ++j) pi[j] = zi[j] + beta * pi[j];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double* xi = out.x.row_data(i);
+      const double* pi = p.row_data(i);
+      for (std::size_t j = 0; j < k; ++j) xi[j] += alpha * pi[j];
+    }
+    const DenseMatrix ap = apply_a(p);
+    ++out.a_multiplies;
+    for (std::size_t i = 0; i < n; ++i) {
+      double* ri = r.row_data(i);
+      const double* api = ap.row_data(i);
+      for (std::size_t j = 0; j < k; ++j) ri[j] -= alpha * api[j];
+    }
+    ++out.iterations;
+  }
+  return out;
+}
+
+ChebyshevPanelResult preconditioned_chebyshev_many(
+    const PanelOperator& apply_a, const PanelOperator& solve_b,
+    const DenseMatrix& b, double kappa, double eps) {
+  const double safe_eps = std::max(eps, 1e-16);
+  const auto iters = static_cast<std::size_t>(
+      std::ceil(std::sqrt(kappa) * std::log(2.0 / safe_eps))) + 1;
+  return preconditioned_chebyshev_many_fixed(apply_a, solve_b, b, kappa,
+                                             iters);
+}
+
 }  // namespace bcclap::linalg

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 
 namespace bcclap::linalg {
@@ -19,6 +20,18 @@ struct ChebyshevResult {
   std::size_t iterations = 0;
   // Count of A-multiplies and B-solves (they are 1 per iteration; kept
   // separate so round accounting can charge them differently).
+  std::size_t a_multiplies = 0;
+  std::size_t b_solves = 0;
+};
+
+// The batched drivers below take column-wise PanelOperators
+// (dense_matrix.h) whose per-column arithmetic matches the single-vector
+// operator exactly; then the batched solve is byte-identical to k
+// single-RHS solves.
+struct ChebyshevPanelResult {
+  DenseMatrix x;  // n x k, one solution per column
+  std::size_t iterations = 0;
+  // Panel applications (each covers every column at once).
   std::size_t a_multiplies = 0;
   std::size_t b_solves = 0;
 };
@@ -38,5 +51,20 @@ ChebyshevResult preconditioned_chebyshev_fixed(
     const std::function<Vec(const Vec&)>& apply_a,
     const std::function<Vec(const Vec&)>& solve_b, const Vec& b, double kappa,
     std::size_t iterations);
+
+// Batched multi-RHS drivers: one shared iteration loop drives every column
+// of the panel through the same recurrence — the scalar schedule (alpha,
+// beta) depends only on kappa, never on the data, so all columns take the
+// same iteration count and one A-multiply / B-solve per iteration covers
+// the whole panel. With column-wise operators the result is byte-identical
+// per column to the single-RHS driver on that column. A k = 0 panel
+// returns immediately.
+ChebyshevPanelResult preconditioned_chebyshev_many(
+    const PanelOperator& apply_a, const PanelOperator& solve_b,
+    const DenseMatrix& b, double kappa, double eps);
+
+ChebyshevPanelResult preconditioned_chebyshev_many_fixed(
+    const PanelOperator& apply_a, const PanelOperator& solve_b,
+    const DenseMatrix& b, double kappa, std::size_t iterations);
 
 }  // namespace bcclap::linalg

@@ -17,8 +17,9 @@
 // engine gives the network. `ComponentLaplacianFactor` additionally
 // factors (and solves) its connected components in parallel; it remembers
 // the pool it was factored on, so the owning Runtime must outlive the
-// factor. The context-less factor() overloads are the deprecated path and
-// run on the process-default Runtime.
+// factor. Every factor also exposes a multi-RHS `solve_many` panel path —
+// the substitutions fan out one column per task, byte-identical to the
+// sequential per-column solves.
 #pragma once
 
 #include <optional>
@@ -40,18 +41,24 @@ class LdltFactor {
   static std::optional<LdltFactor> factor(const common::Context& ctx,
                                           const DenseMatrix& a,
                                           double pivot_tol = 1e-12);
-  static std::optional<LdltFactor> factor(const DenseMatrix& a,
-                                          double pivot_tol = 1e-12) {
-    return factor(common::default_context(), a, pivot_tol);
-  }
 
   Vec solve(const Vec& b) const;
+
+  // Multi-RHS panel solve: b is n x k, one right-hand side per column.
+  // Columns fan out over ctx's pool with disjoint column writes, so the
+  // result is byte-identical to k sequential solve() calls at any thread
+  // count (each column runs exactly the single-vector substitution).
+  DenseMatrix solve_many(const common::Context& ctx,
+                         const DenseMatrix& b) const;
+
   std::size_t dim() const { return n_; }
 
  private:
   std::size_t n_ = 0;
   DenseMatrix l_;  // unit lower triangular
   Vec d_;          // diagonal
+
+  void solve_in_place(Vec& y) const;
 
   LdltFactor() = default;
 };
@@ -63,13 +70,16 @@ class LaplacianFactor {
  public:
   static std::optional<LaplacianFactor> factor(const common::Context& ctx,
                                                const CsrMatrix& laplacian);
-  static std::optional<LaplacianFactor> factor(const CsrMatrix& laplacian) {
-    return factor(common::default_context(), laplacian);
-  }
 
   // Requires sum(b) ~ 0 (the solver projects b to be safe). Returns x with
   // mean zero satisfying L x = b.
   Vec solve(const Vec& b) const;
+
+  // Panel solve; per-column byte-identical to solve() (see
+  // LdltFactor::solve_many).
+  DenseMatrix solve_many(const common::Context& ctx,
+                         const DenseMatrix& b) const;
+
   std::size_t dim() const { return n_; }
 
  private:
@@ -89,14 +99,16 @@ class ComponentLaplacianFactor {
  public:
   static std::optional<ComponentLaplacianFactor> factor(
       const common::Context& ctx, const CsrMatrix& laplacian);
-  static std::optional<ComponentLaplacianFactor> factor(
-      const CsrMatrix& laplacian) {
-    return factor(common::default_context(), laplacian);
-  }
 
   // Returns the minimum-norm-style representative: per component, the
   // solution with zero component mean for the component-projected rhs.
   Vec solve(const Vec& b) const;
+
+  // Panel solve on the pool the factor was built on: (component, column)
+  // pairs fan out with disjoint writes, per-column byte-identical to
+  // solve().
+  DenseMatrix solve_many(const DenseMatrix& b) const;
+
   std::size_t dim() const { return n_; }
   std::size_t num_components() const { return component_vertices_.size(); }
 

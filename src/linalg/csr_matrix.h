@@ -41,10 +41,6 @@ class CsrMatrix {
   // Row-parallel matvec on ctx's pool (bitwise deterministic at any worker
   // count of the same context).
   Vec multiply(const common::Context& ctx, const Vec& x) const;
-  // Deprecated path: runs on the process-default Runtime's context.
-  Vec multiply(const Vec& x) const {
-    return multiply(common::default_context(), x);
-  }
   Vec multiply_transpose(const Vec& x) const;  // sequential scatter
   Vec diagonal() const;
 

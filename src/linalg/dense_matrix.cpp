@@ -15,6 +15,26 @@ DenseMatrix DenseMatrix::identity(std::size_t n) {
   return m;
 }
 
+Vec DenseMatrix::column(std::size_t c) const {
+  assert(c < cols_);
+  Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = data_[r * cols_ + c];
+  return v;
+}
+
+void DenseMatrix::set_column(std::size_t c, const Vec& v) {
+  assert(c < cols_);
+  assert(v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = v[r];
+}
+
+DenseMatrix DenseMatrix::from_columns(const std::vector<Vec>& cols) {
+  if (cols.empty()) return DenseMatrix();
+  DenseMatrix m(cols.front().size(), cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) m.set_column(c, cols[c]);
+  return m;
+}
+
 Vec DenseMatrix::multiply(const common::Context& ctx, const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/context.h"
@@ -35,6 +36,14 @@ class DenseMatrix {
   double* row_data(std::size_t r) { return &data_[r * cols_]; }
   const double* row_data(std::size_t r) const { return &data_[r * cols_]; }
 
+  // Column extraction/insertion for the multi-RHS panel APIs (a panel is a
+  // rows x k matrix whose columns are independent right-hand sides; the
+  // storage is row-major, so the triangular solves gather a column into a
+  // contiguous vector, solve, and scatter it back).
+  Vec column(std::size_t c) const;
+  void set_column(std::size_t c, const Vec& v);
+  static DenseMatrix from_columns(const std::vector<Vec>& cols);
+
   // Parallel kernels, dispatched on ctx's pool with ctx's chunking policy
   // (chunk boundaries stay a pure function of the shape and the policy, so
   // results are bit-identical at any worker count of the same context).
@@ -42,18 +51,6 @@ class DenseMatrix {
   Vec multiply_transpose(const common::Context& ctx, const Vec& x) const;
   DenseMatrix multiply(const common::Context& ctx,
                        const DenseMatrix& other) const;
-
-  // Deprecated path: context-less kernels run on the process-default
-  // Runtime's context.
-  Vec multiply(const Vec& x) const {
-    return multiply(common::default_context(), x);
-  }
-  Vec multiply_transpose(const Vec& x) const {
-    return multiply_transpose(common::default_context(), x);
-  }
-  DenseMatrix multiply(const DenseMatrix& other) const {
-    return multiply(common::default_context(), other);
-  }
 
   DenseMatrix transpose() const;
 
@@ -67,5 +64,11 @@ class DenseMatrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+// Column-wise multi-RHS panel operator: maps an n x k panel to an n x k
+// panel with column j of the output a function of column j of the input
+// only. The batched iterative drivers (cg.h, chebyshev.h) are built on
+// operators of this shape.
+using PanelOperator = std::function<DenseMatrix(const DenseMatrix&)>;
 
 }  // namespace bcclap::linalg

@@ -17,9 +17,12 @@ MatrixOracle dense_oracle(const common::Context& ctx,
   MatrixOracle o;
   o.m = m.rows();
   o.n = m.cols();
-  // Gram matrix and its factorization are shared by the three closures.
-  auto gram = std::make_shared<linalg::DenseMatrix>(
-      m.transpose().multiply(ctx, m));
+  // Gram matrix, its factorization, M and M^T are shared by the closures;
+  // the transpose is formed once (it also builds the Gram) and the
+  // factorization is paid once, reused by every solve and panel.
+  auto mat_t = std::make_shared<linalg::DenseMatrix>(m.transpose());
+  auto gram =
+      std::make_shared<linalg::DenseMatrix>(mat_t->multiply(ctx, m));
   auto factor = std::make_shared<std::optional<linalg::LdltFactor>>(
       linalg::LdltFactor::factor(ctx, *gram));
   if (!factor->has_value()) {
@@ -39,6 +42,15 @@ MatrixOracle dense_oracle(const common::Context& ctx,
   o.solve_gram = [factor](const linalg::Vec& y) {
     return (*factor)->solve(y);
   };
+  o.apply_many = [mat, ctx](const linalg::DenseMatrix& x) {
+    return mat->multiply(ctx, x);
+  };
+  o.apply_t_many = [mat_t, ctx](const linalg::DenseMatrix& y) {
+    return mat_t->multiply(ctx, y);
+  };
+  o.solve_gram_many = [factor, ctx](const linalg::DenseMatrix& y) {
+    return (*factor)->solve_many(ctx, y);
+  };
   return o;
 }
 
@@ -46,14 +58,23 @@ linalg::Vec leverage_scores_exact(const common::Context& ctx,
                                   const linalg::DenseMatrix& m) {
   const MatrixOracle o = dense_oracle(ctx, m);
   linalg::Vec sigma(o.m, 0.0);
-  // sigma_i = row_i (M^T M)^{-1} row_i^T: one Gram solve per row, each
-  // writing only sigma[i] — rows fan out across the pool.
-  ctx.parallel_for(0, o.m, [&](std::size_t i) {
-    linalg::Vec row(o.n);
-    for (std::size_t j = 0; j < o.n; ++j) row[j] = m(i, j);
-    const auto z = o.solve_gram(row);
-    sigma[i] = linalg::dot(row, z);
-  });
+  // sigma_i = row_i (M^T M)^{-1} row_i^T. Rows go through the factored
+  // Gram in fixed-width panels — one batched substitution fan-out per
+  // panel instead of one dispatch per row.
+  constexpr std::size_t kRowPanel = 32;
+  for (std::size_t base = 0; base < o.m; base += kRowPanel) {
+    const std::size_t width = std::min(kRowPanel, o.m - base);
+    linalg::DenseMatrix rows(o.n, width);
+    for (std::size_t b = 0; b < width; ++b) {
+      for (std::size_t j = 0; j < o.n; ++j) rows(j, b) = m(base + b, j);
+    }
+    const linalg::DenseMatrix z = o.solve_gram_many(rows);
+    for (std::size_t b = 0; b < width; ++b) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < o.n; ++j) s += rows(j, b) * z(j, b);
+      sigma[base + b] = s;
+    }
+  }
   return sigma;
 }
 
@@ -78,22 +99,37 @@ linalg::Vec leverage_scores_jl(const common::Context& ctx,
   // The probes are independent; they run in fixed-size batches whose
   // boundaries never depend on the thread count, and each batch's results
   // accumulate into sigma sequentially in probe order — bitwise identical
-  // at any thread count.
+  // at any thread count. A batched oracle pushes the whole batch through
+  // one solve_many panel per outer iteration (p^(j) = M (M^T M)^{-1} M^T
+  // Q^(j), Algorithm 6 line 5, columns j of one panel); otherwise probes
+  // run one at a time fanned over the pool.
   constexpr std::size_t kProbeBatch = 16;
   const std::size_t dim = sketch.sketch_dim();
-  std::vector<linalg::Vec> batch(std::min<std::size_t>(kProbeBatch, dim));
+  const bool batched = oracle.batched();
+  std::vector<linalg::Vec> batch(
+      batched ? 0 : std::min<std::size_t>(kProbeBatch, dim));
   for (std::size_t base = 0; base < dim; base += kProbeBatch) {
     const std::size_t count = std::min(kProbeBatch, dim - base);
-    ctx.parallel_for(0, count, [&](std::size_t b) {
-      // p^(j) = M (M^T M)^{-1} M^T Q^(j)  (Algorithm 6 line 5).
-      const linalg::Vec qj = sketch.row(base + b);
-      const linalg::Vec mt_q = oracle.apply_t(qj);
-      const linalg::Vec z = oracle.solve_gram(mt_q);
-      batch[b] = oracle.apply(z);
-    });
+    linalg::DenseMatrix panel;
+    if (batched) {
+      linalg::DenseMatrix q(oracle.m, count);
+      for (std::size_t b = 0; b < count; ++b)
+        q.set_column(b, sketch.row(base + b));
+      panel = oracle.apply_many(
+          oracle.solve_gram_many(oracle.apply_t_many(q)));
+    } else {
+      ctx.parallel_for(0, count, [&](std::size_t b) {
+        const linalg::Vec qj = sketch.row(base + b);
+        const linalg::Vec mt_q = oracle.apply_t(qj);
+        const linalg::Vec z = oracle.solve_gram(mt_q);
+        batch[b] = oracle.apply(z);
+      });
+    }
     for (std::size_t b = 0; b < count; ++b) {
-      const linalg::Vec& pj = batch[b];
-      for (std::size_t i = 0; i < oracle.m; ++i) sigma[i] += pj[i] * pj[i];
+      for (std::size_t i = 0; i < oracle.m; ++i) {
+        const double pji = batched ? panel(i, b) : batch[b][i];
+        sigma[i] += pji * pji;
+      }
       if (acct) {
         // Two matvecs (vector broadcasts) + one Gram solve per probe.
         const std::int64_t bw = 2 * enc::id_bits(oracle.n) + 2;

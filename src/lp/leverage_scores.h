@@ -18,28 +18,34 @@
 namespace bcclap::lp {
 
 // Abstract access to M (m x n): multiplies and a solver for (M^T M) z = y.
+// The panel forms are column-wise multi-RHS counterparts; oracles with a
+// real batched path (dense_oracle below) fill them, and leverage_scores_jl
+// pushes a whole JL probe batch through one panel per outer iteration when
+// they are present (falling back to per-probe calls otherwise).
 struct MatrixOracle {
   std::size_t m = 0;
   std::size_t n = 0;
   std::function<linalg::Vec(const linalg::Vec&)> apply;        // M x
   std::function<linalg::Vec(const linalg::Vec&)> apply_t;      // M^T y
   std::function<linalg::Vec(const linalg::Vec&)> solve_gram;   // (M^T M)^{-1} y
+  linalg::PanelOperator apply_many;       // M X, column-wise
+  linalg::PanelOperator apply_t_many;     // M^T Y, column-wise
+  linalg::PanelOperator solve_gram_many;  // (M^T M)^{-1} Y, column-wise
+
+  bool batched() const {
+    return apply_many && apply_t_many && solve_gram_many;
+  }
 };
 
 // Builds an oracle for a dense M with an exact dense Gram solve; the
 // closures run their matvecs and the Gram factorization on ctx's pool.
 MatrixOracle dense_oracle(const common::Context& ctx,
                           const linalg::DenseMatrix& m);
-inline MatrixOracle dense_oracle(const linalg::DenseMatrix& m) {
-  return dense_oracle(common::default_context(), m);
-}
 
-// Exact leverage scores (dense reference); rows fan out on ctx's pool.
+// Exact leverage scores (dense reference); the Gram factorization is paid
+// once and the rows stream through it in batched solve_many panels.
 linalg::Vec leverage_scores_exact(const common::Context& ctx,
                                   const linalg::DenseMatrix& m);
-inline linalg::Vec leverage_scores_exact(const linalg::DenseMatrix& m) {
-  return leverage_scores_exact(common::default_context(), m);
-}
 
 struct LeverageOptions {
   double eta = 0.5;          // multiplicative accuracy target
@@ -57,10 +63,5 @@ linalg::Vec leverage_scores_jl(const common::Context& ctx,
                                const MatrixOracle& oracle,
                                const LeverageOptions& opt,
                                bcc::RoundAccountant* acct = nullptr);
-inline linalg::Vec leverage_scores_jl(const MatrixOracle& oracle,
-                                      const LeverageOptions& opt,
-                                      bcc::RoundAccountant* acct = nullptr) {
-  return leverage_scores_jl(common::default_context(), oracle, opt, acct);
-}
 
 }  // namespace bcclap::lp

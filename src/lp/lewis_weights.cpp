@@ -114,9 +114,10 @@ linalg::Vec compute_initial_weights(const common::Context& ctx,
   return compute_apx_weights(ctx, m, p_target, w, eta, opt);
 }
 
-double lewis_relative_error(const linalg::DenseMatrix& m, double p,
+double lewis_relative_error(const common::Context& ctx,
+                            const linalg::DenseMatrix& m, double p,
                             const linalg::Vec& w) {
-  const auto ref = lewis_fixed_point(m, p, 200);
+  const auto ref = lewis_fixed_point(ctx, m, p, 200);
   double worst = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     worst = std::max(worst, std::abs(ref[i] - w[i]) / std::max(ref[i], 1e-12));

@@ -41,41 +41,26 @@ linalg::DenseMatrix row_scaled(const linalg::DenseMatrix& m,
 
 // One exact fixed-point map w -> sigma(W^{1/2-1/p} M); reference oracle
 // (Cohen-Peng: converges for p in (0,4)). The leverage-score passes run on
-// ctx's pool; the context-less overloads are the deprecated path on the
-// process-default Runtime.
+// ctx's pool through the batched Gram panels.
 linalg::Vec lewis_fixed_point(const common::Context& ctx,
                               const linalg::DenseMatrix& m, double p,
                               std::size_t iterations);
-inline linalg::Vec lewis_fixed_point(const linalg::DenseMatrix& m, double p,
-                                     std::size_t iterations) {
-  return lewis_fixed_point(common::default_context(), m, p, iterations);
-}
 
 // Algorithm 7.
 linalg::Vec compute_apx_weights(const common::Context& ctx,
                                 const linalg::DenseMatrix& m, double p,
                                 const linalg::Vec& w0, double eta,
                                 const LewisOptions& opt);
-inline linalg::Vec compute_apx_weights(const linalg::DenseMatrix& m, double p,
-                                       const linalg::Vec& w0, double eta,
-                                       const LewisOptions& opt) {
-  return compute_apx_weights(common::default_context(), m, p, w0, eta, opt);
-}
 
 // Algorithm 8 (includes the final refinement call).
 linalg::Vec compute_initial_weights(const common::Context& ctx,
                                     const linalg::DenseMatrix& m,
                                     double p_target, double eta,
                                     const LewisOptions& opt);
-inline linalg::Vec compute_initial_weights(const linalg::DenseMatrix& m,
-                                           double p_target, double eta,
-                                           const LewisOptions& opt) {
-  return compute_initial_weights(common::default_context(), m, p_target, eta,
-                                 opt);
-}
 
 // ||w_p(M)^{-1} (w_p(M) - w)||_inf against the fixed-point reference.
-double lewis_relative_error(const linalg::DenseMatrix& m, double p,
+double lewis_relative_error(const common::Context& ctx,
+                            const linalg::DenseMatrix& m, double p,
                             const linalg::Vec& w);
 
 // The paper's p for the IPM: 1 - 1/log(4m).

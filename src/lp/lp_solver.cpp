@@ -76,6 +76,10 @@ class PathFollower {
     return t == t_end;
   }
 
+  // Gram panels this follower routed through SddEngine::solve_many
+  // (RunStats::panels bookkeeping).
+  std::size_t panels_solved() const { return panels_solved_; }
+
   linalg::Vec initial_weights() {
     if (opt_.weights == WeightMode::kVanilla) return linalg::ones(m_);
     // ComputeInitialWeights would be exact here; for the solver we start
@@ -123,7 +127,14 @@ class PathFollower {
       const linalg::Vec ax = prob_.a.multiply_transpose(x);
       for (std::size_t j = 0; j < n_; ++j) rhs[j] += prob_.b[j] - ax[j];
       auto engine = make_engine(assemble_gram(prob_.a, d));
-      const linalg::Vec lam = engine->solve(rhs, 1e-12);
+      // Newton systems route through the batched interface (one k = 1
+      // panel per centering step) so every Gram solve in the pipeline is
+      // a counted panel; per-column the engines are byte-identical to
+      // their single-RHS path.
+      const linalg::Vec lam =
+          engine->solve_many(linalg::DenseMatrix::from_columns({rhs}), 1e-12)
+              .column(0);
+      ++panels_solved_;
       acct_.charge("lp/gram-solve", engine->rounds_charged());
       const linalg::Vec a_lam = prob_.a.multiply(ctx_, lam);
       linalg::Vec dx(m_);
@@ -219,6 +230,7 @@ class PathFollower {
   std::size_t n_;
   double p_lewis_ = 1.0;
   double c0_ = 0.0;
+  std::size_t panels_solved_ = 0;
 };
 
 }  // namespace
@@ -280,6 +292,7 @@ LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
     out.stats.rounds = out.rounds;
     out.stats.iterations = out.path_steps;
     out.stats.steps = out.newton_steps;
+    out.stats.panels = phase1.panels_solved();
     return out;
   }
 
@@ -307,7 +320,9 @@ LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
     linalg::Vec resid = prob.b;
     const auto ax = prob.a.multiply_transpose(out.x);
     for (std::size_t j = 0; j < resid.size(); ++j) resid[j] -= ax[j];
-    const auto lam = engine->solve(resid, 1e-12);
+    const auto lam =
+        engine->solve_many(linalg::DenseMatrix::from_columns({resid}), 1e-12)
+            .column(0);
     const auto a_lam = prob.a.multiply(ctx, lam);
     linalg::Vec dx(m);
     for (std::size_t i = 0; i < m; ++i) dx[i] = d[i] * a_lam[i];
@@ -321,6 +336,9 @@ LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
   out.stats.rounds = out.rounds;
   out.stats.iterations = out.path_steps;
   out.stats.steps = out.newton_steps;
+  // Every Gram system went through the batched interface: phase panels
+  // plus the final feasibility-restoration panel.
+  out.stats.panels = phase1.panels_solved() + phase2.panels_solved() + 1;
   return out;
 }
 

@@ -89,13 +89,6 @@ struct LpResult {
 LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
                   const linalg::Vec& x0, const LpOptions& opt);
 
-// Deprecated path: process-default Runtime, seed taken from opt.seed.
-inline LpResult lp_solve(const LpProblem& prob, const linalg::Vec& x0,
-                         const LpOptions& opt) {
-  return lp_solve(common::default_context().with_seed(opt.seed), prob, x0,
-                  opt);
-}
-
 // Assembles A^T D A (n x n dense) for diagonal D given as a vector.
 linalg::DenseMatrix assemble_gram(const linalg::CsrMatrix& a,
                                   const linalg::Vec& d);

@@ -76,21 +76,6 @@ SparsifyResult spectral_sparsify_apriori(const common::Context& ctx,
                                          const graph::Graph& g,
                                          const SparsifyOptions& opt);
 
-// Deprecated-path wrappers (bare seed, process-default pool for the
-// a-priori scratch network): identical behavior to the pre-Runtime API.
-inline SparsifyResult spectral_sparsify(const graph::Graph& g,
-                                        const SparsifyOptions& opt,
-                                        std::uint64_t seed,
-                                        bcc::Network& net) {
-  return spectral_sparsify(net.context().with_seed(seed), g, opt, net);
-}
-inline SparsifyResult spectral_sparsify_apriori(const graph::Graph& g,
-                                                const SparsifyOptions& opt,
-                                                std::uint64_t seed) {
-  return spectral_sparsify_apriori(common::default_context().with_seed(seed),
-                                   g, opt);
-}
-
 // Resolves defaulted (0) option fields against a concrete graph.
 SparsifyOptions resolve_options(const graph::Graph& g,
                                 const SparsifyOptions& opt);

@@ -14,6 +14,18 @@ namespace bcclap::sparsify {
 
 namespace {
 
+// Sequential edge sweep: the verifier is a context-free oracle by design,
+// so it applies L_G without touching any worker pool.
+linalg::Vec apply_laplacian_seq(const graph::Graph& g, const linalg::Vec& x) {
+  linalg::Vec y(x.size(), 0.0);
+  for (const auto& e : g.edges()) {
+    const double d = e.weight * (x[e.u] - x[e.v]);
+    y[e.u] += d;
+    y[e.v] -= d;
+  }
+  return y;
+}
+
 // Grounded dense Laplacian (drop last row/column).
 linalg::DenseMatrix grounded_laplacian(const graph::Graph& g) {
   const std::size_t n = g.num_vertices();
@@ -117,8 +129,8 @@ double sampled_epsilon_lower_bound(const graph::Graph& g,
     linalg::Vec x(n);
     for (double& v : x) v = stream.next_gaussian();
     linalg::remove_mean(x);
-    const double qg = linalg::dot(x, graph::apply_laplacian(g, x));
-    const double qh = linalg::dot(x, graph::apply_laplacian(h, x));
+    const double qg = linalg::dot(x, apply_laplacian_seq(g, x));
+    const double qh = linalg::dot(x, apply_laplacian_seq(h, x));
     if (qh <= 0.0) return std::numeric_limits<double>::infinity();
     const double ratio = qg / qh;
     worst = std::max({worst, ratio - 1.0, 1.0 - ratio});

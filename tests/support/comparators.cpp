@@ -4,6 +4,7 @@
 
 #include "laplacian/solver.h"
 #include "linalg/vector_ops.h"
+#include "support/fixtures.h"
 
 namespace bcclap::testsupport {
 
@@ -26,8 +27,10 @@ namespace bcclap::testsupport {
                                             const linalg::Vec& approx,
                                             const linalg::Vec& exact,
                                             double eps, double slack) {
-  const double err = laplacian::laplacian_norm(g, linalg::sub(exact, approx));
-  const double ref = laplacian::laplacian_norm(g, exact);
+  const auto ctx = test_context();
+  const double err =
+      laplacian::laplacian_norm(ctx, g, linalg::sub(exact, approx));
+  const double ref = laplacian::laplacian_norm(ctx, g, exact);
   if (err <= eps * ref + slack) return ::testing::AssertionSuccess();
   return ::testing::AssertionFailure()
          << "energy-norm error " << err << " exceeds eps * ||exact||_L = "

@@ -1,15 +1,22 @@
 #include "support/fixtures.h"
 
+#include "core/runtime.h"
+
 namespace bcclap::testsupport {
+
+common::Context test_context(std::uint64_t seed) {
+  return Runtime::process_default().context().with_seed(seed);
+}
 
 bcc::Network bc_net(const graph::Graph& g) {
   return bcc::Network(bcc::Model::kBroadcastCongest, g,
-                      bcc::Network::default_bandwidth(g.num_vertices()));
+                      bcc::Network::default_bandwidth(g.num_vertices()),
+                      test_context());
 }
 
 bcc::Network bcc_net(std::size_t n) {
   return bcc::Network(bcc::Model::kBroadcastCongestedClique, n,
-                      bcc::Network::default_bandwidth(n));
+                      bcc::Network::default_bandwidth(n), test_context());
 }
 
 sparsify::SparsifyOptions small_sparsify_options(double epsilon, std::size_t k,
@@ -66,7 +73,7 @@ linalg::DenseMatrix gaussian_matrix(std::size_t rows, std::size_t cols,
 
 linalg::DenseMatrix random_spd(std::size_t n, rng::Stream& stream) {
   const auto b = gaussian_matrix(n, n, stream);
-  auto a = b.transpose().multiply(b);
+  auto a = b.transpose().multiply(test_context(), b);
   for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
   return a;
 }

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "bcc/network.h"
+#include "common/context.h"
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -20,6 +21,12 @@
 #include "sparsify/spectral_sparsify.h"
 
 namespace bcclap::testsupport {
+
+// Execution context the suites hand to the layer APIs: the process-default
+// Runtime's context (BCCLAP_THREADS-sized, so CI's 4-thread reruns
+// exercise the multi-worker paths) with the given seed. Byte-identical to
+// what the retired context-less wrappers resolved to.
+common::Context test_context(std::uint64_t seed = 0);
 
 // Broadcast CONGEST network over the topology of g with the model-default
 // Theta(log n) bandwidth — the setting used by nearly every suite.

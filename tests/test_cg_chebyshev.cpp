@@ -14,6 +14,8 @@
 namespace bcclap::linalg {
 namespace {
 
+using testsupport::test_context;
+
 // Diagonal SPD operator with controllable condition number.
 LinearOperator diag_op(const Vec& d) {
   return [d](const Vec& x) {
@@ -67,10 +69,12 @@ TEST(Chebyshev, Kappa3LaplacianPair) {
   rng::Stream stream(9);
   const auto g = graph::random_connected_gnp(24, 0.3, 5, stream);
   const auto lap = graph::laplacian(g);
-  const auto factor = LaplacianFactor::factor(lap);
+  const auto factor = LaplacianFactor::factor(test_context(), lap);
   ASSERT_TRUE(factor);
   const auto b = testsupport::zero_sum_gaussian(24, stream);
-  const auto apply_a = [&](const Vec& x) { return lap.multiply(x); };
+  const auto apply_a = [&](const Vec& x) {
+    return lap.multiply(test_context(), x);
+  };
   const auto solve_b = [&](const Vec& r) {
     return scale(factor->solve(r), 2.0 / 3.0);
   };
@@ -78,8 +82,10 @@ TEST(Chebyshev, Kappa3LaplacianPair) {
   const Vec exact = factor->solve(b);
   Vec diff = sub(res.x, exact);
   remove_mean(diff);
-  const double err = std::sqrt(std::max(0.0, dot(diff, lap.multiply(diff))));
-  const double ref = std::sqrt(std::max(0.0, dot(exact, lap.multiply(exact))));
+  const double err = std::sqrt(
+      std::max(0.0, dot(diff, lap.multiply(test_context(), diff))));
+  const double ref = std::sqrt(
+      std::max(0.0, dot(exact, lap.multiply(test_context(), exact))));
   EXPECT_LT(err, 1e-8 * ref);
 }
 

@@ -11,13 +11,15 @@
 namespace bcclap::linalg {
 namespace {
 
+using testsupport::test_context;
+
 TEST(Ldlt, SolvesKnownSystem) {
   DenseMatrix a(2, 2);
   a(0, 0) = 4;
   a(0, 1) = 1;
   a(1, 0) = 1;
   a(1, 1) = 3;
-  const auto f = LdltFactor::factor(a);
+  const auto f = LdltFactor::factor(test_context(), a);
   ASSERT_TRUE(f);
   const Vec x = f->solve(Vec{1, 2});
   // Check A x = b.
@@ -29,11 +31,11 @@ TEST(Ldlt, RandomSpdResidual) {
   rng::Stream stream(7);
   for (std::size_t n : {3u, 10u, 40u}) {
     const auto a = testsupport::random_spd(n, stream);
-    const auto f = LdltFactor::factor(a);
+    const auto f = LdltFactor::factor(test_context(), a);
     ASSERT_TRUE(f);
     const auto b = testsupport::gaussian_vector(n, stream);
     const Vec x = f->solve(b);
-    const Vec r = sub(a.multiply(x), b);
+    const Vec r = sub(a.multiply(test_context(), x), b);
     EXPECT_LT(norm2(r), 1e-8 * norm2(b));
   }
 }
@@ -44,17 +46,17 @@ TEST(Ldlt, RejectsIndefinite) {
   a(0, 1) = 2;
   a(1, 0) = 2;
   a(1, 1) = 1;
-  EXPECT_FALSE(LdltFactor::factor(a));
+  EXPECT_FALSE(LdltFactor::factor(test_context(), a));
 }
 
 TEST(LaplacianFactor, SolvesOnPathGraph) {
   const auto g = graph::path(5);
   const auto lap = graph::laplacian(g);
-  const auto f = LaplacianFactor::factor(lap);
+  const auto f = LaplacianFactor::factor(test_context(), lap);
   ASSERT_TRUE(f);
   Vec b{1, 0, 0, 0, -1};
   const Vec x = f->solve(b);
-  const Vec lx = lap.multiply(x);
+  const Vec lx = lap.multiply(test_context(), x);
   for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(lx[i], b[i], 1e-9);
   EXPECT_NEAR(mean(x), 0.0, 1e-12);
 }
@@ -62,14 +64,14 @@ TEST(LaplacianFactor, SolvesOnPathGraph) {
 TEST(LaplacianFactor, ProjectsRhs) {
   const auto g = graph::cycle(6);
   const auto lap = graph::laplacian(g);
-  const auto f = LaplacianFactor::factor(lap);
+  const auto f = LaplacianFactor::factor(test_context(), lap);
   ASSERT_TRUE(f);
   // b with nonzero mean: solver projects; solution satisfies L x = proj(b).
   Vec b{2, 0, 0, 0, 0, 0};
   const Vec x = f->solve(b);
   Vec proj = b;
   remove_mean(proj);
-  const Vec lx = lap.multiply(x);
+  const Vec lx = lap.multiply(test_context(), x);
   for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(lx[i], proj[i], 1e-9);
 }
 
@@ -79,11 +81,11 @@ TEST(LaplacianFactor, RandomConnectedGraphs) {
     auto child = stream.child(trial);
     const auto g = graph::random_connected_gnp(20, 0.2, 10, child);
     const auto lap = graph::laplacian(g);
-    const auto f = LaplacianFactor::factor(lap);
+    const auto f = LaplacianFactor::factor(test_context(), lap);
     ASSERT_TRUE(f);
     const auto b = testsupport::zero_sum_gaussian(20, child);
     const Vec x = f->solve(b);
-    const Vec r = sub(lap.multiply(x), b);
+    const Vec r = sub(lap.multiply(test_context(), x), b);
     EXPECT_LT(norm2(r), 1e-8);
   }
 }
@@ -92,19 +94,19 @@ TEST(LaplacianFactor, FailsOnDisconnected) {
   graph::Graph g(4);
   g.add_edge(0, 1, 1.0);
   g.add_edge(2, 3, 1.0);
-  EXPECT_FALSE(LaplacianFactor::factor(graph::laplacian(g)));
+  EXPECT_FALSE(LaplacianFactor::factor(test_context(), graph::laplacian(g)));
 }
 
 TEST(Ldlt, RejectsDegenerateInputs) {
   // All-zero matrix: no positive pivot exists; must be rejected by design,
   // not by racing `0 <= pivot_tol * 1e-300` against double underflow.
-  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(3, 3)));
-  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(1, 1)));
+  EXPECT_FALSE(LdltFactor::factor(test_context(), DenseMatrix(3, 3)));
+  EXPECT_FALSE(LdltFactor::factor(test_context(), DenseMatrix(1, 1)));
   // Even with a pivot tolerance tiny enough that the old relative
   // threshold underflowed to zero.
-  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(4, 4), 1e-290));
+  EXPECT_FALSE(LdltFactor::factor(test_context(), DenseMatrix(4, 4), 1e-290));
   // A 0x0 system has nothing to factor.
-  EXPECT_FALSE(LdltFactor::factor(DenseMatrix(0, 0)));
+  EXPECT_FALSE(LdltFactor::factor(test_context(), DenseMatrix(0, 0)));
 }
 
 TEST(Ldlt, BlockedFactorizationSpansBlockBoundaries) {
@@ -113,11 +115,12 @@ TEST(Ldlt, BlockedFactorizationSpansBlockBoundaries) {
   rng::Stream stream(19);
   for (std::size_t n : {64u, 65u, 130u, 200u}) {
     const auto a = testsupport::random_spd(n, stream);
-    const auto f = LdltFactor::factor(a);
+    const auto f = LdltFactor::factor(test_context(), a);
     ASSERT_TRUE(f) << n;
     const auto b = testsupport::gaussian_vector(n, stream);
     const Vec x = f->solve(b);
-    EXPECT_LT(norm2(sub(a.multiply(x), b)), 1e-8 * norm2(b)) << n;
+    EXPECT_LT(norm2(sub(a.multiply(test_context(), x), b)), 1e-8 * norm2(b))
+        << n;
   }
 }
 
@@ -130,9 +133,10 @@ TEST(LaplacianFactor, DuplicateCsrEntriesAccumulate) {
       {0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 1, 1, 2, 2},
       {0.5, 0.5, -0.5, -0.5, -0.5, -0.5, 1.0, 1.0, -0.5, -0.5, -0.5, -0.5,
        0.5, 0.5});
-  const auto f = LaplacianFactor::factor(split);
+  const auto f = LaplacianFactor::factor(test_context(), split);
   ASSERT_TRUE(f);
-  const auto ref = LaplacianFactor::factor(graph::laplacian(graph::path(3)));
+  const auto ref = LaplacianFactor::factor(
+      test_context(), graph::laplacian(graph::path(3)));
   ASSERT_TRUE(ref);
   const Vec b{1.0, 0.0, -1.0};
   const Vec x = f->solve(b);
@@ -150,7 +154,7 @@ TEST(ComponentLaplacianFactor, DisconnectedWithSingletonAndPairComponents) {
   g.add_edge(4, 5, 3.0);
   g.add_edge(5, 6, 1.0);
   const auto lap = graph::laplacian(g);
-  const auto f = ComponentLaplacianFactor::factor(lap);
+  const auto f = ComponentLaplacianFactor::factor(test_context(), lap);
   ASSERT_TRUE(f);
   EXPECT_EQ(f->num_components(), 3u);
 
@@ -167,7 +171,7 @@ TEST(ComponentLaplacianFactor, DisconnectedWithSingletonAndPairComponents) {
   proj[2] -= m12;
   const double m36 = (b[3] + b[4] + b[5] + b[6]) / 4.0;
   for (std::size_t v = 3; v < 7; ++v) proj[v] -= m36;
-  const Vec lx = lap.multiply(x);
+  const Vec lx = lap.multiply(test_context(), x);
   for (std::size_t v = 0; v < 7; ++v) EXPECT_NEAR(lx[v], proj[v], 1e-9) << v;
 
   // The representative is mean-zero per component, and zero on singletons.
@@ -184,7 +188,7 @@ TEST(ComponentLaplacianFactor, DisconnectedWithSingletonAndPairComponents) {
   y[4] = -2.0;
   y[5] = 0.5;
   y[6] = 0.5;
-  const Vec back = f->solve(lap.multiply(y));
+  const Vec back = f->solve(lap.multiply(test_context(), y));
   for (std::size_t v = 0; v < 7; ++v) EXPECT_NEAR(back[v], y[v], 1e-9) << v;
 }
 
@@ -192,7 +196,8 @@ TEST(ComponentLaplacianFactor, AllSingletons) {
   // Edgeless graph: every component is a singleton, nothing to factor,
   // and the pseudoinverse is identically zero.
   const auto f =
-      ComponentLaplacianFactor::factor(graph::laplacian(graph::Graph(4)));
+      ComponentLaplacianFactor::factor(test_context(),
+                                       graph::laplacian(graph::Graph(4)));
   ASSERT_TRUE(f);
   EXPECT_EQ(f->num_components(), 4u);
   const Vec x = f->solve(Vec{1.0, -2.0, 3.0, 0.5});

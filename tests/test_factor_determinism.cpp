@@ -46,7 +46,8 @@ TEST(FactorDeterminism, BlockedLdltIsThreadCountInvariant) {
     return with_threads(threads, [&] {
       rng::Stream stream(41);
       const auto a = testsupport::random_spd(n, stream);
-      const auto f = linalg::LdltFactor::factor(a);
+      const auto f =
+          linalg::LdltFactor::factor(testsupport::test_context(), a);
       EXPECT_TRUE(f);
       std::vector<linalg::Vec> solutions;
       if (!f) return solutions;  // EXPECT above reports; avoid bad deref
@@ -86,8 +87,8 @@ TEST(FactorDeterminism, ComponentFactorIsThreadCountInvariant) {
   const auto run = [&](std::size_t threads) {
     return with_threads(threads, [&] {
       const auto g = build();
-      const auto f =
-          linalg::ComponentLaplacianFactor::factor(graph::laplacian(g));
+      const auto f = linalg::ComponentLaplacianFactor::factor(
+          testsupport::test_context(), graph::laplacian(g));
       EXPECT_TRUE(f);
       if (!f) return linalg::Vec{};  // EXPECT above reports; avoid bad deref
       EXPECT_EQ(f->num_components(), 4u);
@@ -145,8 +146,9 @@ TEST(FactorDeterminism, SparsifierFastPathIsThreadCountInvariant) {
   const auto run = [&](std::size_t threads) {
     return with_threads(threads, [&] {
       auto net = testsupport::bc_net(g);
-      return sparsify::spectral_sparsify(
-          g, testsupport::small_sparsify_options(), 1234, net);
+      return sparsify::spectral_sparsify(net.context().with_seed(1234), g,
+                                         testsupport::small_sparsify_options(),
+                                         net);
     });
   };
   const auto one = run(1);

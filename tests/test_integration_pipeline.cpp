@@ -16,11 +16,13 @@
 namespace bcclap {
 namespace {
 
+using testsupport::test_context;
+
 TEST(Pipeline, SparsifierFeedsLaplacianSolver) {
   rng::Stream gstream(1);
   const auto g = graph::complete(32, 6, gstream);
   const auto opt = testsupport::small_sparsify_options(0.5, 2, 4);
-  laplacian::SparsifiedLaplacianSolver solver(g, opt, 404);
+  laplacian::SparsifiedLaplacianSolver solver(test_context(404), g, opt);
   // The preconditioner is a genuine sparsifier of G.
   const auto check = sparsify::check_sparsifier(g, solver.sparsifier());
   ASSERT_TRUE(check.valid);
@@ -30,7 +32,7 @@ TEST(Pipeline, SparsifierFeedsLaplacianSolver) {
   b[0] = 1.0;
   b[31] = -1.0;
   const auto y = solver.solve(b, 1e-9);
-  const auto x = laplacian::exact_laplacian_solve(g, b);
+  const auto x = laplacian::exact_laplacian_solve(test_context(), g, b);
   EXPECT_TRUE(testsupport::EnergyNormWithin(g, y, x, 1e-9));
 }
 
@@ -55,8 +57,8 @@ TEST(Pipeline, SparsifiedSddEngineMatchesExact) {
   }
   const auto y = testsupport::gaussian_vector(10, stream);
 
-  auto exact = laplacian::make_exact_sdd_engine(m, 10);
-  auto sparsified = laplacian::make_sparsified_sdd_engine(m, 777);
+  auto exact = laplacian::make_exact_sdd_engine(test_context(), m, 10);
+  auto sparsified = laplacian::make_sparsified_sdd_engine(test_context(777), m);
   const auto xe = exact->solve(y, 1e-10);
   const auto xs = sparsified->solve(y, 1e-10);
   EXPECT_TRUE(testsupport::VecNear(xe, xs, 1e-6));
@@ -71,9 +73,11 @@ TEST(Pipeline, LpWithSparsifiedGramFactory) {
   opt.epsilon = 1e-4;
   std::uint64_t counter = 0;
   opt.gram_factory = [&counter](const linalg::DenseMatrix& gram) {
-    return laplacian::make_sparsified_sdd_engine(gram, 1000 + counter++);
+    return laplacian::make_sparsified_sdd_engine(test_context(1000 + counter++),
+                                                 gram);
   };
-  const auto res = lp::lp_solve(p, {0.5, 0.5, 0.5, 0.5}, opt);
+  const auto res =
+      lp::lp_solve(test_context(opt.seed), p, {0.5, 0.5, 0.5, 0.5}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, 2.0, 5e-2);
 }
@@ -90,7 +94,8 @@ TEST(Pipeline, FlowOnGridLikeNetwork) {
   g.add_arc(4, 5, 3, 1);
   const auto baseline = flow::min_cost_max_flow_ssp(g, 0, 5);
   flow::McmfOptions opt;
-  const auto ipm = flow::min_cost_max_flow_ipm(g, 0, 5, opt);
+  const auto ipm =
+      flow::min_cost_max_flow_ipm(test_context(opt.seed), g, 0, 5, opt);
   ASSERT_TRUE(ipm.exact);
   EXPECT_EQ(ipm.flow.value, baseline.value);
   EXPECT_EQ(ipm.flow.cost, baseline.cost);
@@ -100,7 +105,7 @@ TEST(Pipeline, RoundAccountingAccumulatesAcrossLayers) {
   rng::Stream gstream(3);
   const auto g = graph::complete(20, 2, gstream);
   const auto opt = testsupport::small_sparsify_options(1.0, 2, 2);
-  laplacian::SparsifiedLaplacianSolver solver(g, opt, 55);
+  laplacian::SparsifiedLaplacianSolver solver(test_context(55), g, opt);
   const auto pre = solver.preprocessing_rounds();
   EXPECT_GT(pre, 0);
   linalg::Vec b(20, 0.0);

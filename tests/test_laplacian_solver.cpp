@@ -10,6 +10,8 @@
 namespace bcclap::laplacian {
 namespace {
 
+using testsupport::test_context;
+
 sparsify::SparsifyOptions solver_opts() {
   return testsupport::small_sparsify_options(0.5, 2, 4);
 }
@@ -20,14 +22,14 @@ TEST_P(LaplacianSolverEps, MeetsEnergyNormError) {
   const double eps = GetParam();
   rng::Stream gstream(17);
   const auto g = graph::complete(28, 5, gstream);
-  SparsifiedLaplacianSolver solver(g, solver_opts(), 1234);
+  SparsifiedLaplacianSolver solver(test_context(1234), g, solver_opts());
 
   rng::Stream bstream(18);
   const auto b = testsupport::zero_sum_gaussian(g.num_vertices(), bstream);
 
   SolveStats stats;
   const auto y = solver.solve(b, eps, &stats);
-  const auto x = exact_laplacian_solve(g, b);
+  const auto x = exact_laplacian_solve(test_context(), g, b);
   EXPECT_TRUE(testsupport::EnergyNormWithin(g, y, x, eps)) << "eps = " << eps;
   EXPECT_GT(stats.iterations, 0u);
 }
@@ -40,7 +42,7 @@ TEST(LaplacianSolver, IterationCountIsLogOneOverEps) {
   // Corollary 2.4: O(log(1/eps)) iterations with kappa = 3.
   rng::Stream gstream(19);
   const auto g = graph::complete(24, 3, gstream);
-  SparsifiedLaplacianSolver solver(g, solver_opts(), 55);
+  SparsifiedLaplacianSolver solver(test_context(55), g, solver_opts());
   linalg::Vec b(g.num_vertices(), 0.0);
   b[0] = 1.0;
   b[5] = -1.0;
@@ -58,7 +60,7 @@ TEST(LaplacianSolver, PreprocessingVsInstanceRounds) {
   // Theorem 1.3's split: preprocessing dominates a single solve.
   rng::Stream gstream(23);
   const auto g = graph::complete(24, 3, gstream);
-  SparsifiedLaplacianSolver solver(g, solver_opts(), 77);
+  SparsifiedLaplacianSolver solver(test_context(77), g, solver_opts());
   EXPECT_GT(solver.preprocessing_rounds(), 0);
   linalg::Vec b(g.num_vertices(), 0.0);
   b[1] = 1.0;
@@ -74,33 +76,33 @@ TEST(LaplacianSolver, SparsifierIsSparserOnDenseInput) {
   const auto g = graph::complete(64, 2, gstream);
   auto opt = solver_opts();
   opt.t = 1;  // single-spanner bundles so K64 actually compresses
-  SparsifiedLaplacianSolver solver(g, opt, 91);
+  SparsifiedLaplacianSolver solver(test_context(91), g, opt);
   EXPECT_LT(solver.sparsifier().num_edges(), g.num_edges());
 }
 
 TEST(LaplacianSolver, WorksOnSparseGraphs) {
   rng::Stream gstream(31);
   const auto g = graph::random_connected_gnp(30, 0.15, 4, gstream);
-  SparsifiedLaplacianSolver solver(g, solver_opts(), 101);
+  SparsifiedLaplacianSolver solver(test_context(101), g, solver_opts());
   rng::Stream bstream(32);
   const auto b = testsupport::zero_sum_gaussian(g.num_vertices(), bstream);
   const auto y = solver.solve(b, 1e-8);
-  const auto x = exact_laplacian_solve(g, b);
+  const auto x = exact_laplacian_solve(test_context(), g, b);
   EXPECT_TRUE(testsupport::EnergyNormWithin(g, y, x, 1e-8));
 }
 
 TEST(LaplacianSolver, NonZeroMeanRhsIsProjected) {
   rng::Stream gstream(37);
   const auto g = graph::complete(16, 1, gstream);
-  SparsifiedLaplacianSolver solver(g, solver_opts(), 111);
+  SparsifiedLaplacianSolver solver(test_context(111), g, solver_opts());
   linalg::Vec b(16, 1.0);  // pure kernel component
   b[0] = 2.0;
   const auto y = solver.solve(b, 1e-8);
   linalg::Vec proj = b;
   linalg::remove_mean(proj);
-  const auto x = exact_laplacian_solve(g, proj);
-  EXPECT_LE(laplacian_norm(g, linalg::sub(x, y)),
-            1e-7 * (laplacian_norm(g, x) + 1.0));
+  const auto x = exact_laplacian_solve(test_context(), g, proj);
+  EXPECT_LE(laplacian_norm(test_context(), g, linalg::sub(x, y)),
+            1e-7 * (laplacian_norm(test_context(), g, x) + 1.0));
 }
 
 }  // namespace

@@ -10,10 +10,12 @@
 namespace bcclap::lp {
 namespace {
 
+using testsupport::test_context;
+
 TEST(LeverageScores, SumEqualsRank) {
   rng::Stream stream(1);
   const auto a = testsupport::gaussian_matrix(40, 7, stream);
-  const auto sigma = leverage_scores_exact(a);
+  const auto sigma = leverage_scores_exact(test_context(), a);
   double sum = 0.0;
   for (double s : sigma) {
     EXPECT_GE(s, -1e-10);
@@ -29,7 +31,7 @@ TEST(LeverageScores, OrthogonalMatrixUniformScores) {
   linalg::DenseMatrix a(5, 2);
   a(0, 0) = 1.0;
   a(1, 1) = 1.0;
-  const auto sigma = leverage_scores_exact(a);
+  const auto sigma = leverage_scores_exact(test_context(), a);
   EXPECT_NEAR(sigma[0], 1.0, 1e-10);
   EXPECT_NEAR(sigma[1], 1.0, 1e-10);
   EXPECT_NEAR(sigma[2], 0.0, 1e-10);
@@ -45,7 +47,7 @@ TEST(LeverageScores, IncidenceMatrixScoresAreEffectiveResistances) {
   linalg::DenseMatrix btg(bt.rows(), bt.cols() - 1);
   for (std::size_t r = 0; r < bt.rows(); ++r)
     for (std::size_t c = 0; c + 1 < bt.cols(); ++c) btg(r, c) = bt(r, c);
-  const auto sigma_tree = leverage_scores_exact(btg);
+  const auto sigma_tree = leverage_scores_exact(test_context(), btg);
   for (double s : sigma_tree) EXPECT_NEAR(s, 1.0, 1e-9);
 
   const auto cyc = graph::cycle(5);
@@ -53,7 +55,7 @@ TEST(LeverageScores, IncidenceMatrixScoresAreEffectiveResistances) {
   linalg::DenseMatrix bcg(bc.rows(), bc.cols() - 1);
   for (std::size_t r = 0; r < bc.rows(); ++r)
     for (std::size_t c = 0; c + 1 < bc.cols(); ++c) bcg(r, c) = bc(r, c);
-  const auto sigma_cyc = leverage_scores_exact(bcg);
+  const auto sigma_cyc = leverage_scores_exact(test_context(), bcg);
   for (double s : sigma_cyc) EXPECT_NEAR(s, 4.0 / 5.0, 1e-9);
 }
 
@@ -62,12 +64,13 @@ class JlLeverage : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(JlLeverage, ApproximatesExactScores) {
   rng::Stream stream(GetParam());
   const auto a = testsupport::gaussian_matrix(80, 6, stream);
-  const auto exact = leverage_scores_exact(a);
+  const auto exact = leverage_scores_exact(test_context(), a);
   LeverageOptions opt;
   opt.eta = 0.5;
   opt.jl_constant = 24.0;  // generous k for a deterministic test bound
   opt.seed = GetParam() * 31 + 7;
-  const auto approx = leverage_scores_jl(dense_oracle(a), opt);
+  const auto approx =
+      leverage_scores_jl(test_context(), dense_oracle(test_context(), a), opt);
   int good = 0;
   for (std::size_t i = 0; i < exact.size(); ++i) {
     if (approx[i] >= (1 - 0.6) * exact[i] && approx[i] <= (1 + 0.6) * exact[i])
@@ -85,7 +88,8 @@ TEST(LeverageScores, JlChargesSeedBroadcastRounds) {
   bcc::RoundAccountant acct;
   LeverageOptions opt;
   opt.eta = 0.9;
-  (void)leverage_scores_jl(dense_oracle(a), opt, &acct);
+  (void)leverage_scores_jl(test_context(), dense_oracle(test_context(), a),
+                           opt, &acct);
   EXPECT_GT(acct.total_for("leverage/seed"), 0);
   EXPECT_GT(acct.total_for("leverage/matvec"), 0);
   EXPECT_GT(acct.total_for("leverage/gram-solve"), 0);
@@ -96,8 +100,9 @@ TEST(LeverageScores, JlDeterministicInSeed) {
   const auto a = testsupport::gaussian_matrix(25, 3, stream);
   LeverageOptions opt;
   opt.seed = 77;
-  const auto o = dense_oracle(a);
-  EXPECT_EQ(leverage_scores_jl(o, opt), leverage_scores_jl(o, opt));
+  const auto o = dense_oracle(test_context(), a);
+  EXPECT_EQ(leverage_scores_jl(test_context(), o, opt),
+            leverage_scores_jl(test_context(), o, opt));
 }
 
 }  // namespace

@@ -8,11 +8,13 @@
 namespace bcclap::lp {
 namespace {
 
+using testsupport::test_context;
+
 TEST(LewisWeights, PEquals2IsLeverageScores) {
   rng::Stream stream(1);
   const auto a = testsupport::gaussian_matrix(30, 5, stream);
-  const auto sigma = leverage_scores_exact(a);
-  const auto w = lewis_fixed_point(a, 2.0, 60);
+  const auto sigma = leverage_scores_exact(test_context(), a);
+  const auto w = lewis_fixed_point(test_context(), a, 2.0, 60);
   for (std::size_t i = 0; i < w.size(); ++i) {
     EXPECT_NEAR(w[i], sigma[i], 1e-6);
   }
@@ -22,9 +24,9 @@ TEST(LewisWeights, FixedPointResidualSmall) {
   rng::Stream stream(2);
   const auto a = testsupport::gaussian_matrix(40, 6, stream);
   const double p = lewis_p_for(40);
-  const auto w = lewis_fixed_point(a, p, 200);
+  const auto w = lewis_fixed_point(test_context(), a, p, 200);
   // Check w ~ sigma(W^{1/2-1/p} A).
-  const auto sigma = leverage_scores_exact(row_scaled(a, w, p));
+  const auto sigma = leverage_scores_exact(test_context(), row_scaled(a, w, p));
   for (std::size_t i = 0; i < w.size(); ++i) {
     EXPECT_NEAR(sigma[i] / std::max(w[i], 1e-12), 1.0, 1e-3);
   }
@@ -34,7 +36,7 @@ TEST(LewisWeights, SumScalesWithRank) {
   // sum of ell_p Lewis weights = n for p = 2; stays Theta(n) nearby.
   rng::Stream stream(3);
   const auto a = testsupport::gaussian_matrix(50, 8, stream);
-  const auto w = lewis_fixed_point(a, lewis_p_for(50), 150);
+  const auto w = lewis_fixed_point(test_context(), a, lewis_p_for(50), 150);
   double sum = 0.0;
   for (double v : w) sum += v;
   EXPECT_GT(sum, 4.0);
@@ -45,14 +47,15 @@ TEST(LewisWeights, ApxWeightsRefinesWarmStart) {
   rng::Stream stream(4);
   const auto a = testsupport::gaussian_matrix(36, 5, stream);
   const double p = lewis_p_for(36);
-  const auto truth = lewis_fixed_point(a, p, 200);
+  const auto truth = lewis_fixed_point(test_context(), a, p, 200);
   // Perturb the truth and refine.
   linalg::Vec warm = truth;
   auto child = stream.child("noise");
   for (auto& v : warm) v *= (1.0 + 0.05 * child.next_gaussian());
   LewisOptions opt;
   opt.max_iterations = 32;
-  const auto refined = compute_apx_weights(a, p, warm, 0.05, opt);
+  const auto refined =
+      compute_apx_weights(test_context(), a, p, warm, 0.05, opt);
   double err_warm = 0.0, err_refined = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     err_warm += std::abs(warm[i] - truth[i]);
@@ -66,8 +69,8 @@ TEST(LewisWeights, InitialWeightsLandNearFixedPoint) {
   const auto a = testsupport::gaussian_matrix(32, 4, stream);
   const double p = lewis_p_for(32);
   LewisOptions opt;
-  const auto w = compute_initial_weights(a, p, 0.05, opt);
-  const double err = lewis_relative_error(a, p, w);
+  const auto w = compute_initial_weights(test_context(), a, p, 0.05, opt);
+  const double err = lewis_relative_error(test_context(), a, p, w);
   EXPECT_LT(err, 0.5) << "homotopy should land within trust distance";
 }
 

@@ -8,6 +8,8 @@
 namespace bcclap::lp {
 namespace {
 
+using testsupport::test_context;
+
 // min c^T x  s.t.  x_1 + x_2 = 1, 0 <= x <= 1.
 LpProblem simplex2(double c1, double c2) {
   LpProblem p;
@@ -24,7 +26,7 @@ TEST(LpSolver, TwoVariableSimplexVanilla) {
   LpOptions opt;
   opt.weights = WeightMode::kVanilla;
   opt.epsilon = 1e-6;
-  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  const auto res = lp_solve(test_context(opt.seed), prob, {0.5, 0.5}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, 1.0, 1e-4);
   EXPECT_NEAR(res.x[0], 1.0, 1e-3);
@@ -37,7 +39,7 @@ TEST(LpSolver, TwoVariableSimplexLewis) {
   LpOptions opt;
   opt.weights = WeightMode::kLewis;
   opt.epsilon = 1e-5;
-  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  const auto res = lp_solve(test_context(opt.seed), prob, {0.5, 0.5}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, 1.0, 1e-3);
   EXPECT_NEAR(res.x[1], 1.0, 5e-3);
@@ -48,7 +50,7 @@ TEST(LpSolver, DegenerateTieStaysFeasible) {
   const auto prob = simplex2(1.0, 1.0);
   LpOptions opt;
   opt.epsilon = 1e-6;
-  const auto res = lp_solve(prob, {0.3, 0.7}, opt);
+  const auto res = lp_solve(test_context(opt.seed), prob, {0.3, 0.7}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, 1.0, 1e-6);
   EXPECT_NEAR(res.x[0] + res.x[1], 1.0, 1e-7);
@@ -66,7 +68,7 @@ TEST(LpSolver, BoxConstrainedKnownOptimum) {
   p.upper = {1.0, 1.0};
   LpOptions opt;
   opt.epsilon = 1e-6;
-  const auto res = lp_solve(p, {0.75, 0.75}, opt);
+  const auto res = lp_solve(test_context(opt.seed), p, {0.75, 0.75}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, -2.5, 1e-4);
   EXPECT_NEAR(res.x[0], 0.5, 1e-3);
@@ -79,7 +81,8 @@ TEST(LpSolver, MultiConstraintDiamond) {
   const auto p = testsupport::diamond_lp();
   LpOptions opt;
   opt.epsilon = 1e-6;
-  const auto res = lp_solve(p, {0.5, 0.5, 0.5, 0.5}, opt);
+  const auto res =
+      lp_solve(test_context(opt.seed), p, {0.5, 0.5, 0.5, 0.5}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, 2.0, 1e-3);
   EXPECT_NEAR(res.x[0], 1.0, 5e-3);
@@ -92,7 +95,7 @@ TEST(LpSolver, ShortStepModeConverges) {
   opt.steps = StepMode::kShortStep;
   opt.alpha_constant = 2.0;
   opt.epsilon = 1e-4;
-  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  const auto res = lp_solve(test_context(opt.seed), prob, {0.5, 0.5}, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.objective, 1.0, 1e-2);
   EXPECT_GT(res.path_steps, 10u);  // short steps take many path steps
@@ -102,7 +105,7 @@ TEST(LpSolver, ReportsAccounting) {
   const auto prob = simplex2(1.0, 2.0);
   LpOptions opt;
   opt.epsilon = 1e-4;
-  const auto res = lp_solve(prob, {0.5, 0.5}, opt);
+  const auto res = lp_solve(test_context(opt.seed), prob, {0.5, 0.5}, opt);
   EXPECT_GT(res.rounds, 0);
   EXPECT_GT(res.newton_steps, 0u);
   EXPECT_GT(res.path_steps, 0u);

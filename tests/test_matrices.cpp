@@ -8,11 +8,13 @@
 namespace bcclap::linalg {
 namespace {
 
+using testsupport::test_context;
+
 TEST(DenseMatrix, IdentityMultiply) {
   const auto eye = DenseMatrix::identity(3);
   const Vec x{1, 2, 3};
-  EXPECT_EQ(eye.multiply(x), x);
-  EXPECT_EQ(eye.multiply_transpose(x), x);
+  EXPECT_EQ(eye.multiply(test_context(), x), x);
+  EXPECT_EQ(eye.multiply_transpose(test_context(), x), x);
 }
 
 TEST(DenseMatrix, MultiplyAndTranspose) {
@@ -23,8 +25,8 @@ TEST(DenseMatrix, MultiplyAndTranspose) {
   a(1, 0) = 4;
   a(1, 1) = 5;
   a(1, 2) = 6;
-  EXPECT_EQ(a.multiply(Vec{1, 1, 1}), (Vec{6, 15}));
-  EXPECT_EQ(a.multiply_transpose(Vec{1, 1}), (Vec{5, 7, 9}));
+  EXPECT_EQ(a.multiply(test_context(), Vec{1, 1, 1}), (Vec{6, 15}));
+  EXPECT_EQ(a.multiply_transpose(test_context(), Vec{1, 1}), (Vec{5, 7, 9}));
   const auto at = a.transpose();
   EXPECT_EQ(at.rows(), 3u);
   EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
@@ -40,7 +42,7 @@ TEST(DenseMatrix, MatrixProduct) {
   b(0, 1) = 1;
   b(1, 0) = 1;
   b(1, 1) = 0;
-  const auto c = a.multiply(b);
+  const auto c = a.multiply(test_context(), b);
   EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
   EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
   EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
@@ -74,11 +76,11 @@ TEST(CsrMatrix, MatvecMatchesDense) {
   const auto dense = sparse.to_dense();
   const auto x = testsupport::gaussian_vector(cols, stream);
   const auto y = testsupport::gaussian_vector(rows, stream);
-  const auto s1 = sparse.multiply(x);
-  const auto d1 = dense.multiply(x);
+  const auto s1 = sparse.multiply(test_context(), x);
+  const auto d1 = dense.multiply(test_context(), x);
   for (std::size_t i = 0; i < rows; ++i) EXPECT_NEAR(s1[i], d1[i], 1e-12);
   const auto s2 = sparse.multiply_transpose(y);
-  const auto d2 = dense.multiply_transpose(y);
+  const auto d2 = dense.multiply_transpose(test_context(), y);
   for (std::size_t i = 0; i < cols; ++i) EXPECT_NEAR(s2[i], d2[i], 1e-12);
 }
 
@@ -95,7 +97,7 @@ TEST(CsrMatrix, TransposeRoundTrip) {
 TEST(CsrMatrix, EmptyMatrix) {
   CsrMatrix m(3, 3, {});
   EXPECT_EQ(m.nnz(), 0u);
-  EXPECT_EQ(m.multiply(Vec{1, 2, 3}), (Vec{0, 0, 0}));
+  EXPECT_EQ(m.multiply(test_context(), Vec{1, 2, 3}), (Vec{0, 0, 0}));
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 namespace bcclap::flow {
 namespace {
 
+using testsupport::test_context;
+
 struct Case {
   std::size_t n;
   std::size_t extra;
@@ -34,7 +36,7 @@ TEST_P(McmfExactness, MatchesSspBaseline) {
 
   McmfOptions opt;
   opt.seed = c.seed * 977 + 13;
-  const auto ipm = min_cost_max_flow_ipm(g, s, t, opt);
+  const auto ipm = min_cost_max_flow_ipm(test_context(opt.seed), g, s, t, opt);
   ASSERT_TRUE(ipm.exact) << "pipeline failed to produce a feasible rounding";
   EXPECT_EQ(ipm.flow.value, baseline.value) << "max-flow value mismatch";
   EXPECT_EQ(ipm.flow.cost, baseline.cost) << "min-cost mismatch";
@@ -51,7 +53,7 @@ TEST(McmfIpm, TrivialSingleArc) {
   graph::Digraph g(2);
   g.add_arc(0, 1, 7, 3);
   McmfOptions opt;
-  const auto res = min_cost_max_flow_ipm(g, 0, 1, opt);
+  const auto res = min_cost_max_flow_ipm(test_context(opt.seed), g, 0, 1, opt);
   ASSERT_TRUE(res.exact);
   EXPECT_EQ(res.flow.value, 7);
   EXPECT_EQ(res.flow.cost, 21);
@@ -64,7 +66,7 @@ TEST(McmfIpm, ChoosesCheaperParallelRoute) {
   g.add_arc(0, 2, 2, 4);
   g.add_arc(2, 3, 2, 4);
   McmfOptions opt;
-  const auto res = min_cost_max_flow_ipm(g, 0, 3, opt);
+  const auto res = min_cost_max_flow_ipm(test_context(opt.seed), g, 0, 3, opt);
   ASSERT_TRUE(res.exact);
   EXPECT_EQ(res.flow.value, 4);
   // 2 units via the cheap path (cost 4) + 2 via the expensive (cost 16).
@@ -75,7 +77,7 @@ TEST(McmfIpm, ReportsComplexityCounters) {
   rng::Stream stream(9);
   const auto g = graph::random_flow_network(8, 10, 3, 3, stream);
   McmfOptions opt;
-  const auto res = min_cost_max_flow_ipm(g, 0, 7, opt);
+  const auto res = min_cost_max_flow_ipm(test_context(opt.seed), g, 0, 7, opt);
   EXPECT_GT(res.path_steps, 0u);
   EXPECT_GT(res.newton_steps, 0u);
   EXPECT_GT(res.rounds, 0);

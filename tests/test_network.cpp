@@ -61,7 +61,8 @@ TEST(Network, BcDeliversAlongEdgesOnly) {
 }
 
 TEST(Network, RoundsAreMaxOverNodes) {
-  Network net(Model::kBroadcastCongestedClique, std::size_t{3}, 8);
+  Network net(Model::kBroadcastCongestedClique, std::size_t{3}, 8,
+              testsupport::test_context());
   std::vector<std::vector<Message>> out(3);
   // Node 0 sends two 8-bit messages (2 rounds), node 1 one (1 round).
   out[0].push_back(Message().push(1, 8));
@@ -72,7 +73,8 @@ TEST(Network, RoundsAreMaxOverNodes) {
 }
 
 TEST(Network, WideMessageCostsMultipleRounds) {
-  Network net(Model::kBroadcastCongestedClique, std::size_t{2}, 8);
+  Network net(Model::kBroadcastCongestedClique, std::size_t{2}, 8,
+              testsupport::test_context());
   std::vector<std::vector<Message>> out(2);
   out[0].push_back(Message().push(0, 20));  // 20 bits over B=8: 3 rounds
   net.exchange(out, "w");
@@ -80,7 +82,8 @@ TEST(Network, WideMessageCostsMultipleRounds) {
 }
 
 TEST(Network, EmptySuperstepIsFree) {
-  Network net(Model::kBroadcastCongestedClique, std::size_t{3}, 8);
+  Network net(Model::kBroadcastCongestedClique, std::size_t{3}, 8,
+              testsupport::test_context());
   net.exchange(std::vector<std::vector<Message>>(3), "idle");
   EXPECT_EQ(net.accountant().total(), 0);
 }
@@ -111,7 +114,7 @@ TEST(Network, DefaultBandwidthTinyNetworks) {
 
 TEST(Network, SingleNodeBccExchange) {
   Network net(Model::kBroadcastCongestedClique, std::size_t{1},
-              Network::default_bandwidth(1));
+              Network::default_bandwidth(1), testsupport::test_context());
   std::vector<std::vector<Message>> out(1);
   out[0].push_back(Message().push_flag(true));
   const auto in = net.exchange(out, "solo");
@@ -124,7 +127,7 @@ TEST(Network, SingleNodeBccExchange) {
 TEST(Network, TwoNodeExchangeFitsMinimalMessageInOneRound) {
   // flag + id(1) + id(1) + 1-bit weight = 4 bits fits B = 4 exactly.
   Network net(Model::kBroadcastCongestedClique, std::size_t{2},
-              Network::default_bandwidth(2));
+              Network::default_bandwidth(2), testsupport::test_context());
   std::vector<std::vector<Message>> out(2);
   out[0].push_back(
       Message().push_flag(true).push_id(1, 2).push_id(0, 2).push(1, 1));
@@ -150,7 +153,8 @@ TEST(Network, TwoNodeBcExchange) {
 }
 
 TEST(Network, MessagesOrderedBySender) {
-  Network net(Model::kBroadcastCongestedClique, std::size_t{4}, 32);
+  Network net(Model::kBroadcastCongestedClique, std::size_t{4}, 32,
+              testsupport::test_context());
   std::vector<std::vector<Message>> out(4);
   out[3].push_back(Message().push(3, 4));
   out[0].push_back(Message().push(0, 4));

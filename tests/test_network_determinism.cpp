@@ -179,8 +179,9 @@ TEST(NetworkDeterminism, SparsifierIsThreadCountInvariant) {
   const auto run = [&](std::size_t threads) {
     return with_threads(threads, [&] {
       auto net = testsupport::bc_net(g);
-      return sparsify::spectral_sparsify(
-          g, testsupport::small_sparsify_options(), 99, net);
+      return sparsify::spectral_sparsify(net.context().with_seed(99), g,
+                                         testsupport::small_sparsify_options(),
+                                         net);
     });
   };
   const auto one = run(1);
@@ -205,8 +206,10 @@ TEST(NetworkDeterminism, LeverageScoresAreThreadCountInvariant) {
       lp::LeverageOptions opt;
       opt.seed = 7;
       bcc::RoundAccountant acct;
-      const auto jl = lp::leverage_scores_jl(lp::dense_oracle(m), opt, &acct);
-      const auto exact = lp::leverage_scores_exact(m);
+      const auto ctx = testsupport::test_context();
+      const auto jl =
+          lp::leverage_scores_jl(ctx, lp::dense_oracle(ctx, m), opt, &acct);
+      const auto exact = lp::leverage_scores_exact(ctx, m);
       return std::make_pair(jl, exact);
     });
   };

@@ -144,7 +144,9 @@ TEST(Runtime, FacadeSparsifyCouplesWithAprioriReference) {
   Runtime rt(opts);
   const auto adhoc = rt.sparsify(g, pipeline_sparsify_options());
   const auto apriori =
-      sparsify::spectral_sparsify_apriori(g, pipeline_sparsify_options(), 99);
+      sparsify::spectral_sparsify_apriori(
+          common::default_context().with_seed(99), g,
+          pipeline_sparsify_options());
   EXPECT_EQ(adhoc.result.original_edge, apriori.original_edge);
 }
 
@@ -164,8 +166,9 @@ TEST(Runtime, DeprecatedSignaturesMatchRuntimePath) {
   lopt.sparsify = pipeline_sparsify_options();
   const auto facade = rt.solve_laplacian(g, b, lopt);
 
-  laplacian::SparsifiedLaplacianSolver legacy(g, pipeline_sparsify_options(),
-                                              404);
+  laplacian::SparsifiedLaplacianSolver legacy(
+      common::default_context().with_seed(404), g,
+      pipeline_sparsify_options());
   ASSERT_TRUE(legacy.usable());
   const auto x = legacy.solve(b, 1e-8);
   EXPECT_TRUE(bitwise_equal(facade.x, x));
@@ -197,7 +200,8 @@ TEST(Runtime, DeprecatedPathObjectsSurviveProcessDefaultReset) {
   // (inline execution on a drained pool has the same chunk boundaries).
   const auto g = pipeline_graph();
   const auto lap = graph::laplacian(g);
-  const auto factor = linalg::ComponentLaplacianFactor::factor(lap);
+  const auto factor =
+      linalg::ComponentLaplacianFactor::factor(common::default_context(), lap);
   ASSERT_TRUE(factor.has_value());
   linalg::Vec b(g.num_vertices(), 0.0);
   b[0] = 1.0;

@@ -11,6 +11,8 @@
 namespace bcclap::laplacian {
 namespace {
 
+using testsupport::test_context;
+
 // Random SDD matrix with strictly positive slack and mixed-sign
 // off-diagonals.
 linalg::DenseMatrix random_sdd(std::size_t n, bool with_positive,
@@ -42,8 +44,9 @@ TEST(SddReduction, VirtualGraphIsLaplacianOfM) {
   EXPECT_EQ(red.virtual_graph.num_vertices(), 12u);
   // L [x; -x] = [M x; -M x] for any x.
   const auto x = testsupport::gaussian_vector(6, stream);
-  const auto lifted = graph::apply_laplacian(red.virtual_graph, lift_rhs(x));
-  const auto mx = m.multiply(x);
+  const auto lifted =
+      graph::apply_laplacian(test_context(), red.virtual_graph, lift_rhs(x));
+  const auto mx = m.multiply(test_context(), x);
   for (std::size_t i = 0; i < 6; ++i) {
     EXPECT_NEAR(lifted[i], mx[i], 1e-9);
     EXPECT_NEAR(lifted[i + 6], -mx[i], 1e-9);
@@ -57,12 +60,12 @@ TEST(SddReduction, SolveRoundTripNegativeOffdiag) {
     const auto m = random_sdd(8, false, child);
     const auto red = gremban_reduce(m);
     ASSERT_TRUE(red.valid);
-    const auto factor =
-        linalg::LaplacianFactor::factor(graph::laplacian(red.virtual_graph));
+    const auto factor = linalg::LaplacianFactor::factor(
+        test_context(), graph::laplacian(red.virtual_graph));
     ASSERT_TRUE(factor);
     const auto y = testsupport::gaussian_vector(8, child);
     const auto x = project_solution(factor->solve(lift_rhs(y)));
-    const auto r = linalg::sub(m.multiply(x), y);
+    const auto r = linalg::sub(m.multiply(test_context(), x), y);
     EXPECT_LT(linalg::norm2(r), 1e-7 * (linalg::norm2(y) + 1.0));
   }
 }
@@ -73,12 +76,12 @@ TEST(SddReduction, SolveRoundTripMixedSigns) {
   const auto m = random_sdd(10, true, stream);
   const auto red = gremban_reduce(m);
   ASSERT_TRUE(red.valid);
-  const auto factor =
-      linalg::LaplacianFactor::factor(graph::laplacian(red.virtual_graph));
+  const auto factor = linalg::LaplacianFactor::factor(
+      test_context(), graph::laplacian(red.virtual_graph));
   ASSERT_TRUE(factor);
   const auto y = testsupport::gaussian_vector(10, stream);
   const auto x = project_solution(factor->solve(lift_rhs(y)));
-  const auto r = linalg::sub(m.multiply(x), y);
+  const auto r = linalg::sub(m.multiply(test_context(), x), y);
   EXPECT_LT(linalg::norm2(r), 1e-7 * (linalg::norm2(y) + 1.0));
 }
 

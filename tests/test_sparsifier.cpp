@@ -20,7 +20,8 @@ TEST(Sparsifier, OutputIsSubsetReweighted) {
   rng::Stream gstream(1);
   const auto g = graph::complete(30, 4, gstream);
   auto net = bc_net(g);
-  const auto res = spectral_sparsify(g, test_options(), 99, net);
+  const auto res =
+      spectral_sparsify(net.context().with_seed(99), g, test_options(), net);
   EXPECT_TRUE(res.deduction_consistent);
   EXPECT_LE(res.sparsifier.num_edges(), g.num_edges());
   ASSERT_EQ(res.original_edge.size(), res.sparsifier.num_edges());
@@ -42,8 +43,10 @@ TEST(Sparsifier, DeterministicInSeed) {
   const auto g = graph::complete(24, 3, gstream);
   auto net1 = bc_net(g);
   auto net2 = bc_net(g);
-  const auto r1 = spectral_sparsify(g, test_options(), 7, net1);
-  const auto r2 = spectral_sparsify(g, test_options(), 7, net2);
+  const auto r1 =
+      spectral_sparsify(net1.context().with_seed(7), g, test_options(), net1);
+  const auto r2 =
+      spectral_sparsify(net2.context().with_seed(7), g, test_options(), net2);
   EXPECT_EQ(r1.original_edge, r2.original_edge);
   EXPECT_EQ(r1.rounds, r2.rounds);
 }
@@ -53,8 +56,10 @@ TEST(Sparsifier, DifferentSeedsGiveDifferentSamples) {
   const auto g = graph::complete(24, 3, gstream);
   auto net1 = bc_net(g);
   auto net2 = bc_net(g);
-  const auto r1 = spectral_sparsify(g, test_options(), 7, net1);
-  const auto r2 = spectral_sparsify(g, test_options(), 8, net2);
+  const auto r1 =
+      spectral_sparsify(net1.context().with_seed(7), g, test_options(), net1);
+  const auto r2 =
+      spectral_sparsify(net2.context().with_seed(8), g, test_options(), net2);
   EXPECT_NE(r1.original_edge, r2.original_edge);
 }
 
@@ -67,7 +72,7 @@ TEST(Sparsifier, SparsifiesDenseGraphs) {
   SparsifyOptions opt = test_options();
   opt.t = 1;
   auto net = bc_net(g);
-  const auto res = spectral_sparsify(g, opt, 21, net);
+  const auto res = spectral_sparsify(net.context().with_seed(21), g, opt, net);
   EXPECT_LT(res.sparsifier.num_edges(), (3 * g.num_edges()) / 4);
 }
 
@@ -77,7 +82,7 @@ TEST(Sparsifier, SpectralQualityOnDenseGraph) {
   SparsifyOptions opt = test_options();
   opt.t = 6;  // more bundles -> better quality
   auto net = bc_net(g);
-  const auto res = spectral_sparsify(g, opt, 31, net);
+  const auto res = spectral_sparsify(net.context().with_seed(31), g, opt, net);
   const auto check = check_sparsifier(g, res.sparsifier);
   ASSERT_TRUE(check.valid);
   // With bench-scale t the constant-factor guarantee is loose; assert a
@@ -90,7 +95,8 @@ TEST(Sparsifier, OrientationMatchesEdges) {
   rng::Stream gstream(6);
   const auto g = graph::complete(20, 2, gstream);
   auto net = bc_net(g);
-  const auto res = spectral_sparsify(g, test_options(), 41, net);
+  const auto res =
+      spectral_sparsify(net.context().with_seed(41), g, test_options(), net);
   ASSERT_EQ(res.out_vertex.size(), res.sparsifier.num_edges());
   for (std::size_t i = 0; i < res.out_vertex.size(); ++i) {
     const auto& ed = res.sparsifier.edge(i);
@@ -115,7 +121,8 @@ TEST(Sparsifier, ChargesRounds) {
   rng::Stream gstream(8);
   const auto g = graph::complete(20, 3, gstream);
   auto net = bc_net(g);
-  const auto res = spectral_sparsify(g, test_options(), 51, net);
+  const auto res =
+      spectral_sparsify(net.context().with_seed(51), g, test_options(), net);
   EXPECT_TRUE(testsupport::RoundsConsistent(res.rounds, net));
 }
 

@@ -12,6 +12,8 @@
 namespace bcclap::sparsify {
 namespace {
 
+using testsupport::test_context;
+
 struct Case {
   std::size_t n;
   double p;       // density (1.0 = complete)
@@ -30,8 +32,10 @@ TEST_P(Coupling, AdHocEqualsApriori) {
                  : graph::random_connected_gnp(c.n, c.p, c.w, gstream);
   const auto opt = testsupport::small_sparsify_options(1.0, 2, c.t);
   auto net = testsupport::bc_net(g);
-  const auto adhoc = spectral_sparsify(g, opt, c.seed ^ 0x5a5a, net);
-  const auto apriori = spectral_sparsify_apriori(g, opt, c.seed ^ 0x5a5a);
+  const auto adhoc = spectral_sparsify(
+      net.context().with_seed(c.seed ^ 0x5a5a), g, opt, net);
+  const auto apriori =
+      spectral_sparsify_apriori(test_context(c.seed ^ 0x5a5a), g, opt);
 
   ASSERT_TRUE(adhoc.deduction_consistent);
   ASSERT_EQ(adhoc.original_edge, apriori.original_edge)
@@ -60,8 +64,9 @@ TEST(Coupling, ManySeedsOnOneGraph) {
   const auto opt = testsupport::small_sparsify_options(1.0, 2, 2);
   for (std::uint64_t seed = 100; seed < 120; ++seed) {
     auto net = testsupport::bc_net(g);
-    const auto adhoc = spectral_sparsify(g, opt, seed, net);
-    const auto apriori = spectral_sparsify_apriori(g, opt, seed);
+    const auto adhoc =
+        spectral_sparsify(net.context().with_seed(seed), g, opt, net);
+    const auto apriori = spectral_sparsify_apriori(test_context(seed), g, opt);
     ASSERT_EQ(adhoc.original_edge, apriori.original_edge)
         << "diverged at seed " << seed;
   }
