@@ -79,7 +79,8 @@ void component_factor_n(bench::State& s, std::size_t n_per_comp,
   s.counter("n", static_cast<double>(g.num_vertices()));
   s.counter("components", static_cast<double>(f->num_components()));
   s.counter("factor_ok", 1.0);
-  s.counter("fingerprint_xnorm", linalg::norm2(f->solve(b)));
+  s.counter("fingerprint_xnorm",
+            linalg::norm2(f->solve(bench::bench_context(), b)));
 }
 
 // PR 5: batched multi-RHS panels — "factor once, solve many". The body

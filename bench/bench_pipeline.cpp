@@ -132,6 +132,57 @@ void pipeline_batched_solve(bench::State& s, std::size_t n, std::size_t k) {
   s.counter("fingerprint_xfrob", std::sqrt(frob));
 }
 
+// PR 6: the sparse-first factorization stack at scales the dense kernel
+// cannot reach (n = 10^4 would need two 800 MB dense triangles and ~3x
+// the arithmetic). Bounded-degree sparse generator; the facade's
+// sparse_factors counter doubles as the dispatch gate in scripts/bench.sh
+// — the preconditioner factorization must actually run on the sparse
+// path at these sizes. eps = 1e-4 bounds the Chebyshev iteration count
+// so the case measures the factorization stack, not iteration volume.
+void pipeline_sparse_solve(bench::State& s, std::size_t n, std::size_t k) {
+  rng::Stream gstream(n * 3 + 1);
+  const auto g = graph::random_regularish(n, 8, 4, gstream);
+  RuntimeOptions opts;
+  opts.threads = 0;  // BCCLAP_THREADS / hardware
+  opts.seed = 77;
+  Runtime rt(opts);
+  LaplacianSolveOptions lopt;
+  lopt.eps = 1e-4;
+  lopt.sparsify.epsilon = 0.5;
+  lopt.sparsify.k = 2;
+  lopt.sparsify.t = 2;
+  s.counter("n", static_cast<double>(n));
+  s.counter("k", static_cast<double>(k));
+  if (k == 1) {
+    linalg::Vec b(n, 0.0);
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    const auto run = rt.solve_laplacian(g, b, lopt);
+    s.counter("usable", run.usable ? 1.0 : 0.0);
+    s.counter("iterations", static_cast<double>(run.stats.iterations));
+    s.counter("sparse_factors", static_cast<double>(run.stats.sparse_factors));
+    s.counter("dense_factors", static_cast<double>(run.stats.dense_factors));
+    s.counter("fingerprint_xnorm", linalg::norm2(run.x));
+    return;
+  }
+  rng::Stream bstream(n * 17 + k);
+  linalg::DenseMatrix b(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) b(i, j) = bstream.next_gaussian();
+  }
+  const auto run = rt.solve_laplacian_many(g, b, lopt);
+  s.counter("usable", run.usable ? 1.0 : 0.0);
+  s.counter("iterations", static_cast<double>(run.stats.iterations));
+  s.counter("sparse_factors", static_cast<double>(run.stats.sparse_factors));
+  s.counter("dense_factors", static_cast<double>(run.stats.dense_factors));
+  double frob = 0.0;
+  for (std::size_t i = 0; i < run.x.rows(); ++i) {
+    const double* xi = run.x.row_data(i);
+    for (std::size_t j = 0; j < run.x.cols(); ++j) frob += xi[j] * xi[j];
+  }
+  s.counter("fingerprint_xfrob", std::sqrt(frob));
+}
+
 void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
   rng::Stream gstream(s.iteration() * 37 + n);
   const auto g = graph::random_flow_network(n, n + 4, 3, 3, gstream);
@@ -192,6 +243,19 @@ int main(int argc, char** argv) {
     h.add(
         "pipeline_batched_solve/n=256/k=" + std::to_string(k),
         [k](bench::State& s) { pipeline_batched_solve(s, 256, k); },
+        /*repeats_override=*/1, /*warmup_override=*/0);
+  }
+  // PR 6: sparse-first factorization at n far past the dense wall
+  // (single solve and a k = 32 panel per size). Multi-second bodies —
+  // run each exactly once.
+  for (const std::size_t n : {1024u, 4096u, 10000u}) {
+    h.add(
+        "pipeline_sparse_solve/n=" + std::to_string(n),
+        [n](bench::State& s) { pipeline_sparse_solve(s, n, 1); },
+        /*repeats_override=*/1, /*warmup_override=*/0);
+    h.add(
+        "pipeline_sparse_batched/n=" + std::to_string(n) + "/k=32",
+        [n](bench::State& s) { pipeline_sparse_solve(s, n, 32); },
         /*repeats_override=*/1, /*warmup_override=*/0);
   }
   return h.run(argc, argv);

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark trajectory (BENCH_pr5.json).
+# Machine-readable benchmark trajectory (BENCH_pr6.json).
 #
 # Builds the harness benches and runs the three pipeline-level binaries
 # under BCCLAP_THREADS=1 and BCCLAP_THREADS=N (default 4), then merges the
@@ -13,8 +13,13 @@
 # the laplacian/pipeline benches carry `batched_solve` cases (k = 1/8/32
 # right-hand sides at n = 256 on the bounded-degree sparse generator), and
 # a second gate checks the amortization claim: per-RHS wall time at k = 32
-# must land strictly below the k = 1 case (factor once, solve many). The
-# script fails loudly if any counter differs between configurations.
+# must land strictly below the k = 1 case (factor once, solve many). Since
+# PR 6 the pipeline bench carries `pipeline_sparse_*` cases (sparse-first
+# CSC LDL^T at n = 1024 / 4096 / 10^4 on the bounded-degree generator),
+# and a third gate checks the dispatch: the large cases must report
+# sparse_factors >= 1 and dense_factors = 0 — the preconditioner
+# factorization actually ran on the sparse path, not the dense kernel.
+# The script fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
 #   BUILD_DIR=<path>      build tree location (default: build)
@@ -27,7 +32,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr5.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr6.json}"
 BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
@@ -88,9 +93,36 @@ if ! awk -v w1="$w1" -v w32="$w32" 'BEGIN { exit !(w32 / 32 < w1) }'; then
 fi
 echo "batched gate: k=32 per-RHS $(awk -v w=$w32 'BEGIN{printf "%.3f", w/32}') ms < k=1 ${w1} ms"
 
+# Sparse-dispatch gate: the large pipeline cases must have factored their
+# preconditioner on the sparse path (sparse_factors >= 1, dense_factors
+# = 0) — otherwise the "break the dense O(n^2) wall" claim silently
+# regressed to the dense kernel.
+counter_of() {  # counter_of <json> <case-name> <counter> -> value
+  grep -F "\"name\": \"$2\"" "$1" \
+    | sed "s/.*\"$3\": \([0-9.eE+-]*\).*/\1/"
+}
+pipe_t1="$json_dir/bench_pipeline_t1.json"
+for case in "pipeline_sparse_solve/n=1024" \
+            "pipeline_sparse_solve/n=4096" \
+            "pipeline_sparse_solve/n=10000" \
+            "pipeline_sparse_batched/n=10000/k=32"; do
+  sf="$(counter_of "$pipe_t1" "$case" sparse_factors)"
+  df="$(counter_of "$pipe_t1" "$case" dense_factors)"
+  if [ -z "$sf" ] || [ -z "$df" ]; then
+    echo "ERROR: $case missing from $pipe_t1" >&2
+    exit 1
+  fi
+  if ! awk -v sf="$sf" -v df="$df" 'BEGIN { exit !(sf >= 1 && df == 0) }'; then
+    echo "ERROR: $case ran on the dense path" >&2
+    echo "  sparse_factors=$sf dense_factors=$df" >&2
+    exit 1
+  fi
+done
+echo "sparse gate: large pipeline cases factored on the sparse path"
+
 {
   echo '{'
-  echo '  "pr": 5,'
+  echo '  "pr": 6,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

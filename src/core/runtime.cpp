@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bcc/network.h"
@@ -94,6 +96,12 @@ void Runtime::reset_process_default(std::size_t threads) {
 LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
                                       const linalg::Vec& b,
                                       const LaplacianSolveOptions& opt) {
+  if (b.size() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "Runtime::solve_laplacian: right-hand side has " +
+        std::to_string(b.size()) + " rows, graph has " +
+        std::to_string(g.num_vertices()) + " vertices");
+  }
   const auto start = std::chrono::steady_clock::now();
   LaplacianRun out;
   laplacian::SparsifiedLaplacianSolver solver(context(), g, opt.sparsify);
@@ -103,6 +111,8 @@ LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
     out.x = solver.solve(b, opt.eps, &st);
     out.stats.iterations = st.iterations;
     out.stats.rounds = st.rounds;
+    out.stats.dense_factors = st.dense_factors;
+    out.stats.sparse_factors = st.sparse_factors;
   }
   out.tree_patched = solver.tree_patched();
   out.sparsifier = solver.sparsifier();
@@ -115,6 +125,12 @@ LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
 LaplacianManyRun Runtime::solve_laplacian_many(
     const graph::Graph& g, const linalg::DenseMatrix& b,
     const LaplacianSolveOptions& opt) {
+  if (b.rows() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "Runtime::solve_laplacian_many: right-hand side has " +
+        std::to_string(b.rows()) + " rows, graph has " +
+        std::to_string(g.num_vertices()) + " vertices");
+  }
   const auto start = std::chrono::steady_clock::now();
   LaplacianManyRun out;
   laplacian::SparsifiedLaplacianSolver solver(context(), g, opt.sparsify);
@@ -125,6 +141,8 @@ LaplacianManyRun Runtime::solve_laplacian_many(
     out.stats.iterations = st.iterations;
     out.stats.rounds = st.rounds;
     out.stats.panels = st.panels;
+    out.stats.dense_factors = st.dense_factors;
+    out.stats.sparse_factors = st.sparse_factors;
   }
   out.tree_patched = solver.tree_patched();
   out.sparsifier = solver.sparsifier();

@@ -16,6 +16,11 @@
 //                 interfaces (a single-RHS solve routed through the panel
 //                 path counts as one k = 1 panel); 0 when the layer never
 //                 touched the batched stack;
+//   dense_factors / sparse_factors
+//               — Laplacian factorizations executed on the dense blocked
+//                 kernel vs. the sparse CSC path (the dispatch inside
+//                 linalg/cholesky.h), counted per grounded component;
+//                 0 / 0 when the layer never factored a Laplacian;
 //   wall_seconds — wall-clock time, filled by the Runtime facade (the
 //                 layers themselves never look at the clock).
 //
@@ -34,6 +39,8 @@ struct RunStats {
   std::size_t iterations = 0;
   std::size_t steps = 0;
   std::size_t panels = 0;
+  std::size_t dense_factors = 0;
+  std::size_t sparse_factors = 0;
   double wall_seconds = 0.0;
 
   RunStats& operator+=(const RunStats& o) {
@@ -41,6 +48,8 @@ struct RunStats {
     iterations += o.iterations;
     steps += o.steps;
     panels += o.panels;
+    dense_factors += o.dense_factors;
+    sparse_factors += o.sparse_factors;
     wall_seconds += o.wall_seconds;
     return *this;
   }

@@ -17,6 +17,22 @@ linalg::CsrMatrix laplacian(const Graph& g) {
   return linalg::CsrMatrix(n, n, std::move(trips));
 }
 
+linalg::CscSymmetricMatrix laplacian_csc(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(g.num_edges() + n);
+  std::vector<double> degree(n, 0.0);
+  for (const Edge& e : g.edges()) {
+    trips.push_back({std::min(e.u, e.v), std::max(e.u, e.v), -e.weight});
+    degree[e.u] += e.weight;
+    degree[e.v] += e.weight;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degree[v] != 0.0) trips.push_back({v, v, degree[v]});
+  }
+  return linalg::CscSymmetricMatrix(n, std::move(trips));
+}
+
 linalg::CsrMatrix incidence(const Graph& g) {
   const std::size_t m = g.num_edges();
   std::vector<linalg::Triplet> trips;

@@ -9,6 +9,7 @@
 #include "common/context.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
+#include "linalg/csc_matrix.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/vector_ops.h"
 
@@ -16,6 +17,12 @@ namespace bcclap::graph {
 
 // n x n graph Laplacian in CSR form.
 linalg::CsrMatrix laplacian(const Graph& g);
+
+// Upper triangle of the Laplacian in symmetric CSC form, built directly
+// from the edge list — one entry per edge plus the degree diagonal, no
+// CSR or dense intermediate. This is the native input of the sparse
+// factorization path (linalg/sparse_ldlt.h).
+linalg::CscSymmetricMatrix laplacian_csc(const Graph& g);
 
 // m x n incidence matrix B (rows = edges, oriented u -> v with u < v).
 linalg::CsrMatrix incidence(const Graph& g);

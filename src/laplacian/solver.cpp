@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 #include <queue>
+#include <stdexcept>
+#include <string>
 
 #include "common/encoding.h"
 #include "graph/laplacian.h"
@@ -54,6 +56,18 @@ void remove_component_means(linalg::Vec& x,
   }
 }
 
+// Explicit facade-surface size check (satellite of the solve-path bugfix
+// sweep): a wrong-sized rhs in a Release build must fail loudly, not read
+// out of bounds inside the matvec kernels.
+void check_rhs_rows(const char* where, std::size_t got, std::size_t want) {
+  if (got != want) {
+    throw std::invalid_argument(std::string(where) +
+                                ": right-hand side has " +
+                                std::to_string(got) + " rows, graph has " +
+                                std::to_string(want) + " vertices");
+  }
+}
+
 }  // namespace
 
 SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
@@ -99,6 +113,8 @@ SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
 linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
                                              SolveStats* stats) {
   assert(h_factor_ && "sparsifier must be factorizable");
+  check_rhs_rows("SparsifiedLaplacianSolver::solve", b.size(),
+                 g_.num_vertices());
   linalg::Vec rhs = b;
   remove_component_means(rhs, g_components_);
 
@@ -107,7 +123,7 @@ linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
   };
   // B = (3/2) L_H  =>  B^{-1} r = (2/3) L_H^+ r.
   const auto solve_b = [this](const linalg::Vec& r) {
-    return linalg::scale(h_factor_->solve(r), 2.0 / 3.0);
+    return linalg::scale(h_factor_->solve(ctx_, r), 2.0 / 3.0);
   };
   const auto res =
       linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, 3.0, eps);
@@ -123,6 +139,8 @@ linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
   if (stats) {
     stats->iterations = res.iterations;
     stats->rounds = rounds;
+    stats->dense_factors = dense_factors();
+    stats->sparse_factors = sparse_factors();
   }
   linalg::Vec y = res.x;
   remove_component_means(y, g_components_);
@@ -132,6 +150,8 @@ linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
 linalg::DenseMatrix SparsifiedLaplacianSolver::solve_many(
     const linalg::DenseMatrix& b, double eps, SolveStats* stats) {
   assert(h_factor_ && "sparsifier must be factorizable");
+  check_rhs_rows("SparsifiedLaplacianSolver::solve_many", b.rows(),
+                 g_.num_vertices());
   const std::size_t k = b.cols();
   linalg::DenseMatrix rhs = b;
   for (std::size_t j = 0; j < k; ++j) {
@@ -146,7 +166,7 @@ linalg::DenseMatrix SparsifiedLaplacianSolver::solve_many(
   // B = (3/2) L_H  =>  B^{-1} R = (2/3) L_H^+ R, one panel solve per
   // iteration shared by every column.
   const auto solve_b = [this](const linalg::DenseMatrix& r) {
-    linalg::DenseMatrix z = h_factor_->solve_many(r);
+    linalg::DenseMatrix z = h_factor_->solve_many(ctx_, r);
     for (std::size_t i = 0; i < z.rows(); ++i) {
       double* zi = z.row_data(i);
       for (std::size_t j = 0; j < z.cols(); ++j) zi[j] *= 2.0 / 3.0;
@@ -170,6 +190,8 @@ linalg::DenseMatrix SparsifiedLaplacianSolver::solve_many(
     stats->iterations = res.iterations;
     stats->rounds = rounds;
     stats->panels = 1;
+    stats->dense_factors = dense_factors();
+    stats->sparse_factors = sparse_factors();
   }
   linalg::DenseMatrix y = res.x;
   for (std::size_t j = 0; j < k; ++j) {

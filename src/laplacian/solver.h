@@ -40,6 +40,9 @@ class SparsifiedLaplacianSolver {
   // Solves L_G x = b to ||x - y||_{L_G} <= eps ||x||_{L_G}. b is projected
   // onto range(L_G) (mean removed). Rounds are charged per Theorem 1.3:
   // O(log(1/eps)) iterations x O(log(n U / eps)) bits per matvec broadcast.
+  // stats additionally reports which factorization backend the
+  // preconditioner runs on (dense_factors / sparse_factors). Throws
+  // std::invalid_argument on a wrong-sized b.
   linalg::Vec solve(const linalg::Vec& b, double eps,
                     SolveStats* stats = nullptr);
 
@@ -63,6 +66,15 @@ class SparsifiedLaplacianSolver {
   const graph::Graph& sparsifier() const { return h_; }
   bool tree_patched() const { return tree_patched_; }
   bcc::RoundAccountant& accountant() { return accountant_; }
+
+  // Backend tallies of the preconditioner factorization (one entry per
+  // grounded component of H); 0 / 0 while !usable().
+  std::size_t dense_factors() const {
+    return h_factor_ ? h_factor_->dense_factor_count() : 0;
+  }
+  std::size_t sparse_factors() const {
+    return h_factor_ ? h_factor_->sparse_factor_count() : 0;
+  }
 
  private:
   common::Context ctx_;
@@ -90,6 +102,12 @@ class ExactLaplacianSolver {
   // Panel solve; columns fan out on the construction context's pool,
   // per-column byte-identical to solve().
   linalg::DenseMatrix solve_many(const linalg::DenseMatrix& b) const;
+
+  // Backend the grounded factorization ran on (kNone while !usable() or
+  // for a 1-vertex graph).
+  linalg::FactorKind factor_path() const {
+    return factor_ ? factor_->path() : linalg::FactorKind::kNone;
+  }
 
  private:
   common::Context ctx_;

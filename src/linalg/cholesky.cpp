@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "linalg/csc_matrix.h"
 
 namespace bcclap::linalg {
 
@@ -15,6 +19,13 @@ namespace {
 // thread count. For n <= kLdltBlock the whole matrix is one diagonal
 // block and the arithmetic is exactly the classic unblocked sweep.
 constexpr std::size_t kLdltBlock = 64;
+
+[[noreturn]] void throw_dim_mismatch(const char* where, std::size_t got,
+                                     std::size_t want) {
+  throw std::invalid_argument(std::string(where) + ": right-hand side has " +
+                              std::to_string(got) + " rows, factor expects " +
+                              std::to_string(want));
+}
 
 }  // namespace
 
@@ -142,16 +153,22 @@ std::optional<LdltFactor> LdltFactor::factor(const common::Context& ctx,
   return f;
 }
 
-void LdltFactor::solve_in_place(Vec& y) const {
-  // Forward: L y = b
+void LdltFactor::forward_solve_in_place(Vec& y) const {
+  assert(y.size() == n_);
   for (std::size_t i = 0; i < n_; ++i) {
     double v = y[i];
     for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
     y[i] = v;
   }
-  // Diagonal: D z = y
+}
+
+void LdltFactor::diag_solve_in_place(Vec& y) const {
+  assert(y.size() == n_);
   for (std::size_t i = 0; i < n_; ++i) y[i] /= d_[i];
-  // Backward: L^T x = z
+}
+
+void LdltFactor::backward_solve_in_place(Vec& y) const {
+  assert(y.size() == n_);
   for (std::size_t i = n_; i-- > 0;) {
     double v = y[i];
     for (std::size_t k = i + 1; k < n_; ++k) v -= l_(k, i) * y[k];
@@ -159,8 +176,14 @@ void LdltFactor::solve_in_place(Vec& y) const {
   }
 }
 
+void LdltFactor::solve_in_place(Vec& y) const {
+  forward_solve_in_place(y);
+  diag_solve_in_place(y);
+  backward_solve_in_place(y);
+}
+
 Vec LdltFactor::solve(const Vec& b) const {
-  assert(b.size() == n_);
+  if (b.size() != n_) throw_dim_mismatch("LdltFactor::solve", b.size(), n_);
   Vec y(b);
   solve_in_place(y);
   return y;
@@ -168,7 +191,8 @@ Vec LdltFactor::solve(const Vec& b) const {
 
 DenseMatrix LdltFactor::solve_many(const common::Context& ctx,
                                    const DenseMatrix& b) const {
-  assert(b.rows() == n_);
+  if (b.rows() != n_)
+    throw_dim_mismatch("LdltFactor::solve_many", b.rows(), n_);
   DenseMatrix x(n_, b.cols());
   // Columns are independent single-vector substitutions with disjoint
   // column writes: byte-identical to sequential solve() calls per column.
@@ -180,18 +204,46 @@ DenseMatrix LdltFactor::solve_many(const common::Context& ctx,
   return x;
 }
 
+// GCC 12 flags the bytes of the variant's *inactive* alternatives when the
+// LaplacianFactor temporary is moved into the optional return (visible only
+// under the sanitizer build's inlining) — a known false positive for
+// std::variant inside std::optional; every alternative is fully constructed
+// before the move.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 std::optional<LaplacianFactor> LaplacianFactor::factor(
     const common::Context& ctx, const CsrMatrix& laplacian) {
   assert(laplacian.rows() == laplacian.cols());
   const std::size_t n = laplacian.rows();
-  if (n < 2) return std::nullopt;
+  if (n == 0) return std::nullopt;
+  // One vertex: L = 0, every rhs projects to zero and x = 0. A valid
+  // factor with nothing to hold — previously rejected, which turned
+  // 1-node graphs into a null deref downstream (ExactLaplacianSolver).
+  if (n == 1) return LaplacianFactor(1);
+  const auto& rp = laplacian.row_ptr();
+  const auto& ci = laplacian.col_index();
+  const auto& vals = laplacian.values();
+  // Stored-entry count of the grounded matrix, for the backend dispatch.
+  std::size_t grounded_nnz = 0;
+  for (std::size_t r = 0; r + 1 < n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] + 1 < n) ++grounded_nnz;
+    }
+  }
+  if (sparse_path_selected(n - 1, grounded_nnz)) {
+    // Grounded upper triangle straight from the symmetric CSR — no dense
+    // detour on this path.
+    auto sf = SparseLdltFactor::factor(
+        ctx, CscSymmetricMatrix::from_symmetric_csr(laplacian, 1));
+    if (!sf) return std::nullopt;
+    return LaplacianFactor(n, Reduced{std::move(*sf)});
+  }
   // Grounded matrix: drop last row/column. Accumulate (rather than assign)
   // so duplicate CSR entries sum exactly as CsrMatrix::multiply applies
   // them; assignment would silently drop all but the last duplicate.
   DenseMatrix g(n - 1, n - 1);
-  const auto& rp = laplacian.row_ptr();
-  const auto& ci = laplacian.col_index();
-  const auto& vals = laplacian.values();
   for (std::size_t r = 0; r + 1 < n; ++r) {
     for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
       if (ci[k] + 1 < n) g(r, ci[k]) += vals[k];
@@ -199,15 +251,28 @@ std::optional<LaplacianFactor> LaplacianFactor::factor(
   }
   auto f = LdltFactor::factor(ctx, g);
   if (!f) return std::nullopt;
-  return LaplacianFactor(n, std::move(*f));
+  return LaplacianFactor(n, Reduced{std::move(*f)});
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+FactorKind LaplacianFactor::path() const {
+  if (std::holds_alternative<LdltFactor>(reduced_)) return FactorKind::kDense;
+  if (std::holds_alternative<SparseLdltFactor>(reduced_))
+    return FactorKind::kSparse;
+  return FactorKind::kNone;
 }
 
 Vec LaplacianFactor::solve(const Vec& b) const {
-  assert(b.size() == n_);
+  if (b.size() != n_) throw_dim_mismatch("LaplacianFactor::solve", b.size(), n_);
+  if (n_ == 1) return Vec{0.0};  // L = 0: projected rhs is 0, x = 0
   Vec rhs(b);
   remove_mean(rhs);
   Vec reduced(rhs.begin(), rhs.end() - 1);
-  Vec xr = reduced_.solve(reduced);
+  Vec xr = std::holds_alternative<LdltFactor>(reduced_)
+               ? std::get<LdltFactor>(reduced_).solve(reduced)
+               : std::get<SparseLdltFactor>(reduced_).solve(reduced);
   Vec x(n_, 0.0);
   for (std::size_t i = 0; i + 1 < n_; ++i) x[i] = xr[i];
   remove_mean(x);
@@ -216,7 +281,8 @@ Vec LaplacianFactor::solve(const Vec& b) const {
 
 DenseMatrix LaplacianFactor::solve_many(const common::Context& ctx,
                                         const DenseMatrix& b) const {
-  assert(b.rows() == n_);
+  if (b.rows() != n_)
+    throw_dim_mismatch("LaplacianFactor::solve_many", b.rows(), n_);
   DenseMatrix x(n_, b.cols());
   // Each column runs the exact single-vector path (projection, grounded
   // substitution, re-projection) and owns its output column.
@@ -231,7 +297,6 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
   const std::size_t n = laplacian.rows();
   ComponentLaplacianFactor f;
   f.n_ = n;
-  f.pool_ = &ctx.pool();
   // Connected components over the nonzero off-diagonal pattern.
   f.component_of_.assign(n, static_cast<std::size_t>(-1));
   const auto& rp = laplacian.row_ptr();
@@ -266,7 +331,8 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
     const auto& verts = f.component_vertices_[c];
     for (std::size_t i = 0; i < verts.size(); ++i) local[verts[i]] = i;
   }
-  // Factor each component (grounded on its last local vertex). Components
+  // Factor each component (grounded on its last local vertex) on the
+  // backend the dispatch heuristic picks for its size and fill. Components
   // are independent and every slot of factors_ is written by exactly one
   // index, so the fan-out is race-free and byte-deterministic; a failed
   // component leaves its slot empty and is distinguished from a singleton
@@ -276,20 +342,46 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
     const auto& verts = f.component_vertices_[c];
     if (verts.size() < 2) return;
     const std::size_t dim = verts.size() - 1;
+    // Stored entries of the grounded component matrix (one scan; vertices
+    // whose local index is dim are the grounded one, and zero-valued
+    // entries may reference other components — invisible to the BFS).
+    std::size_t grounded_nnz = 0;
+    for (std::size_t i = 0; i + 1 < verts.size(); ++i) {
+      const std::size_t v = verts[i];
+      for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
+        const std::size_t u = ci[k];
+        if (f.component_of_[u] == c && local[u] < dim) ++grounded_nnz;
+      }
+    }
+    if (sparse_path_selected(dim, grounded_nnz)) {
+      // Symmetric triplets in component-local indices; the CSC builder
+      // keeps the upper triangle and coalesces duplicates additively.
+      std::vector<Triplet> trips;
+      trips.reserve(grounded_nnz);
+      for (std::size_t i = 0; i + 1 < verts.size(); ++i) {
+        const std::size_t v = verts[i];
+        for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
+          const std::size_t u = ci[k];
+          if (f.component_of_[u] != c || local[u] >= dim) continue;
+          trips.push_back({i, local[u], vals[k]});
+        }
+      }
+      auto sf = SparseLdltFactor::factor(
+          ctx, CscSymmetricMatrix(dim, std::move(trips)));
+      if (sf) f.factors_[c] = Grounded{std::move(*sf)};
+      return;
+    }
     DenseMatrix g(dim, dim);
     for (std::size_t i = 0; i + 1 < verts.size(); ++i) {
       const std::size_t v = verts[i];
       for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
         const std::size_t u = ci[k];
-        // Zero-valued entries may reference other components (they are
-        // invisible to the BFS above); the grounded vertex sits at local
-        // index dim.
         if (f.component_of_[u] != c || local[u] >= dim) continue;
         g(i, local[u]) += vals[k];
       }
     }
     auto ldlt = LdltFactor::factor(ctx, g);
-    if (ldlt) f.factors_[c] = std::move(*ldlt);
+    if (ldlt) f.factors_[c] = Grounded{std::move(*ldlt)};
   });
   for (std::size_t c = 0; c < num_comps; ++c) {
     if (f.component_vertices_[c].size() >= 2 && !f.factors_[c])
@@ -298,12 +390,28 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
   return f;
 }
 
-Vec ComponentLaplacianFactor::solve(const Vec& b) const {
-  assert(b.size() == n_);
+std::size_t ComponentLaplacianFactor::dense_factor_count() const {
+  std::size_t count = 0;
+  for (const auto& fac : factors_)
+    if (fac && std::holds_alternative<LdltFactor>(*fac)) ++count;
+  return count;
+}
+
+std::size_t ComponentLaplacianFactor::sparse_factor_count() const {
+  std::size_t count = 0;
+  for (const auto& fac : factors_)
+    if (fac && std::holds_alternative<SparseLdltFactor>(*fac)) ++count;
+  return count;
+}
+
+Vec ComponentLaplacianFactor::solve(const common::Context& ctx,
+                                    const Vec& b) const {
+  if (b.size() != n_)
+    throw_dim_mismatch("ComponentLaplacianFactor::solve", b.size(), n_);
   Vec x(n_, 0.0);
-  // Per-component solves touch disjoint slots of x, so they fan out across
-  // the pool the factorization ran on.
-  pool_->parallel_for(0, component_vertices_.size(), [&](std::size_t c) {
+  // Per-component solves touch disjoint slots of x, so they fan out over
+  // the caller's pool.
+  ctx.parallel_for(0, component_vertices_.size(), [&](std::size_t c) {
     const auto& verts = component_vertices_[c];
     if (verts.size() < 2) return;  // singleton: L row is zero, x = 0
     // Project rhs onto the component's zero-sum subspace.
@@ -313,7 +421,8 @@ Vec ComponentLaplacianFactor::solve(const Vec& b) const {
     Vec local(verts.size() - 1);
     for (std::size_t i = 0; i + 1 < verts.size(); ++i)
       local[i] = b[verts[i]] - mean;
-    const Vec sol = factors_[c]->solve(local);
+    const Vec sol = std::visit(
+        [&](const auto& fac) { return fac.solve(local); }, *factors_[c]);
     double xmean = 0.0;
     for (double v : sol) xmean += v;
     xmean /= static_cast<double>(verts.size());
@@ -324,16 +433,18 @@ Vec ComponentLaplacianFactor::solve(const Vec& b) const {
   return x;
 }
 
-DenseMatrix ComponentLaplacianFactor::solve_many(const DenseMatrix& b) const {
-  assert(b.rows() == n_);
+DenseMatrix ComponentLaplacianFactor::solve_many(const common::Context& ctx,
+                                                 const DenseMatrix& b) const {
+  if (b.rows() != n_)
+    throw_dim_mismatch("ComponentLaplacianFactor::solve_many", b.rows(), n_);
   const std::size_t k = b.cols();
   const std::size_t comps = component_vertices_.size();
   DenseMatrix x(n_, k);
-  // (column, component) pairs fan out over the factorization pool; each
-  // pair owns the (component vertices) x (column) slots of x, and the
-  // per-pair arithmetic is exactly solve()'s per-component body on that
-  // column — so the panel is byte-identical to k sequential solves.
-  pool_->parallel_for(0, comps * k, [&](std::size_t t) {
+  // (column, component) pairs fan out over the caller's pool; each pair
+  // owns the (component vertices) x (column) slots of x, and the per-pair
+  // arithmetic is exactly solve()'s per-component body on that column —
+  // so the panel is byte-identical to k sequential solves.
+  ctx.parallel_for(0, comps * k, [&](std::size_t t) {
     const std::size_t j = t / comps;
     const std::size_t c = t % comps;
     const auto& verts = component_vertices_[c];
@@ -344,7 +455,8 @@ DenseMatrix ComponentLaplacianFactor::solve_many(const DenseMatrix& b) const {
     Vec local(verts.size() - 1);
     for (std::size_t i = 0; i + 1 < verts.size(); ++i)
       local[i] = b(verts[i], j) - mean;
-    const Vec sol = factors_[c]->solve(local);
+    const Vec sol = std::visit(
+        [&](const auto& fac) { return fac.solve(local); }, *factors_[c]);
     double xmean = 0.0;
     for (double v : sol) xmean += v;
     xmean /= static_cast<double>(verts.size());

@@ -1,6 +1,7 @@
-// Dense LDL^T factorization for symmetric positive (semi-)definite systems.
+// Laplacian factorization front ends over the dense and sparse LDL^T
+// kernels (linalg/ldlt.h, linalg/sparse_ldlt.h).
 //
-// The reproduction uses this in two places:
+// The reproduction uses these in two places:
 //  - exact reference solves in tests and verification, and
 //  - the "internal computation" each BCC node performs on the globally-known
 //    sparsifier H (Section 3.3): once H is known to every node, solving
@@ -8,71 +9,45 @@
 //    model of that step.
 //
 // Laplacians are rank-deficient (kernel = span{1} for connected graphs), so
-// `LaplacianFactor` grounds the last vertex and solves on the quotient.
+// `LaplacianFactor` grounds the last vertex and solves on the quotient;
+// `ComponentLaplacianFactor` does the same per connected component.
 //
-// `LdltFactor::factor` is a blocked right-looking factorization: the panel
-// solve and the trailing-matrix tiles fan out over the execution context's
-// worker pool (common/context.h) with fixed tile boundaries, so factors
-// are byte-identical at any thread count — the same contract the superstep
-// engine gives the network. `ComponentLaplacianFactor` additionally
-// factors (and solves) its connected components in parallel; it remembers
-// the pool it was factored on, so the owning Runtime must outlive the
-// factor. Every factor also exposes a multi-RHS `solve_many` panel path —
-// the substitutions fan out one column per task, byte-identical to the
-// sequential per-column solves.
+// Backend dispatch: `factor` grounds the matrix and then picks the dense
+// blocked kernel or the sparse CSC path via `sparse_path_selected`
+// (sparse_ldlt.h) — large, sparse inputs (sparsified Laplacians at bench
+// scale) take the sparse factorization, everything else stays on the
+// dense kernel, and callers never see the difference except in `path()` /
+// the RunStats counters. Both backends keep the byte-identical-at-any-
+// thread-count determinism contract, and every factor exposes a multi-RHS
+// `solve_many` panel path byte-identical to sequential per-column solves.
 #pragma once
 
 #include <optional>
+#include <variant>
 
 #include "common/context.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
+#include "linalg/ldlt.h"
+#include "linalg/sparse_ldlt.h"
 #include "linalg/vector_ops.h"
 
 namespace bcclap::linalg {
 
-class LdltFactor {
- public:
-  // Factors a symmetric positive definite matrix on ctx's pool. Returns
-  // nullopt if a pivot falls below `pivot_tol` relative to the largest
-  // diagonal magnitude (matrix not PD to working precision). Degenerate
-  // inputs — a 0x0 matrix or an all-zero diagonal — are rejected
-  // explicitly rather than left to threshold underflow.
-  static std::optional<LdltFactor> factor(const common::Context& ctx,
-                                          const DenseMatrix& a,
-                                          double pivot_tol = 1e-12);
-
-  Vec solve(const Vec& b) const;
-
-  // Multi-RHS panel solve: b is n x k, one right-hand side per column.
-  // Columns fan out over ctx's pool with disjoint column writes, so the
-  // result is byte-identical to k sequential solve() calls at any thread
-  // count (each column runs exactly the single-vector substitution).
-  DenseMatrix solve_many(const common::Context& ctx,
-                         const DenseMatrix& b) const;
-
-  std::size_t dim() const { return n_; }
-
- private:
-  std::size_t n_ = 0;
-  DenseMatrix l_;  // unit lower triangular
-  Vec d_;          // diagonal
-
-  void solve_in_place(Vec& y) const;
-
-  LdltFactor() = default;
-};
-
 // Solver for L x = b where L is the Laplacian of a *connected* graph and
 // b has zero sum. Grounds the last coordinate, factors the reduced matrix,
-// and returns the mean-zero representative of the solution.
+// and returns the mean-zero representative of the solution. A 1-vertex
+// graph (L = 0) is a valid edge case: the factor holds nothing and solves
+// to the zero vector, matching ComponentLaplacianFactor's singleton
+// handling.
 class LaplacianFactor {
  public:
   static std::optional<LaplacianFactor> factor(const common::Context& ctx,
                                                const CsrMatrix& laplacian);
 
   // Requires sum(b) ~ 0 (the solver projects b to be safe). Returns x with
-  // mean zero satisfying L x = b.
+  // mean zero satisfying L x = b. Throws std::invalid_argument on a
+  // wrong-sized b (public solve surface; see ldlt.h).
   Vec solve(const Vec& b) const;
 
   // Panel solve; per-column byte-identical to solve() (see
@@ -82,11 +57,19 @@ class LaplacianFactor {
 
   std::size_t dim() const { return n_; }
 
- private:
-  std::size_t n_ = 0;
-  LdltFactor reduced_;
+  // Which backend factor() selected for the grounded matrix (kNone for
+  // the 1-vertex case, where there is nothing to factor).
+  FactorKind path() const;
 
-  explicit LaplacianFactor(std::size_t n, LdltFactor reduced)
+ private:
+  using Reduced = std::variant<std::monostate, LdltFactor, SparseLdltFactor>;
+
+  std::size_t n_ = 0;
+  Reduced reduced_;
+
+  // 1-vertex factor: reduced_ default-constructs to monostate.
+  explicit LaplacianFactor(std::size_t n) : n_(n) {}
+  LaplacianFactor(std::size_t n, Reduced reduced)
       : n_(n), reduced_(std::move(reduced)) {}
 };
 
@@ -102,26 +85,35 @@ class ComponentLaplacianFactor {
 
   // Returns the minimum-norm-style representative: per component, the
   // solution with zero component mean for the component-projected rhs.
-  Vec solve(const Vec& b) const;
+  // Per-component solves fan out over ctx's pool — the context is a
+  // per-call argument (not captured at factor time), so the factor stays
+  // valid after the Runtime it was factored on is gone.
+  Vec solve(const common::Context& ctx, const Vec& b) const;
 
-  // Panel solve on the pool the factor was built on: (component, column)
-  // pairs fan out with disjoint writes, per-column byte-identical to
-  // solve().
-  DenseMatrix solve_many(const DenseMatrix& b) const;
+  // Panel solve: (component, column) pairs fan out over ctx's pool with
+  // disjoint writes, per-column byte-identical to solve().
+  DenseMatrix solve_many(const common::Context& ctx,
+                         const DenseMatrix& b) const;
 
   std::size_t dim() const { return n_; }
   std::size_t num_components() const { return component_vertices_.size(); }
 
+  // Backend selection tallies across components (singletons factor
+  // nothing and count for neither) — the source of the RunStats
+  // dense_factors / sparse_factors counters.
+  std::size_t dense_factor_count() const;
+  std::size_t sparse_factor_count() const;
+
  private:
+  using Grounded = std::variant<LdltFactor, SparseLdltFactor>;
+
   std::size_t n_ = 0;
   std::vector<std::size_t> component_of_;
   std::vector<std::vector<std::size_t>> component_vertices_;
-  // One LDL^T per component of size >= 2 (grounded on its last vertex);
-  // index aligned with component_vertices_, nullopt for singletons.
-  std::vector<std::optional<LdltFactor>> factors_;
-  // Pool the factor was built on; solve() fans its per-component solves
-  // out over the same pool (never null after factor()).
-  common::ThreadPool* pool_ = nullptr;
+  // One grounded factor per component of size >= 2 (grounded on its last
+  // vertex); index aligned with component_vertices_, nullopt for
+  // singletons.
+  std::vector<std::optional<Grounded>> factors_;
 
   ComponentLaplacianFactor() = default;
 };

@@ -1,0 +1,67 @@
+// Dense LDL^T factorization of a symmetric positive definite matrix.
+//
+// Split out of linalg/cholesky.h so the sparse factorization
+// (linalg/sparse_ldlt.h) can reuse the blocked dense kernel for its
+// supernodal tail without an include cycle; cholesky.h re-exports this
+// header, so historical include sites compile unchanged.
+//
+// `factor` is a blocked right-looking factorization: the panel solve and
+// the trailing-matrix tiles fan out over the execution context's worker
+// pool (common/context.h) with fixed tile boundaries, so factors are
+// byte-identical at any thread count.
+#pragma once
+
+#include <optional>
+
+#include "common/context.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+class LdltFactor {
+ public:
+  // Factors a symmetric positive definite matrix on ctx's pool (only the
+  // lower triangle of `a` is read). Returns nullopt if a pivot falls
+  // below `pivot_tol` relative to the largest diagonal magnitude (matrix
+  // not PD to working precision). Degenerate inputs — a 0x0 matrix or an
+  // all-zero diagonal — are rejected explicitly rather than left to
+  // threshold underflow.
+  static std::optional<LdltFactor> factor(const common::Context& ctx,
+                                          const DenseMatrix& a,
+                                          double pivot_tol = 1e-12);
+
+  // Throws std::invalid_argument on a wrong-sized right-hand side: this
+  // is public solve surface, and an assert-only check would turn a bad
+  // size into a silent out-of-bounds read in Release builds.
+  Vec solve(const Vec& b) const;
+
+  // Multi-RHS panel solve: b is n x k, one right-hand side per column.
+  // Columns fan out over ctx's pool with disjoint column writes, so the
+  // result is byte-identical to k sequential solve() calls at any thread
+  // count (each column runs exactly the single-vector substitution).
+  DenseMatrix solve_many(const common::Context& ctx,
+                         const DenseMatrix& b) const;
+
+  std::size_t dim() const { return n_; }
+
+  // Split substitution stages, used by the sparse hybrid factorization
+  // (sparse_ldlt.h) to interleave its dense tail with the sparse
+  // forward/backward sweeps. y.size() must equal dim(); each stage is the
+  // exact corresponding slice of solve()'s arithmetic (asserts only —
+  // inner-layer surface).
+  void forward_solve_in_place(Vec& y) const;   // L y = b
+  void diag_solve_in_place(Vec& y) const;      // D z = y
+  void backward_solve_in_place(Vec& y) const;  // L^T x = z
+
+ private:
+  std::size_t n_ = 0;
+  DenseMatrix l_;  // unit lower triangular
+  Vec d_;          // diagonal
+
+  void solve_in_place(Vec& y) const;
+
+  LdltFactor() = default;
+};
+
+}  // namespace bcclap::linalg

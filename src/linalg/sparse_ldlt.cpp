@@ -1,0 +1,429 @@
+#include "linalg/sparse_ldlt.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bcclap::linalg {
+
+namespace {
+
+constexpr std::size_t kNoneIdx = static_cast<std::size_t>(-1);
+
+// Tail cutoff of the ordering: below this many remaining vertices the
+// blocked dense kernel wins outright, so they are deferred wholesale.
+constexpr std::size_t kMinTailDim = 64;
+
+FactorMode env_factor_mode() {
+  const char* e = std::getenv("BCCLAP_FACTOR_PATH");
+  if (e == nullptr) return FactorMode::kAuto;
+  const std::string s(e);
+  if (s == "dense") return FactorMode::kForceDense;
+  if (s == "sparse") return FactorMode::kForceSparse;
+  return FactorMode::kAuto;
+}
+
+std::atomic<FactorMode>& mode_atomic() {
+  static std::atomic<FactorMode> mode{env_factor_mode()};
+  return mode;
+}
+
+struct Ordering {
+  std::vector<std::size_t> perm;  // new index -> original index
+  std::size_t t = 0;              // sparse prefix length
+};
+
+// Minimum-degree ordering on the elimination graph, with a dense-tail
+// cutoff: elimination stops once the minimum degree reaches half the
+// remaining vertices (the eliminated cliques have fused into an
+// effectively dense block — further sparse steps would produce O(r^2)
+// fill each) or once few vertices remain. Ties break on the smallest
+// vertex id, so the ordering is a pure function of the pattern.
+Ordering min_degree_order(const CscSymmetricMatrix& a) {
+  const std::size_t n = a.dim();
+  std::vector<std::vector<std::size_t>> adj(n);
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_index();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = cp[j]; k < cp[j + 1]; ++k) {
+      const std::size_t i = ri[k];
+      if (i == j) continue;
+      adj[i].push_back(j);
+      adj[j].push_back(i);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  std::set<std::pair<std::size_t, std::size_t>> pq;  // (degree, vertex)
+  for (std::size_t v = 0; v < n; ++v) pq.insert({adj[v].size(), v});
+  std::vector<char> eliminated(n, 0);
+  Ordering ord;
+  ord.perm.reserve(n);
+  std::size_t remaining = n;
+  std::vector<std::size_t> merged;
+  while (remaining > kMinTailDim) {
+    const std::size_t deg = pq.begin()->first;
+    const std::size_t v = pq.begin()->second;
+    if (2 * deg >= remaining) break;
+    pq.erase(pq.begin());
+    eliminated[v] = 1;
+    ord.perm.push_back(v);
+    --remaining;
+    // Eliminating v fuses its neighbourhood into a clique: every
+    // neighbour u drops v and unions in the other neighbours.
+    const std::vector<std::size_t> nb = std::move(adj[v]);
+    adj[v] = {};
+    for (std::size_t u : nb) {
+      std::vector<std::size_t>& au = adj[u];
+      merged.clear();
+      merged.reserve(au.size() + nb.size());
+      std::size_t x = 0;
+      std::size_t y = 0;
+      while (x < au.size() && y < nb.size()) {
+        if (au[x] == v) {
+          ++x;
+        } else if (nb[y] == u) {
+          ++y;
+        } else if (au[x] < nb[y]) {
+          merged.push_back(au[x++]);
+        } else if (nb[y] < au[x]) {
+          merged.push_back(nb[y++]);
+        } else {
+          merged.push_back(au[x]);
+          ++x;
+          ++y;
+        }
+      }
+      for (; x < au.size(); ++x)
+        if (au[x] != v) merged.push_back(au[x]);
+      for (; y < nb.size(); ++y)
+        if (nb[y] != u) merged.push_back(nb[y]);
+      pq.erase({au.size(), u});
+      au = merged;
+      pq.insert({au.size(), u});
+    }
+  }
+  ord.t = ord.perm.size();
+  // Tail vertices in ascending original id — deterministic, and keeps
+  // the permuted tail block in a stable layout for the dense kernel.
+  for (std::size_t v = 0; v < n; ++v)
+    if (eliminated[v] == 0) ord.perm.push_back(v);
+  return ord;
+}
+
+}  // namespace
+
+FactorMode factor_mode() {
+  return mode_atomic().load(std::memory_order_relaxed);
+}
+
+void set_factor_mode(FactorMode mode) {
+  mode_atomic().store(mode, std::memory_order_relaxed);
+}
+
+bool sparse_path_selected(std::size_t dim, std::size_t nnz) {
+  switch (factor_mode()) {
+    case FactorMode::kForceDense:
+      return false;
+    case FactorMode::kForceSparse:
+      return true;
+    case FactorMode::kAuto:
+      break;
+  }
+  if (dim < kSparseMinDim) return false;
+  const double density = static_cast<double>(nnz) /
+                         (static_cast<double>(dim) * static_cast<double>(dim));
+  return density <= kSparseMaxDensity;
+}
+
+std::optional<SparseLdltFactor> SparseLdltFactor::factor(
+    const common::Context& ctx, const CscSymmetricMatrix& a,
+    double pivot_tol) {
+  const std::size_t n = a.dim();
+  double diag_scale = 0.0;
+  for (double v : a.diagonal()) diag_scale = std::max(diag_scale, std::abs(v));
+  // Same degenerate-input contract as the dense kernel (linalg/ldlt.h).
+  if (n == 0 || diag_scale == 0.0) return std::nullopt;
+  const double threshold = pivot_tol * diag_scale;
+
+  SparseLdltFactor f;
+  f.n_ = n;
+  Ordering ord = min_degree_order(a);
+  f.t_ = ord.t;
+  f.perm_ = std::move(ord.perm);
+  f.iperm_.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) f.iperm_[f.perm_[k]] = k;
+  const std::size_t t = f.t_;
+  const std::size_t tail = n - t;
+
+  // Permuted upper triangle P A P^T in CSC (entries unordered within a
+  // column; duplicates kept — every consumer below is additive).
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_index();
+  const auto& av = a.values();
+  std::vector<std::size_t> pcp(n + 1, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = cp[j]; k < cp[j + 1]; ++k)
+      ++pcp[std::max(f.iperm_[ri[k]], f.iperm_[j]) + 1];
+  }
+  for (std::size_t j = 0; j < n; ++j) pcp[j + 1] += pcp[j];
+  std::vector<std::size_t> pri(pcp[n]);
+  std::vector<double> pv(pcp[n]);
+  {
+    std::vector<std::size_t> fill(pcp.begin(), pcp.end() - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = cp[j]; k < cp[j + 1]; ++k) {
+        std::size_t r = f.iperm_[ri[k]];
+        std::size_t c = f.iperm_[j];
+        if (r > c) std::swap(r, c);
+        pri[fill[c]] = r;
+        pv[fill[c]] = av[k];
+        ++fill[c];
+      }
+    }
+  }
+
+  // Symbolic analysis: elimination tree (parent[i] = first later row
+  // whose L pattern reaches column i) and exact fill counts, by the
+  // standard row-subtree traversal. Walks truncate at the first node >= t
+  // — etree parents strictly increase, so every ancestor past that node
+  // is also >= t, i.e. a tail column whose coupling lives entirely in the
+  // dense Schur complement; the truncation loses nothing.
+  std::vector<std::size_t> parent(n, kNoneIdx);
+  std::vector<std::size_t> flag(n, kNoneIdx);
+  std::vector<std::size_t> lcnt(t, 0);       // strictly-lower nnz of L11 col
+  std::vector<std::size_t> l21cnt(tail, 0);  // nnz of L21 row
+  for (std::size_t k = 0; k < n; ++k) {
+    flag[k] = k;
+    for (std::size_t p = pcp[k]; p < pcp[k + 1]; ++p) {
+      std::size_t i = pri[p];
+      if (i >= k || i >= t) continue;  // diagonal, or tail-tail block
+      while (flag[i] != k) {
+        if (parent[i] == kNoneIdx) parent[i] = k;
+        flag[i] = k;
+        if (k < t) {
+          ++lcnt[i];
+        } else {
+          ++l21cnt[k - t];
+        }
+        if (parent[i] >= t) break;  // truncated: rest of the path is tail
+        i = parent[i];
+      }
+    }
+  }
+
+  f.l_colp_.assign(t + 1, 0);
+  for (std::size_t j = 0; j < t; ++j) f.l_colp_[j + 1] = f.l_colp_[j] + lcnt[j];
+  f.l_rows_.resize(f.l_colp_[t]);
+  f.l_vals_.resize(f.l_colp_[t]);
+  f.d_.assign(t, 0.0);
+  f.l21_rowp_.assign(tail + 1, 0);
+  for (std::size_t i = 0; i < tail; ++i)
+    f.l21_rowp_[i + 1] = f.l21_rowp_[i] + l21cnt[i];
+  f.l21_cols_.resize(f.l21_rowp_[tail]);
+  f.l21_vals_.resize(f.l21_rowp_[tail]);
+
+  // Numeric phase: up-looking row-by-row sparse triangular solves
+  // (Davis's LDL algorithm). Row k < t solves
+  //   L11(0:k, 0:k) D1 l^T = a(0:k, k)
+  // over its fill pattern and appends itself to the touched columns; row
+  // k >= t runs the same solve restricted to columns < t, yielding its
+  // L21 row. The pattern stack replays the symbolic traversal, so the
+  // reserved column slots fill exactly.
+  std::vector<std::size_t> lnz(t, 0);
+  std::vector<std::size_t> pat(t);
+  Vec y(t, 0.0);
+  std::fill(flag.begin(), flag.end(), kNoneIdx);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t top = t;
+    double dk = 0.0;
+    flag[k] = k;
+    for (std::size_t p = pcp[k]; p < pcp[k + 1]; ++p) {
+      std::size_t i = pri[p];
+      if (k < t) {
+        if (i == k) {
+          dk += pv[p];
+          continue;
+        }
+      } else if (i >= t) {
+        continue;  // A22 entry: assembled into the Schur complement below
+      }
+      y[i] += pv[p];
+      std::size_t len = 0;
+      while (flag[i] != k) {
+        pat[len++] = i;
+        flag[i] = k;
+        if (parent[i] >= t) break;
+        i = parent[i];
+      }
+      // Reverse the path onto the stack: [top, t) ends up topologically
+      // ordered (children before ancestors), the order the solve needs.
+      while (len > 0) pat[--top] = pat[--len];
+    }
+    if (k < t) {
+      for (std::size_t p = top; p < t; ++p) {
+        const std::size_t i = pat[p];
+        const double yi = y[i];
+        y[i] = 0.0;
+        const std::size_t q2 = f.l_colp_[i] + lnz[i];
+        for (std::size_t q = f.l_colp_[i]; q < q2; ++q)
+          y[f.l_rows_[q]] -= f.l_vals_[q] * yi;
+        const double lki = yi / f.d_[i];
+        dk -= lki * yi;
+        f.l_rows_[q2] = k;
+        f.l_vals_[q2] = lki;
+        ++lnz[i];
+      }
+      if (dk <= threshold) return std::nullopt;
+      f.d_[k] = dk;
+    } else {
+      std::size_t out = f.l21_rowp_[k - t];
+      for (std::size_t p = top; p < t; ++p) {
+        const std::size_t i = pat[p];
+        const double yi = y[i];
+        y[i] = 0.0;
+        const std::size_t q2 = f.l_colp_[i] + lnz[i];
+        for (std::size_t q = f.l_colp_[i]; q < q2; ++q)
+          y[f.l_rows_[q]] -= f.l_vals_[q] * yi;
+        f.l21_cols_[out] = i;
+        f.l21_vals_[out] = yi / f.d_[i];
+        ++out;
+      }
+      assert(out == f.l21_rowp_[k - t + 1]);
+    }
+  }
+
+  if (tail > 0) {
+    // Schur complement S = A22 - L21 D1 L21^T, assembled into the lower
+    // triangle (all the dense kernel reads).
+    DenseMatrix s(tail, tail);
+    for (std::size_t k = t; k < n; ++k) {
+      for (std::size_t p = pcp[k]; p < pcp[k + 1]; ++p)
+        if (pri[p] >= t) s(k - t, pri[p] - t) += pv[p];
+    }
+    // Column-major copy of L21 (rows ascending: the fill loop scans rows
+    // in order) for the outer-product sweep.
+    std::vector<std::size_t> ccolp(t + 1, 0);
+    for (std::size_t q = 0; q < f.l21_cols_.size(); ++q)
+      ++ccolp[f.l21_cols_[q] + 1];
+    for (std::size_t j = 0; j < t; ++j) ccolp[j + 1] += ccolp[j];
+    std::vector<std::size_t> crows(f.l21_cols_.size());
+    std::vector<double> cvals(f.l21_cols_.size());
+    {
+      std::vector<std::size_t> fill(ccolp.begin(), ccolp.end() - 1);
+      for (std::size_t i = 0; i < tail; ++i) {
+        for (std::size_t p = f.l21_rowp_[i]; p < f.l21_rowp_[i + 1]; ++p) {
+          const std::size_t j = f.l21_cols_[p];
+          crows[fill[j]] = i;
+          cvals[fill[j]] = f.l21_vals_[p];
+          ++fill[j];
+        }
+      }
+    }
+    // The subtraction fans out over fixed 64-row bands of S: each band
+    // scans every column in order and owns its rows outright, so the
+    // floating-point grouping never depends on the worker count.
+    constexpr std::size_t kBand = 64;
+    const std::size_t nbands = (tail + kBand - 1) / kBand;
+    ctx.parallel_for(0, nbands, [&](std::size_t band) {
+      const std::size_t blo = band * kBand;
+      const std::size_t bhi = std::min(tail, blo + kBand);
+      for (std::size_t j = 0; j < t; ++j) {
+        const double dj = f.d_[j];
+        const std::size_t cb = ccolp[j];
+        const std::size_t ce = ccolp[j + 1];
+        const std::size_t start = static_cast<std::size_t>(
+            std::lower_bound(crows.begin() + static_cast<std::ptrdiff_t>(cb),
+                             crows.begin() + static_cast<std::ptrdiff_t>(ce),
+                             blo) -
+            crows.begin());
+        for (std::size_t pa = start; pa < ce && crows[pa] < bhi; ++pa) {
+          const double va = cvals[pa] * dj;
+          double* srow = s.row_data(crows[pa]);
+          for (std::size_t pb = cb; pb <= pa; ++pb)
+            srow[crows[pb]] -= va * cvals[pb];
+        }
+      }
+    });
+    auto tf = LdltFactor::factor(ctx, s, pivot_tol);
+    if (!tf) return std::nullopt;
+    f.tail_ = std::move(*tf);
+  }
+  return f;
+}
+
+void SparseLdltFactor::solve_in_place(Vec& y) const {
+  const std::size_t t = t_;
+  const std::size_t tail = n_ - t;
+  // Forward: L11 column sweep (column j's value is final once the sweep
+  // reaches it), then the L21 rows couple the solved head into the tail
+  // equations, then the dense tail's own forward pass.
+  for (std::size_t j = 0; j < t; ++j) {
+    const double yj = y[j];
+    for (std::size_t p = l_colp_[j]; p < l_colp_[j + 1]; ++p)
+      y[l_rows_[p]] -= l_vals_[p] * yj;
+  }
+  for (std::size_t i = 0; i < tail; ++i) {
+    double v = y[t + i];
+    for (std::size_t p = l21_rowp_[i]; p < l21_rowp_[i + 1]; ++p)
+      v -= l21_vals_[p] * y[l21_cols_[p]];
+    y[t + i] = v;
+  }
+  for (std::size_t j = 0; j < t; ++j) y[j] /= d_[j];
+  if (tail_) {
+    Vec z(y.begin() + static_cast<std::ptrdiff_t>(t), y.end());
+    tail_->forward_solve_in_place(z);
+    tail_->diag_solve_in_place(z);
+    tail_->backward_solve_in_place(z);
+    std::copy(z.begin(), z.end(), y.begin() + static_cast<std::ptrdiff_t>(t));
+  }
+  // Backward: the solved tail feeds back through L21^T, then the L11^T
+  // gather runs columns in descending order.
+  for (std::size_t i = 0; i < tail; ++i) {
+    const double xi = y[t + i];
+    for (std::size_t p = l21_rowp_[i]; p < l21_rowp_[i + 1]; ++p)
+      y[l21_cols_[p]] -= l21_vals_[p] * xi;
+  }
+  for (std::size_t j = t; j-- > 0;) {
+    double v = y[j];
+    for (std::size_t p = l_colp_[j]; p < l_colp_[j + 1]; ++p)
+      v -= l_vals_[p] * y[l_rows_[p]];
+    y[j] = v;
+  }
+}
+
+Vec SparseLdltFactor::solve(const Vec& b) const {
+  assert(b.size() == n_);
+  Vec y(n_);
+  for (std::size_t k = 0; k < n_; ++k) y[k] = b[perm_[k]];
+  solve_in_place(y);
+  Vec x(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[perm_[k]] = y[k];
+  return x;
+}
+
+DenseMatrix SparseLdltFactor::solve_many(const common::Context& ctx,
+                                         const DenseMatrix& b) const {
+  assert(b.rows() == n_);
+  DenseMatrix x(n_, b.cols());
+  // Disjoint column writes: byte-identical to sequential solve() calls.
+  ctx.parallel_for(0, b.cols(), [&](std::size_t j) {
+    Vec col = b.column(j);
+    Vec y(n_);
+    for (std::size_t k = 0; k < n_; ++k) y[k] = col[perm_[k]];
+    solve_in_place(y);
+    for (std::size_t k = 0; k < n_; ++k) col[perm_[k]] = y[k];
+    x.set_column(j, col);
+  });
+  return x;
+}
+
+}  // namespace bcclap::linalg

@@ -1,0 +1,125 @@
+// Sparse LDL^T factorization with a dense supernodal tail.
+//
+// The sparsified Laplacians this library factors have O(n / eps^2) edges,
+// so the dense LdltFactor's O(n^2) storage and O(n^3) arithmetic are the
+// scaling wall (ROADMAP: "break the dense O(n^2) wall"). This factor is
+// the sparse-first path behind LaplacianFactor / ComponentLaplacianFactor
+// (linalg/cholesky.h), which select it automatically by a density
+// heuristic — see `sparse_path_selected` below.
+//
+// Pipeline, the classic sparse-direct recipe:
+//  1. Fill-reducing ordering: minimum degree on the elimination graph,
+//     with a dense-tail cutoff — once the minimum degree reaches half the
+//     remaining vertices (or few vertices remain), further sparse
+//     elimination only churns an effectively dense submatrix, so the
+//     remaining vertices are deferred to the tail wholesale.
+//  2. Symbolic analysis: elimination tree + per-column fill counts via
+//     the standard row-subtree traversal, truncated at the tail split t
+//     (etree parents strictly increase, so every truncated ancestor is a
+//     tail column — the truncation is exact, not a heuristic).
+//  3. Numeric factorization: up-looking row-by-row sparse LDL^T (the
+//     LDL/ldl.c algorithm) for the leading t columns, then the Schur
+//     complement S = A22 - L21 D1 L21^T assembled column-wise and
+//     factored by the blocked parallel dense kernel (linalg/ldlt.h) —
+//     the PR 3 tile kernels are the "dense supernodal panels" here.
+//
+// Determinism contract: ordering, symbolic and the sparse numeric phase
+// are sequential; the Schur assembly fans out over fixed 64-row bands
+// with disjoint writes and a fixed per-band accumulation order; the dense
+// tail is the byte-deterministic blocked kernel. Factors and solves are
+// therefore byte-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/context.h"
+#include "linalg/csc_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/ldlt.h"
+#include "linalg/vector_ops.h"
+
+namespace bcclap::linalg {
+
+// Which factorization backend a LaplacianFactor / component ended up on.
+enum class FactorKind {
+  kNone,    // nothing to factor (n <= 1 after grounding)
+  kDense,   // blocked dense LdltFactor
+  kSparse,  // SparseLdltFactor
+};
+
+// Process-wide override for the dense/sparse dispatch inside the
+// Laplacian factors. kAuto applies the density heuristic; the force modes
+// pin one backend (test equivalence suites, benchmarks, escape hatch).
+// Initialized from the BCCLAP_FACTOR_PATH environment variable
+// ("dense" / "sparse" / "auto") on first use.
+enum class FactorMode { kAuto, kForceDense, kForceSparse };
+
+FactorMode factor_mode();
+void set_factor_mode(FactorMode mode);
+
+// Auto-dispatch thresholds: the sparse path takes over only above
+// kSparseMinDim (below it the dense kernel's constants win — and keeping
+// the bar above 256 pins every historical n=256 bench case to the dense
+// path, byte for byte) and below kSparseMaxDensity stored-entry density
+// (near-dense inputs would just rebuild the dense matrix with overhead).
+inline constexpr std::size_t kSparseMinDim = 384;
+inline constexpr double kSparseMaxDensity = 0.25;
+
+// The dispatch predicate: true when a grounded matrix of dimension `dim`
+// with `nnz` stored entries (duplicates counted; heuristic only) should
+// be factored on the sparse path under the current factor_mode().
+bool sparse_path_selected(std::size_t dim, std::size_t nnz);
+
+// Sparse LDL^T factor of a symmetric positive definite matrix given by
+// its upper triangle in CSC form.
+class SparseLdltFactor {
+ public:
+  // Factors on ctx's pool. Returns nullopt under the same contract as
+  // LdltFactor::factor: empty matrix, all-zero diagonal, or any pivot at
+  // or below pivot_tol relative to the largest diagonal magnitude.
+  static std::optional<SparseLdltFactor> factor(const common::Context& ctx,
+                                                const CscSymmetricMatrix& a,
+                                                double pivot_tol = 1e-12);
+
+  Vec solve(const Vec& b) const;
+
+  // Multi-RHS panel solve; columns fan out over ctx's pool with disjoint
+  // writes, per-column byte-identical to solve().
+  DenseMatrix solve_many(const common::Context& ctx,
+                         const DenseMatrix& b) const;
+
+  std::size_t dim() const { return n_; }
+  // Columns eliminated by the sparse simplicial phase.
+  std::size_t sparse_columns() const { return t_; }
+  // Dimension of the dense Schur-complement tail.
+  std::size_t tail_dim() const { return n_ - t_; }
+  // Stored off-diagonal fill of the sparse phase: nnz(L11) + nnz(L21).
+  std::size_t fill_nnz() const {
+    return l_rows_.size() + l21_cols_.size();
+  }
+
+ private:
+  std::size_t n_ = 0;  // matrix dimension
+  std::size_t t_ = 0;  // sparse/dense split: columns [0, t_) are sparse
+  std::vector<std::size_t> perm_;   // new index -> original index
+  std::vector<std::size_t> iperm_;  // original index -> new index
+  // L11: strictly-lower entries of the unit-lower factor's leading t_
+  // columns, CSC, rows < t_ (appended in row order, so ascending).
+  std::vector<std::size_t> l_colp_;
+  std::vector<std::size_t> l_rows_;
+  std::vector<double> l_vals_;
+  Vec d_;  // t_ sparse-phase pivots
+  // L21: rows t_..n-1 of the factor restricted to columns < t_, CSR.
+  std::vector<std::size_t> l21_rowp_;
+  std::vector<std::size_t> l21_cols_;
+  std::vector<double> l21_vals_;
+  // Dense LDL^T of the Schur complement; engaged iff t_ < n_.
+  std::optional<LdltFactor> tail_;
+
+  void solve_in_place(Vec& y) const;  // permuted coordinates
+
+  SparseLdltFactor() = default;
+};
+
+}  // namespace bcclap::linalg

@@ -143,12 +143,12 @@ TEST(BatchedSolve, ComponentFactorPanelMatchesSequentialSolves) {
     const auto ctx = runtime_for(threads).context();
     const auto f = linalg::ComponentLaplacianFactor::factor(ctx, lap);
     ASSERT_TRUE(f);
-    const DenseMatrix x = f->solve_many(b);
+    const DenseMatrix x = f->solve_many(ctx, b);
     std::vector<Vec> seq;
     for (std::size_t j = 0; j < b.cols(); ++j)
-      seq.push_back(f->solve(b.column(j)));
+      seq.push_back(f->solve(ctx, b.column(j)));
     EXPECT_TRUE(PanelMatchesColumns(x, seq)) << threads << " threads";
-    EXPECT_EQ(f->solve_many(DenseMatrix(40, 0)).cols(), 0u);
+    EXPECT_EQ(f->solve_many(ctx, DenseMatrix(40, 0)).cols(), 0u);
     per_thread.push_back(x);
   }
   for (std::size_t j = 0; j < b.cols(); ++j) {

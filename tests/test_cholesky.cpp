@@ -90,6 +90,49 @@ TEST(LaplacianFactor, RandomConnectedGraphs) {
   }
 }
 
+TEST(LaplacianFactor, OneAndTwoVertexGraphs) {
+  // n = 1: L = 0 is a valid (trivial) system — every rhs projects to zero
+  // and the solution is zero. Used to be rejected, turning 1-node graphs
+  // into a Release-mode null deref in ExactLaplacianSolver.
+  const auto f1 =
+      LaplacianFactor::factor(test_context(), graph::laplacian(graph::Graph(1)));
+  ASSERT_TRUE(f1);
+  EXPECT_EQ(f1->dim(), 1u);
+  EXPECT_EQ(f1->path(), FactorKind::kNone);
+  const Vec x1 = f1->solve(Vec{7.0});
+  ASSERT_EQ(x1.size(), 1u);
+  EXPECT_EQ(x1[0], 0.0);
+  const DenseMatrix p1 = f1->solve_many(test_context(), DenseMatrix(1, 3));
+  EXPECT_EQ(p1.rows(), 1u);
+  EXPECT_EQ(p1.cols(), 3u);
+
+  // n = 2: the smallest graph with an actual grounded system.
+  graph::Graph two(2);
+  two.add_edge(0, 1, 2.0);
+  const auto f2 =
+      LaplacianFactor::factor(test_context(), graph::laplacian(two));
+  ASSERT_TRUE(f2);
+  const Vec x2 = f2->solve(Vec{1.0, -1.0});
+  EXPECT_NEAR(x2[0] - x2[1], 0.5, 1e-12);  // L x = b with weight 2
+  EXPECT_NEAR(x2[0] + x2[1], 0.0, 1e-12);  // mean-zero representative
+}
+
+TEST(LaplacianFactor, RejectsWrongSizedRhs) {
+  // Public solve surface validates dimensions even in Release builds.
+  const auto f = LaplacianFactor::factor(test_context(),
+                                         graph::laplacian(graph::path(4)));
+  ASSERT_TRUE(f);
+  EXPECT_THROW(f->solve(Vec{1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(f->solve_many(test_context(), DenseMatrix(5, 2)),
+               std::invalid_argument);
+  const auto cf = ComponentLaplacianFactor::factor(
+      test_context(), graph::laplacian(graph::path(4)));
+  ASSERT_TRUE(cf);
+  EXPECT_THROW(cf->solve(test_context(), Vec(3, 0.0)), std::invalid_argument);
+  EXPECT_THROW(cf->solve_many(test_context(), DenseMatrix(3, 1)),
+               std::invalid_argument);
+}
+
 TEST(LaplacianFactor, FailsOnDisconnected) {
   graph::Graph g(4);
   g.add_edge(0, 1, 1.0);
@@ -160,7 +203,7 @@ TEST(ComponentLaplacianFactor, DisconnectedWithSingletonAndPairComponents) {
 
   rng::Stream stream(23);
   const auto b = testsupport::gaussian_vector(7, stream);
-  const Vec x = f->solve(b);
+  const Vec x = f->solve(test_context(), b);
 
   // Solve-then-apply round trip: L x equals b with the per-component mean
   // removed (the projection of b onto range(L)).
@@ -188,7 +231,7 @@ TEST(ComponentLaplacianFactor, DisconnectedWithSingletonAndPairComponents) {
   y[4] = -2.0;
   y[5] = 0.5;
   y[6] = 0.5;
-  const Vec back = f->solve(lap.multiply(test_context(), y));
+  const Vec back = f->solve(test_context(), lap.multiply(test_context(), y));
   for (std::size_t v = 0; v < 7; ++v) EXPECT_NEAR(back[v], y[v], 1e-9) << v;
 }
 
@@ -200,7 +243,7 @@ TEST(ComponentLaplacianFactor, AllSingletons) {
                                        graph::laplacian(graph::Graph(4)));
   ASSERT_TRUE(f);
   EXPECT_EQ(f->num_components(), 4u);
-  const Vec x = f->solve(Vec{1.0, -2.0, 3.0, 0.5});
+  const Vec x = f->solve(test_context(), Vec{1.0, -2.0, 3.0, 0.5});
   for (double v : x) EXPECT_EQ(v, 0.0);
 }
 

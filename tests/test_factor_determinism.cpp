@@ -93,7 +93,8 @@ TEST(FactorDeterminism, ComponentFactorIsThreadCountInvariant) {
       if (!f) return linalg::Vec{};  // EXPECT above reports; avoid bad deref
       EXPECT_EQ(f->num_components(), 4u);
       rng::Stream rhs(5);
-      return f->solve(testsupport::gaussian_vector(91, rhs));
+      return f->solve(testsupport::test_context(),
+                      testsupport::gaussian_vector(91, rhs));
     });
   };
   const auto one = run(1);

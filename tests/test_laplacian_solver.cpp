@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "graph/generators.h"
 #include "linalg/vector_ops.h"
 #include "support/comparators.h"
@@ -103,6 +105,54 @@ TEST(LaplacianSolver, NonZeroMeanRhsIsProjected) {
   const auto x = exact_laplacian_solve(test_context(), g, proj);
   EXPECT_LE(laplacian_norm(test_context(), g, linalg::sub(x, y)),
             1e-7 * (laplacian_norm(test_context(), g, x) + 1.0));
+}
+
+TEST(ExactLaplacianSolver, OneAndTwoVertexGraphs) {
+  // PR 6 bugfix sweep: a 1-node graph must be usable (L = 0, x = 0), not
+  // a null deref behind a failed factorization.
+  const ExactLaplacianSolver one(test_context(), graph::Graph(1));
+  ASSERT_TRUE(one.usable());
+  EXPECT_EQ(one.factor_path(), linalg::FactorKind::kNone);
+  const auto x1 = one.solve(linalg::Vec{3.0});
+  ASSERT_EQ(x1.size(), 1u);
+  EXPECT_EQ(x1[0], 0.0);
+  EXPECT_EQ(one.solve_many(linalg::DenseMatrix(1, 2)).cols(), 2u);
+
+  graph::Graph g2(2);
+  g2.add_edge(0, 1, 4.0);
+  const ExactLaplacianSolver two(test_context(), g2);
+  ASSERT_TRUE(two.usable());
+  EXPECT_EQ(two.factor_path(), linalg::FactorKind::kDense);
+  const auto x2 = two.solve(linalg::Vec{1.0, -1.0});
+  EXPECT_NEAR(x2[0] - x2[1], 0.25, 1e-12);
+}
+
+TEST(LaplacianSolver, OneAndTwoVertexGraphs) {
+  // The sparsifier-preconditioned path through the same degenerate sizes.
+  const graph::Graph one(1);
+  SparsifiedLaplacianSolver s1(test_context(7), one, solver_opts());
+  ASSERT_TRUE(s1.usable());
+  const auto x1 = s1.solve(linalg::Vec{5.0}, 1e-8);
+  ASSERT_EQ(x1.size(), 1u);
+  EXPECT_EQ(x1[0], 0.0);
+
+  graph::Graph two(2);
+  two.add_edge(0, 1, 2.0);
+  SparsifiedLaplacianSolver s2(test_context(8), two, solver_opts());
+  ASSERT_TRUE(s2.usable());
+  const auto x2 = s2.solve(linalg::Vec{1.0, -1.0}, 1e-10);
+  EXPECT_NEAR(x2[0] - x2[1], 0.5, 1e-8);
+}
+
+TEST(LaplacianSolver, RejectsWrongSizedRhs) {
+  rng::Stream gstream(43);
+  const auto g = graph::complete(12, 2, gstream);
+  SparsifiedLaplacianSolver solver(test_context(9), g, solver_opts());
+  ASSERT_TRUE(solver.usable());
+  EXPECT_THROW(solver.solve(linalg::Vec(5, 0.0), 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(solver.solve_many(linalg::DenseMatrix(5, 2), 1e-6),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -206,11 +208,13 @@ TEST(Runtime, DeprecatedPathObjectsSurviveProcessDefaultReset) {
   linalg::Vec b(g.num_vertices(), 0.0);
   b[0] = 1.0;
   b[g.num_vertices() - 1] = -1.0;
-  const auto before = factor->solve(b);
+  const auto before = factor->solve(Runtime::process_default().context(), b);
 
   const std::size_t prev = common::ThreadPool::global_threads();
   common::ThreadPool::set_global_threads(prev + 1);
-  const auto after = factor->solve(b);  // runs on the retired pool
+  // The post-reset default context targets the NEW pool; the factor no
+  // longer pins the retired one.
+  const auto after = factor->solve(Runtime::process_default().context(), b);
   common::ThreadPool::set_global_threads(prev);
   EXPECT_TRUE(bitwise_equal(before, after));
 
@@ -290,6 +294,90 @@ TEST(Runtime, FacadeMinCostMaxFlowMatchesBaseline) {
   const auto baseline = flow::min_cost_max_flow_ssp(g, 0, n - 1);
   EXPECT_EQ(run.result.flow.value, baseline.value);
   EXPECT_EQ(run.result.flow.cost, baseline.cost);
+}
+
+TEST(Runtime, ComponentFactorOutlivesFactoringRuntime) {
+  // Regression (PR 6 bugfix sweep): the factor used to capture the
+  // factoring Runtime's raw ThreadPool* and dereference it at solve time
+  // — a dangling pointer once that Runtime was destroyed. The context is
+  // now a per-call argument, so solving on a different, live Runtime is
+  // well-defined.
+  const auto g = pipeline_graph();
+  const auto lap = graph::laplacian(g);
+  linalg::Vec b(g.num_vertices(), 0.0);
+  b[0] = 1.0;
+  b[g.num_vertices() - 1] = -1.0;
+
+  std::optional<linalg::ComponentLaplacianFactor> factor;
+  {
+    RuntimeOptions opts;
+    opts.threads = 3;
+    opts.seed = 9;
+    Runtime short_lived(opts);
+    factor = linalg::ComponentLaplacianFactor::factor(short_lived.context(),
+                                                      lap);
+  }  // the Runtime the factor was built on is gone
+  ASSERT_TRUE(factor.has_value());
+
+  RuntimeOptions opts;
+  opts.threads = 2;
+  opts.seed = 9;
+  Runtime rt(opts);
+  const auto x = factor->solve(rt.context(), b);
+  // The factor is byte-deterministic, so it matches one built on the
+  // solving Runtime itself.
+  const auto fresh = linalg::ComponentLaplacianFactor::factor(rt.context(),
+                                                              lap);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(bitwise_equal(x, fresh->solve(rt.context(), b)));
+}
+
+TEST(Runtime, FacadeHandlesOneAndTwoVertexGraphs) {
+  // Regression (PR 6 bugfix sweep): a 1-node graph used to make
+  // LaplacianFactor::factor return nullopt, which Release builds turned
+  // into a null deref inside ExactLaplacianSolver. L = 0 solves to x = 0.
+  RuntimeOptions opts;
+  opts.threads = 2;
+  opts.seed = 31;
+  Runtime rt(opts);
+  LaplacianSolveOptions lopt;
+  lopt.sparsify = pipeline_sparsify_options();
+
+  const graph::Graph one(1);
+  const auto r1 = rt.solve_laplacian(one, linalg::Vec{4.0}, lopt);
+  ASSERT_TRUE(r1.usable);
+  ASSERT_EQ(r1.x.size(), 1u);
+  EXPECT_EQ(r1.x[0], 0.0);
+
+  graph::Graph two(2);
+  two.add_edge(0, 1, 2.0);
+  const auto r2 = rt.solve_laplacian(two, linalg::Vec{1.0, -1.0}, lopt);
+  ASSERT_TRUE(r2.usable);
+  ASSERT_EQ(r2.x.size(), 2u);
+  // L x = b with L = [[2,-2],[-2,2]]: x = (0.25, -0.25) + kernel shift.
+  EXPECT_NEAR(r2.x[0] - r2.x[1], 0.5, 1e-9);
+
+  const auto rm = rt.solve_laplacian_many(
+      two, linalg::DenseMatrix(2, 1), lopt);
+  ASSERT_TRUE(rm.usable);
+  EXPECT_EQ(rm.x.rows(), 2u);
+}
+
+TEST(Runtime, FacadeRejectsWrongSizedRhs) {
+  // The facade validates dimensions explicitly (PR 6 bugfix sweep);
+  // asserts compile out in Release, so this must be a real check.
+  RuntimeOptions opts;
+  opts.threads = 1;
+  opts.seed = 77;
+  Runtime rt(opts);
+  const auto g = pipeline_graph();
+  LaplacianSolveOptions lopt;
+  lopt.sparsify = pipeline_sparsify_options();
+  EXPECT_THROW(rt.solve_laplacian(g, linalg::Vec(3, 0.0), lopt),
+               std::invalid_argument);
+  EXPECT_THROW(
+      rt.solve_laplacian_many(g, linalg::DenseMatrix(3, 2), lopt),
+      std::invalid_argument);
 }
 
 }  // namespace
