@@ -17,6 +17,7 @@
 #include "flow/ssp.h"
 #include "graph/generators.h"
 #include "laplacian/bcc_solver.h"
+#include "laplacian/engine.h"
 #include "laplacian/solver.h"
 #include "linalg/vector_ops.h"
 #include "sparsify/verifier.h"
@@ -151,6 +152,10 @@ void pipeline_sparse_solve(bench::State& s, std::size_t n, std::size_t k) {
   lopt.sparsify.epsilon = 0.5;
   lopt.sparsify.k = 2;
   lopt.sparsify.t = 2;
+  // Pinned: at these sizes "auto" now resolves to exact-sparse (PR 7 —
+  // see pipeline_engine_auto below); this trajectory case keeps measuring
+  // the sparsified pipeline's factorization stack, fingerprints unchanged.
+  lopt.engine = "sparsified-chebyshev";
   s.counter("n", static_cast<double>(n));
   s.counter("k", static_cast<double>(k));
   if (k == 1) {
@@ -183,6 +188,33 @@ void pipeline_sparse_solve(bench::State& s, std::size_t n, std::size_t k) {
   s.counter("fingerprint_xfrob", std::sqrt(frob));
 }
 
+// PR 7: the engine registry's auto-tuner end to end — "auto" (the facade
+// default) must route this large sparse instance to the exact-sparse
+// engine. The engine_is_exact_sparse counter doubles as a selection gate:
+// a tuner regression that sends it back to the sparsified pipeline (or
+// anywhere else) flips the counter and trips the bench determinism check.
+void pipeline_engine_auto(bench::State& s, std::size_t n) {
+  rng::Stream gstream(n * 3 + 1);
+  const auto g = graph::random_regularish(n, 8, 4, gstream);
+  RuntimeOptions opts;
+  opts.threads = 0;  // BCCLAP_THREADS / hardware
+  opts.seed = 77;
+  Runtime rt(opts);
+  LaplacianSolveOptions lopt;
+  lopt.eps = 1e-4;
+  linalg::Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+  const auto run = rt.solve_laplacian(g, b, lopt);
+  s.counter("n", static_cast<double>(n));
+  s.counter("usable", run.usable ? 1.0 : 0.0);
+  s.counter("engine_is_exact_sparse",
+            run.stats.engine == "exact-sparse" ? 1.0 : 0.0);
+  s.counter("sparse_factors", static_cast<double>(run.stats.sparse_factors));
+  s.counter("dense_factors", static_cast<double>(run.stats.dense_factors));
+  s.counter("fingerprint_xnorm", linalg::norm2(run.x));
+}
+
 void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
   rng::Stream gstream(s.iteration() * 37 + n);
   const auto g = graph::random_flow_network(n, n + 4, 3, 3, gstream);
@@ -191,8 +223,8 @@ void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
   opt.seed = s.iteration() + 9;
   std::uint64_t engine_seed = 5000;
   opt.lp.gram_factory = [&engine_seed](const linalg::DenseMatrix& gram) {
-    return laplacian::make_sparsified_sdd_engine(
-        bench::bench_context(engine_seed++), gram);
+    return laplacian::EngineRegistry::instance().create_sdd(
+        "sparsified-chebyshev", bench::bench_context(engine_seed++), gram, {});
   };
   // The sparsified engine is expensive per solve; bound the centering
   // work and skip boosting retries.
@@ -258,5 +290,12 @@ int main(int argc, char** argv) {
         [n](bench::State& s) { pipeline_sparse_solve(s, n, 32); },
         /*repeats_override=*/1, /*warmup_override=*/0);
   }
+  // PR 7: the auto-tuner routing the n = 1024 sparse instance to the
+  // exact-sparse engine (one direct factorization instead of the
+  // sparsify + Chebyshev pipeline).
+  h.add(
+      "pipeline_engine_auto/n=1024",
+      [](bench::State& s) { pipeline_engine_auto(s, 1024); },
+      /*repeats_override=*/1, /*warmup_override=*/0);
   return h.run(argc, argv);
 }

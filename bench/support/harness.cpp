@@ -9,7 +9,6 @@
 #include <iostream>
 #include <sstream>
 
-#include "common/thread_pool.h"
 #include "core/runtime.h"
 
 namespace bcclap::bench {
@@ -114,9 +113,9 @@ int Harness::run(int argc, char** argv) {
     }
   }
 
-  const std::size_t threads = common::ThreadPool::global_threads();
-  // (bench_context below resolves through the same process-default
-  // Runtime, so this is also the thread count every case ran with.)
+  const std::size_t threads = Runtime::process_default().num_threads();
+  // (bench_context resolves through the same process-default Runtime, so
+  // this is also the thread count every case ran with.)
   std::vector<CaseResult> results;
   std::printf("%-44s %10s %10s %10s  (threads=%zu)\n", "case", "mean_ms",
               "min_ms", "max_ms", threads);

@@ -57,10 +57,12 @@ int main() {
       laplacian::laplacian_norm(rt.context(), g, linalg::sub(exact, run.x)) /
       laplacian::laplacian_norm(rt.context(), g, exact);
   std::printf(
-      "solve:       %zu Chebyshev iterations, %lld BCC rounds total, "
+      "solve:       engine \"%s\" (registry pick for this instance), "
+      "%zu Chebyshev iterations, %lld BCC rounds total, "
       "%.2f ms wall, relative L_G-norm error %.2e\n",
-      run.stats.iterations, static_cast<long long>(run.stats.rounds),
-      1e3 * run.stats.wall_seconds, err);
+      run.stats.engine.c_str(), run.stats.iterations,
+      static_cast<long long>(run.stats.rounds), 1e3 * run.stats.wall_seconds,
+      err);
   std::printf("potential difference x[0] - x[n-1] = %.6f (effective "
               "resistance between the probes)\n",
               run.x[0] - run.x[g.num_vertices() - 1]);

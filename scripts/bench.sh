@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark trajectory (BENCH_pr6.json).
+# Machine-readable benchmark trajectory (BENCH_pr7.json).
 #
 # Builds the harness benches and runs the three pipeline-level binaries
 # under BCCLAP_THREADS=1 and BCCLAP_THREADS=N (default 4), then merges the
@@ -19,20 +19,24 @@
 # and a third gate checks the dispatch: the large cases must report
 # sparse_factors >= 1 and dense_factors = 0 — the preconditioner
 # factorization actually ran on the sparse path, not the dense kernel.
+# Since PR 7 the pipeline bench carries `pipeline_engine_auto/n=1024`
+# (facade default engine = "auto"), and a fourth gate checks the registry
+# tuner's selection: its engine_is_exact_sparse counter must be 1 — the
+# tuner routed the large sparse instance to the exact-sparse engine.
 # The script fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
 #   BUILD_DIR=<path>      build tree location (default: build)
 #   BENCH_THREADS=<n>     the multi-threaded configuration (default: 4)
 #   BENCH_REPEATS=<n>     measured repetitions per case (default: 3)
-#   BENCH_OUT=<path>      output file (default: BENCH_pr5.json)
+#   BENCH_OUT=<path>      output file (default: BENCH_pr7.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr6.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr7.json}"
 BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
@@ -120,9 +124,24 @@ for case in "pipeline_sparse_solve/n=1024" \
 done
 echo "sparse gate: large pipeline cases factored on the sparse path"
 
+# Engine-auto gate: under the facade default engine = "auto", the registry
+# tuner must route the n=1024 sparse instance to the exact-sparse engine
+# (RunStats engine string, surfaced as the engine_is_exact_sparse counter).
+ea="$(counter_of "$pipe_t1" "pipeline_engine_auto/n=1024" engine_is_exact_sparse)"
+if [ -z "$ea" ]; then
+  echo "ERROR: pipeline_engine_auto/n=1024 missing from $pipe_t1" >&2
+  exit 1
+fi
+if ! awk -v ea="$ea" 'BEGIN { exit !(ea == 1) }'; then
+  echo "ERROR: the auto tuner did not select exact-sparse at n=1024" >&2
+  echo "  engine_is_exact_sparse=$ea" >&2
+  exit 1
+fi
+echo "engine gate: auto tuner selected exact-sparse at n=1024"
+
 {
   echo '{'
-  echo '  "pr": 6,'
+  echo '  "pr": 7,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

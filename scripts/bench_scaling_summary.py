@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Render the 1-vs-N-thread scaling table of a bench.sh trajectory.
+
+Reads the merged JSON written by scripts/bench.sh and prints a GitHub
+Markdown table (case, t1 mean ms, tN mean ms, speedup) per bench binary —
+the payload the bench-multicore CI job appends to its job summary. Purely
+informational: the job gates on counter determinism (inside bench.sh),
+never on the speedup numbers, which are noisy on shared CI runners.
+
+Usage: bench_scaling_summary.py [trajectory.json]   (default BENCH_pr7.json)
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr7.json"
+    with open(path) as f:
+        traj = json.load(f)
+    configs = traj.get("thread_configs", [])
+    if len(configs) != 2:
+        print(f"{path}: expected two thread configs, got {configs!r}",
+              file=sys.stderr)
+        return 2
+    t1, tn = configs
+    runs = {(r["binary"], r["threads"]): r for r in traj.get("runs", [])}
+
+    print(f"## Bench scaling (PR {traj.get('pr', '?')}): "
+          f"{t1} vs {tn} threads")
+    print()
+    print(f"| case | t{t1} mean ms | t{tn} mean ms | speedup |")
+    print("| --- | ---: | ---: | ---: |")
+    rows = 0
+    for binary in sorted({b for b, _ in runs}):
+        base = runs.get((binary, t1))
+        many = runs.get((binary, tn))
+        if base is None or many is None:
+            print(f"{path}: {binary} missing a thread config",
+                  file=sys.stderr)
+            return 2
+        many_by_name = {c["name"]: c for c in many["results"]}
+        for case in base["results"]:
+            other = many_by_name.get(case["name"])
+            if other is None:
+                continue
+            a = case["wall_ms"]["mean"]
+            b = other["wall_ms"]["mean"]
+            speedup = f"{a / b:.2f}x" if b > 0 else "n/a"
+            print(f"| {case['name']} | {a:.3f} | {b:.3f} | {speedup} |")
+            rows += 1
+    print()
+    print("_Counters are identical across both configurations (gated in "
+          "scripts/bench.sh); wall times are single CI samples — the "
+          "speedup column is informational, not gated._")
+    if rows == 0:
+        print(f"{path}: no comparable cases found", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

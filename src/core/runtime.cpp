@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bcc/network.h"
-#include "laplacian/solver.h"
+#include "laplacian/engine.h"
 
 namespace bcclap {
 
@@ -20,6 +20,21 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// Resolve-and-build for the facade's Laplacian calls: one registry lookup
+// per run, with the tuner (or BCCLAP_ENGINE, or an explicit options key)
+// deciding the concrete engine.
+std::unique_ptr<laplacian::LaplacianEngine> build_engine(
+    const graph::Graph& g, const LaplacianSolveOptions& opt) {
+  auto& registry = laplacian::EngineRegistry::instance();
+  const std::string key = registry.resolve(
+      opt.engine, g.num_vertices(),
+      laplacian::EngineRegistry::laplacian_density(g), opt.eps);
+  laplacian::EngineOptions eopt;
+  eopt.eps = opt.eps;
+  eopt.sparsify = opt.sparsify;
+  return registry.create(key, eopt);
 }
 
 // Process-default Runtime storage. The atomic pointer is the lock-free
@@ -104,19 +119,16 @@ LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
   }
   const auto start = std::chrono::steady_clock::now();
   LaplacianRun out;
-  laplacian::SparsifiedLaplacianSolver solver(context(), g, opt.sparsify);
-  out.usable = solver.usable();
+  auto engine = build_engine(g, opt);
+  out.stats.engine = std::string(engine->key());
+  out.usable = engine->factor(context(), g);
   if (out.usable) {
-    laplacian::SolveStats st;
-    out.x = solver.solve(b, opt.eps, &st);
-    out.stats.iterations = st.iterations;
-    out.stats.rounds = st.rounds;
-    out.stats.dense_factors = st.dense_factors;
-    out.stats.sparse_factors = st.sparse_factors;
+    out.x = engine->solve(context(), b);
+    engine->report(&out.stats);
   }
-  out.tree_patched = solver.tree_patched();
-  out.sparsifier = solver.sparsifier();
-  out.preprocessing_rounds = solver.preprocessing_rounds();
+  out.tree_patched = engine->tree_patched();
+  if (const graph::Graph* h = engine->sparsifier()) out.sparsifier = *h;
+  out.preprocessing_rounds = engine->preprocessing_rounds();
   out.stats.rounds += out.preprocessing_rounds;
   out.stats.wall_seconds = seconds_since(start);
   return out;
@@ -133,20 +145,16 @@ LaplacianManyRun Runtime::solve_laplacian_many(
   }
   const auto start = std::chrono::steady_clock::now();
   LaplacianManyRun out;
-  laplacian::SparsifiedLaplacianSolver solver(context(), g, opt.sparsify);
-  out.usable = solver.usable();
+  auto engine = build_engine(g, opt);
+  out.stats.engine = std::string(engine->key());
+  out.usable = engine->factor(context(), g);
   if (out.usable) {
-    laplacian::SolveStats st;
-    out.x = solver.solve_many(b, opt.eps, &st);
-    out.stats.iterations = st.iterations;
-    out.stats.rounds = st.rounds;
-    out.stats.panels = st.panels;
-    out.stats.dense_factors = st.dense_factors;
-    out.stats.sparse_factors = st.sparse_factors;
+    out.x = engine->solve_many(context(), b);
+    engine->report(&out.stats);
   }
-  out.tree_patched = solver.tree_patched();
-  out.sparsifier = solver.sparsifier();
-  out.preprocessing_rounds = solver.preprocessing_rounds();
+  out.tree_patched = engine->tree_patched();
+  if (const graph::Graph* h = engine->sparsifier()) out.sparsifier = *h;
+  out.preprocessing_rounds = engine->preprocessing_rounds();
   out.stats.rounds += out.preprocessing_rounds;
   out.stats.wall_seconds = seconds_since(start);
   return out;

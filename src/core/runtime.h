@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/context.h"
 #include "common/rng.h"
@@ -62,15 +63,22 @@ struct RuntimeOptions {
 struct LaplacianSolveOptions {
   double eps = 1e-8;                    // energy-norm accuracy target
   sparsify::SparsifyOptions sparsify;   // preconditioner construction
+  // Engine registry key (laplacian/engine.h): "auto" lets the tuner pick
+  // per instance from (n, density, eps) — respecting BCCLAP_ENGINE — and
+  // a concrete key ("exact-dense", "exact-sparse", "sparsified-chebyshev",
+  // "cg") pins the backend. Unknown keys throw std::invalid_argument.
+  std::string engine = "auto";
 };
 
 struct LaplacianRun {
   linalg::Vec x;
-  bool usable = false;       // false: preconditioner factorization failed
+  bool usable = false;       // false: engine factorization failed
   bool tree_patched = false; // sparsifier lost connectivity, forest unioned
-  graph::Graph sparsifier;   // the preconditioner H actually used
+  graph::Graph sparsifier;   // the preconditioner H used (empty: engine
+                             // builds none — the exact and cg engines)
   std::int64_t preprocessing_rounds = 0;
-  // rounds = preprocessing + solve; iterations = Chebyshev iterations.
+  // rounds = preprocessing + solve; iterations = the engine's outer
+  // iterations; engine = the concrete registry key that served the run.
   core::RunStats stats;
 };
 
@@ -81,7 +89,8 @@ struct LaplacianManyRun {
   graph::Graph sparsifier;
   std::int64_t preprocessing_rounds = 0;
   // Per-panel stats: rounds = preprocessing + the whole panel's solve,
-  // iterations = per-column Chebyshev iterations, panels = 1.
+  // iterations = per-column iterations, panels = 1, engine = the concrete
+  // registry key that served the run.
   core::RunStats stats;
 };
 

@@ -21,6 +21,11 @@
 //                 kernel vs. the sparse CSC path (the dispatch inside
 //                 linalg/cholesky.h), counted per grounded component;
 //                 0 / 0 when the layer never factored a Laplacian;
+//   engine      — registry key of the solver engine that served the run
+//                 (laplacian/engine.h): "exact-dense", "exact-sparse",
+//                 "sparsified-chebyshev", "cg" — the concrete key the
+//                 auto-tuner or the caller picked. Empty when the layer
+//                 never went through the engine registry;
 //   wall_seconds — wall-clock time, filled by the Runtime facade (the
 //                 layers themselves never look at the clock).
 //
@@ -31,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace bcclap::core {
 
@@ -41,6 +47,7 @@ struct RunStats {
   std::size_t panels = 0;
   std::size_t dense_factors = 0;
   std::size_t sparse_factors = 0;
+  std::string engine;
   double wall_seconds = 0.0;
 
   RunStats& operator+=(const RunStats& o) {
@@ -50,6 +57,9 @@ struct RunStats {
     panels += o.panels;
     dense_factors += o.dense_factors;
     sparse_factors += o.sparse_factors;
+    // Counters add; the engine label adopts the most recent non-empty key
+    // (an aggregate over runs on different engines keeps the last one).
+    if (!o.engine.empty()) engine = o.engine;
     wall_seconds += o.wall_seconds;
     return *this;
   }

@@ -19,6 +19,19 @@ linalg::DenseMatrix SddEngine::solve_many(const linalg::DenseMatrix& y,
   return x;
 }
 
+std::int64_t exact_sdd_solve_rounds(std::size_t network_n, double eps) {
+  const double safe = std::max(eps, 1e-12);
+  const double logn = std::log2(static_cast<double>(network_n));
+  const std::int64_t iters =
+      static_cast<std::int64_t>(
+          std::ceil(std::sqrt(3.0) * std::log2(2.0 / safe))) +
+      1;
+  const std::int64_t bits =
+      enc::real_bits(static_cast<double>(network_n) / safe, safe);
+  return iters *
+         enc::rounds_for_bits(bits, static_cast<std::int64_t>(2 * logn) + 2);
+}
+
 namespace {
 
 class ExactSddEngine final : public SddEngine {
@@ -55,19 +68,14 @@ class ExactSddEngine final : public SddEngine {
 
   std::int64_t rounds_charged() const override { return rounds_; }
 
+  std::string_view key() const override { return "exact-dense"; }
+
  private:
   // Analytical round model (Lemma 5.1 / Theorem 1.3): one sparsification
   // (preprocessing) has already been charged per path-following phase by
   // the caller; each solve costs O(log(1/eps) log(n/eps)) rounds.
   void charge_solve(double eps) {
-    const double safe = std::max(eps, 1e-12);
-    const double logn = std::log2(static_cast<double>(network_n_));
-    const std::int64_t iters = static_cast<std::int64_t>(
-        std::ceil(std::sqrt(3.0) * std::log2(2.0 / safe))) + 1;
-    const std::int64_t bits = enc::real_bits(
-        static_cast<double>(network_n_) / safe, safe);
-    rounds_ += iters * enc::rounds_for_bits(
-                           bits, static_cast<std::int64_t>(2 * logn) + 2);
+    rounds_ += exact_sdd_solve_rounds(network_n_, eps);
   }
 
   common::Context ctx_;
@@ -151,6 +159,8 @@ class SparsifiedSddEngine final : public SddEngine {
   std::int64_t rounds_charged() const override {
     return rounds_ + solver_->preprocessing_rounds();
   }
+
+  std::string_view key() const override { return "sparsified-chebyshev"; }
 
  private:
   bool residual_ok(const linalg::Vec& x, const linalg::Vec& y,

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 
 #include "bcc/round_accountant.h"
 #include "common/context.h"
@@ -39,7 +40,20 @@ class SddEngine {
                                          double eps);
 
   virtual std::int64_t rounds_charged() const = 0;
+
+  // Registry key of the engine (laplacian/engine.h), e.g. "exact-dense";
+  // empty for engines constructed outside the registry's vocabulary
+  // (custom gram_factory hooks). The LP layer copies this into
+  // RunStats::engine.
+  virtual std::string_view key() const { return {}; }
 };
+
+// Analytical per-solve round cost of an exact SDD solve under the Lemma
+// 5.1 / Theorem 1.3 model (sparsify once per phase — charged by the
+// caller — then O(log(1/eps)) Chebyshev iterations of one broadcast
+// each): shared by every exact engine so "exact-dense" and "exact-sparse"
+// charge identical rounds and differ only in local arithmetic.
+std::int64_t exact_sdd_solve_rounds(std::size_t network_n, double eps);
 
 // Builds an engine for a concrete SDD matrix M (n x n dense), executing on
 // ctx's pool; the sparsified engine draws its sparsifier randomness from

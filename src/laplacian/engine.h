@@ -1,0 +1,189 @@
+// Pluggable solver-engine registry (ROADMAP: "pluggable engine registry").
+//
+// Before this layer the choice between the exact-dense, exact-sparse and
+// sparsified+Chebyshev solve paths was hard-coded in three ad-hoc seams
+// (`make_*_sdd_engine`, `sparse_path_selected`, the Runtime facade naming
+// SparsifiedLaplacianSolver directly). EngineRegistry generalizes PR 6's
+// dense/sparse dispatch into one string-keyed factory:
+//
+//   key                      algorithm
+//   "exact-dense"            grounded dense blocked LDL^T per component
+//   "exact-sparse"           grounded sparse CSC LDL^T per component
+//   "sparsified-chebyshev"   spectral sparsifier + preconditioned
+//                            Chebyshev (Theorem 1.3 — the paper pipeline)
+//   "cg"                     Jacobi-preconditioned conjugate gradient
+//                            (baseline / ablation; never auto-selected)
+//   "auto"                   tuner: picks one of the above per instance
+//                            from (n, stored density, requested eps)
+//
+// Engines solve Laplacian systems behind the LaplacianEngine interface
+// (factor / solve / solve_many) and SDD systems behind the existing
+// SddEngine interface (bcc_solver.h); both are constructed by key, so a
+// new backend plugs in by registering itself and touches no dispatch
+// code. Selection can be forced process-wide with BCCLAP_ENGINE=<key>
+// (consulted whenever "auto" is requested; an explicit key in options
+// wins over the environment, mirroring how set_factor_mode wins over
+// BCCLAP_FACTOR_PATH). Unknown keys throw std::invalid_argument listing
+// the registered keys; unknown BCCLAP_ENGINE values warn once and fall
+// back to the tuner (same policy as BCCLAP_FACTOR_PATH).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/context.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "laplacian/bcc_solver.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+#include "sparsify/spectral_sparsify.h"
+
+namespace bcclap::laplacian {
+
+// Per-instance engine configuration. Every engine reads `eps`; the
+// sparsified engine reads `sparsify`; the CG engine reads
+// `max_iterations` (0 = 4n + 128, a generous cap for a baseline solver).
+struct EngineOptions {
+  double eps = 1e-8;
+  sparsify::SparsifyOptions sparsify;
+  std::size_t max_iterations = 0;
+};
+
+// Unified Laplacian-solver interface the registry vends. Lifecycle:
+// factor(ctx, g) once (false = numerically degenerate input, do not
+// solve), then any number of solve / solve_many calls. The graph must
+// outlive the engine (engines hold a reference, like
+// SparsifiedLaplacianSolver). Engines accumulate their counters across
+// solves; report() folds them into a RunStats and stamps the engine key.
+class LaplacianEngine {
+ public:
+  virtual ~LaplacianEngine() = default;
+
+  virtual std::string_view key() const = 0;
+
+  virtual bool factor(const common::Context& ctx, const graph::Graph& g) = 0;
+
+  // Solve L_G x = b (b projected onto range(L_G) per component) to the
+  // engine's accuracy contract at EngineOptions::eps. Throws
+  // std::invalid_argument on a wrong-sized b.
+  virtual linalg::Vec solve(const common::Context& ctx,
+                            const linalg::Vec& b) = 0;
+
+  // Batched multi-RHS form; column j is byte-identical (exact engines) or
+  // matches the single-RHS path's contract (iterative engines) of
+  // solve(ctx, column j).
+  virtual linalg::DenseMatrix solve_many(const common::Context& ctx,
+                                         const linalg::DenseMatrix& b) = 0;
+
+  // Adds the counters accumulated since construction into *stats and sets
+  // stats->engine to key(). rounds excludes preprocessing_rounds() — the
+  // facade adds that separately, preserving the PR 6 reporting split.
+  virtual void report(core::RunStats* stats) const = 0;
+
+  // Preconditioner introspection; non-null only for engines that build
+  // one (the sparsified engine exposes H here for the facade's
+  // LaplacianRun::sparsifier field).
+  virtual const graph::Graph* sparsifier() const { return nullptr; }
+  virtual bool tree_patched() const { return false; }
+  virtual std::int64_t preprocessing_rounds() const { return 0; }
+};
+
+// Configuration for SDD engines built by key (the LP layer's Newton
+// systems): `network_n` is the BCC network size the round model charges
+// against, `eps_hint` the accuracy the caller will request — the auto
+// tuner uses it the way it uses eps for Laplacian engines.
+struct SddEngineOptions {
+  std::size_t network_n = 2;
+  double eps_hint = 1e-12;
+};
+
+// Auto-tuner thresholds. Dimension/density reuse the PR 6 factorization
+// dispatch constants (linalg/sparse_ldlt.h): at or above kSparseMinDim
+// and at or below kSparseMaxDensity stored density the exact sparse path
+// wins outright, and keeping the bar above 256 pins every historical
+// n=256 anchor to the sparsified pipeline byte for byte. Below that,
+// accuracy decides: at eps <= kAutoExactEps the Chebyshev iteration count
+// no longer beats a direct factorization, so "auto" goes exact-dense.
+inline constexpr double kAutoExactEps = 1e-10;
+
+class EngineRegistry {
+ public:
+  using GraphFactory =
+      std::function<std::unique_ptr<LaplacianEngine>(const EngineOptions&)>;
+  using SddFactory = std::function<std::unique_ptr<SddEngine>(
+      const common::Context&, linalg::DenseMatrix, const SddEngineOptions&)>;
+
+  // The process-wide registry, with the built-in engines registered on
+  // first use (an explicit bootstrap list in engine_registry.cpp — static
+  // self-registration would be dead-stripped out of the static archive).
+  static EngineRegistry& instance();
+
+  // Registers (or replaces — latest wins, a seam for test doubles) the
+  // factories behind `key`. `sdd_factory` may be null for engines that
+  // only solve graph Laplacians.
+  void register_engine(std::string key, GraphFactory graph_factory,
+                       SddFactory sdd_factory = nullptr);
+
+  bool registered(const std::string& key) const;
+
+  // Registered concrete keys, sorted; "auto" is a selector, not an entry.
+  std::vector<std::string> keys() const;
+
+  // Maps a requested key to the concrete key that will serve an instance
+  // with `n` unknowns, `density` stored-entry density and accuracy target
+  // `eps`. "auto" (or empty) consults BCCLAP_ENGINE first, then the
+  // tuner; any other key must be registered or this throws
+  // std::invalid_argument listing the registered keys.
+  std::string resolve(const std::string& requested, std::size_t n,
+                      double density, double eps) const;
+
+  // Builds the Laplacian engine behind a *concrete* key (callers resolve
+  // "auto" first — the tuner needs the instance shape, which only the
+  // caller has). Throws std::invalid_argument on unknown keys and on
+  // "auto".
+  std::unique_ptr<LaplacianEngine> create(const std::string& key,
+                                          const EngineOptions& opt) const;
+
+  // Builds an SDD engine for the dense matrix m. "auto" is resolved here
+  // (from m's dimension, its scanned nonzero density and opt.eps_hint).
+  // Throws std::invalid_argument on unknown keys and on keys registered
+  // without an SDD factory.
+  std::unique_ptr<SddEngine> create_sdd(const std::string& key,
+                                        const common::Context& ctx,
+                                        linalg::DenseMatrix m,
+                                        const SddEngineOptions& opt) const;
+
+  // The tuner, exposed for tests: exact-sparse at (n >= kSparseMinDim,
+  // density <= kSparseMaxDensity), exact-dense at eps <= kAutoExactEps,
+  // else sparsified-chebyshev. "cg" is never auto-selected.
+  static std::string auto_select(std::size_t n, double density, double eps);
+
+  // Stored-entry density of g's Laplacian, (n + 2m) / n^2 — the quantity
+  // the tuner compares against kSparseMaxDensity.
+  static double laplacian_density(const graph::Graph& g);
+
+ private:
+  struct Entry {
+    GraphFactory graph_factory;
+    SddFactory sdd_factory;
+  };
+
+  EngineRegistry() = default;
+
+  // Returns a copy: a reference into entries_ could be invalidated by a
+  // concurrent register_engine (latest-wins replacement, test seam).
+  Entry entry_or_throw(const std::string& key) const;
+  [[noreturn]] void throw_unknown_key(const std::string& key) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // insertion order
+};
+
+}  // namespace bcclap::laplacian

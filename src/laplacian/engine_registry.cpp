@@ -1,0 +1,182 @@
+#include "laplacian/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "laplacian/engines/builtin.h"
+#include "linalg/sparse_ldlt.h"
+
+namespace bcclap::laplacian {
+
+namespace {
+
+// Warn once per distinct invalid BCCLAP_ENGINE value (the env var is read
+// live on every "auto" resolve so tests can set and unset it; without the
+// latch a bench would emit the warning per solve).
+void warn_invalid_env_engine(const std::string& value,
+                             const std::string& keys_list) {
+  static std::mutex mu;
+  static std::string last_warned;
+  std::lock_guard<std::mutex> lock(mu);
+  if (value == last_warned) return;
+  last_warned = value;
+  BCCLAP_WARN("BCCLAP_ENGINE=\"" << value
+                                 << "\" is not a registered engine key "
+                                    "(registered: "
+                                 << keys_list
+                                 << ", or auto); falling back to auto");
+}
+
+std::string join_keys(const std::vector<std::string>& keys) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << keys[i];
+  }
+  return oss.str();
+}
+
+// Stored-entry density of a dense-stored SDD matrix, for the SDD-side
+// auto resolve: scan for exact zeros (assembled grams genuinely contain
+// them for non-adjacent constraint pairs).
+double dense_matrix_density(const linalg::DenseMatrix& m) {
+  const std::size_t n = m.rows();
+  if (n == 0) return 0.0;
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = m.row_data(i);
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (row[j] != 0.0) ++nnz;
+  }
+  return static_cast<double>(nnz) /
+         (static_cast<double>(n) * static_cast<double>(m.cols()));
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::instance() {
+  // Leaky singleton (never destroyed: engines may be created during other
+  // statics' teardown in tests) with the built-ins registered before the
+  // first caller can observe it.
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    engines::register_exact_dense(*r);
+    engines::register_exact_sparse(*r);
+    engines::register_sparsified_chebyshev(*r);
+    engines::register_cg(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void EngineRegistry::register_engine(std::string key,
+                                     GraphFactory graph_factory,
+                                     SddFactory sdd_factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, entry] : entries_) {
+    if (existing == key) {
+      entry = Entry{std::move(graph_factory), std::move(sdd_factory)};
+      return;
+    }
+  }
+  entries_.emplace_back(
+      std::move(key), Entry{std::move(graph_factory), std::move(sdd_factory)});
+}
+
+bool EngineRegistry::registered(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, entry] : entries_)
+    if (existing == key) return true;
+  return false;
+}
+
+std::vector<std::string> EngineRegistry::keys() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string EngineRegistry::resolve(const std::string& requested,
+                                    std::size_t n, double density,
+                                    double eps) const {
+  const bool is_auto = requested.empty() || requested == "auto";
+  if (!is_auto) {
+    if (!registered(requested)) throw_unknown_key(requested);
+    return requested;
+  }
+  if (const char* e = std::getenv("BCCLAP_ENGINE")) {
+    const std::string env_key(e);
+    if (registered(env_key)) return env_key;
+    // BCCLAP_ENGINE=auto is a valid no-op spelling of the default.
+    if (env_key != "auto") warn_invalid_env_engine(env_key, join_keys(keys()));
+  }
+  return auto_select(n, density, eps);
+}
+
+std::unique_ptr<LaplacianEngine> EngineRegistry::create(
+    const std::string& key, const EngineOptions& opt) const {
+  if (key == "auto") {
+    throw std::invalid_argument(
+        "laplacian::EngineRegistry::create: \"auto\" is a selector, not an "
+        "engine — resolve(key, n, density, eps) it to a concrete key first");
+  }
+  return entry_or_throw(key).graph_factory(opt);
+}
+
+std::unique_ptr<SddEngine> EngineRegistry::create_sdd(
+    const std::string& key, const common::Context& ctx, linalg::DenseMatrix m,
+    const SddEngineOptions& opt) const {
+  const std::string concrete =
+      resolve(key, m.rows(), dense_matrix_density(m), opt.eps_hint);
+  const Entry entry = entry_or_throw(concrete);
+  if (!entry.sdd_factory) {
+    throw std::invalid_argument(
+        "laplacian::EngineRegistry::create_sdd: engine \"" + concrete +
+        "\" has no SDD factory (registered: " + join_keys(keys()) + ")");
+  }
+  return entry.sdd_factory(ctx, std::move(m), opt);
+}
+
+std::string EngineRegistry::auto_select(std::size_t n, double density,
+                                        double eps) {
+  if (n >= linalg::kSparseMinDim && density <= linalg::kSparseMaxDensity)
+    return "exact-sparse";
+  if (eps <= kAutoExactEps) return "exact-dense";
+  return "sparsified-chebyshev";
+}
+
+double EngineRegistry::laplacian_density(const graph::Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 0.0;
+  // Stored entries of the CSR Laplacian: n diagonal + 2m off-diagonal.
+  const double stored =
+      static_cast<double>(n) + 2.0 * static_cast<double>(g.num_edges());
+  return stored / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+EngineRegistry::Entry EngineRegistry::entry_or_throw(
+    const std::string& key) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [existing, entry] : entries_)
+      if (existing == key) return entry;
+  }
+  throw_unknown_key(key);
+}
+
+void EngineRegistry::throw_unknown_key(const std::string& key) const {
+  throw std::invalid_argument("laplacian::EngineRegistry: unknown engine key "
+                              "\"" +
+                              key + "\" (registered: " + join_keys(keys()) +
+                              ", or auto)");
+}
+
+}  // namespace bcclap::laplacian

@@ -1,0 +1,26 @@
+// Registration hooks for the built-in engines. Each engine lives in its
+// own translation unit under src/laplacian/engines/ and exposes exactly
+// one symbol: its register_* function. engine_registry.cpp calls these
+// from the instance() bootstrap — a registration manifest, not dispatch
+// code: adding a backend means adding one TU and one line here, and no
+// existing engine or call site changes.
+//
+// (Static self-registering objects would be the zero-touch alternative,
+// but this library links as a static archive, where a TU nothing
+// references is dropped by the linker along with its registrar — the
+// explicit bootstrap list is the reliable form.)
+#pragma once
+
+namespace bcclap::laplacian {
+
+class EngineRegistry;
+
+namespace engines {
+
+void register_exact_dense(EngineRegistry& registry);
+void register_exact_sparse(EngineRegistry& registry);
+void register_sparsified_chebyshev(EngineRegistry& registry);
+void register_cg(EngineRegistry& registry);
+
+}  // namespace engines
+}  // namespace bcclap::laplacian

@@ -215,6 +215,11 @@ DenseMatrix LdltFactor::solve_many(const common::Context& ctx,
 #endif
 std::optional<LaplacianFactor> LaplacianFactor::factor(
     const common::Context& ctx, const CsrMatrix& laplacian) {
+  return factor(ctx, laplacian, factor_mode());
+}
+
+std::optional<LaplacianFactor> LaplacianFactor::factor(
+    const common::Context& ctx, const CsrMatrix& laplacian, FactorMode mode) {
   assert(laplacian.rows() == laplacian.cols());
   const std::size_t n = laplacian.rows();
   if (n == 0) return std::nullopt;
@@ -232,7 +237,7 @@ std::optional<LaplacianFactor> LaplacianFactor::factor(
       if (ci[k] + 1 < n) ++grounded_nnz;
     }
   }
-  if (sparse_path_selected(n - 1, grounded_nnz)) {
+  if (sparse_path_selected(n - 1, grounded_nnz, mode)) {
     // Grounded upper triangle straight from the symmetric CSR — no dense
     // detour on this path.
     auto sf = SparseLdltFactor::factor(
@@ -293,6 +298,11 @@ DenseMatrix LaplacianFactor::solve_many(const common::Context& ctx,
 
 std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
     const common::Context& ctx, const CsrMatrix& laplacian) {
+  return factor(ctx, laplacian, factor_mode());
+}
+
+std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
+    const common::Context& ctx, const CsrMatrix& laplacian, FactorMode mode) {
   assert(laplacian.rows() == laplacian.cols());
   const std::size_t n = laplacian.rows();
   ComponentLaplacianFactor f;
@@ -353,7 +363,7 @@ std::optional<ComponentLaplacianFactor> ComponentLaplacianFactor::factor(
         if (f.component_of_[u] == c && local[u] < dim) ++grounded_nnz;
       }
     }
-    if (sparse_path_selected(dim, grounded_nnz)) {
+    if (sparse_path_selected(dim, grounded_nnz, mode)) {
       // Symmetric triplets in component-local indices; the CSC builder
       // keeps the upper triangle and coalesces duplicates additively.
       std::vector<Triplet> trips;

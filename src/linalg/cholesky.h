@@ -45,6 +45,13 @@ class LaplacianFactor {
   static std::optional<LaplacianFactor> factor(const common::Context& ctx,
                                                const CsrMatrix& laplacian);
 
+  // Same, with an explicit backend mode instead of the process-wide
+  // factor_mode() — the engine registry's per-request "exact-dense" /
+  // "exact-sparse" keys pin their backend through here.
+  static std::optional<LaplacianFactor> factor(const common::Context& ctx,
+                                               const CsrMatrix& laplacian,
+                                               FactorMode mode);
+
   // Requires sum(b) ~ 0 (the solver projects b to be safe). Returns x with
   // mean zero satisfying L x = b. Throws std::invalid_argument on a
   // wrong-sized b (public solve surface; see ldlt.h).
@@ -82,6 +89,10 @@ class ComponentLaplacianFactor {
  public:
   static std::optional<ComponentLaplacianFactor> factor(
       const common::Context& ctx, const CsrMatrix& laplacian);
+
+  // Explicit-backend variant; see LaplacianFactor::factor(ctx, l, mode).
+  static std::optional<ComponentLaplacianFactor> factor(
+      const common::Context& ctx, const CsrMatrix& laplacian, FactorMode mode);
 
   // Returns the minimum-norm-style representative: per component, the
   // solution with zero component mean for the component-projected rhs.

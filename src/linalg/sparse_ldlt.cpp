@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace bcclap::linalg {
 
 namespace {
@@ -23,10 +25,15 @@ constexpr std::size_t kMinTailDim = 64;
 FactorMode env_factor_mode() {
   const char* e = std::getenv("BCCLAP_FACTOR_PATH");
   if (e == nullptr) return FactorMode::kAuto;
-  const std::string s(e);
-  if (s == "dense") return FactorMode::kForceDense;
-  if (s == "sparse") return FactorMode::kForceSparse;
-  return FactorMode::kAuto;
+  bool recognized = true;
+  const FactorMode mode = parse_factor_mode(e, &recognized);
+  if (!recognized) {
+    BCCLAP_WARN("BCCLAP_FACTOR_PATH=\""
+                << e
+                << "\" is not a recognized value (accepted: dense, sparse, "
+                   "auto); falling back to auto");
+  }
+  return mode;
 }
 
 std::atomic<FactorMode>& mode_atomic() {
@@ -129,8 +136,23 @@ void set_factor_mode(FactorMode mode) {
   mode_atomic().store(mode, std::memory_order_relaxed);
 }
 
+FactorMode parse_factor_mode(const char* value, bool* recognized) {
+  if (recognized != nullptr) *recognized = true;
+  if (value == nullptr) return FactorMode::kAuto;
+  const std::string s(value);
+  if (s == "dense") return FactorMode::kForceDense;
+  if (s == "sparse") return FactorMode::kForceSparse;
+  if (s == "auto") return FactorMode::kAuto;
+  if (recognized != nullptr) *recognized = false;
+  return FactorMode::kAuto;
+}
+
 bool sparse_path_selected(std::size_t dim, std::size_t nnz) {
-  switch (factor_mode()) {
+  return sparse_path_selected(dim, nnz, factor_mode());
+}
+
+bool sparse_path_selected(std::size_t dim, std::size_t nnz, FactorMode mode) {
+  switch (mode) {
     case FactorMode::kForceDense:
       return false;
     case FactorMode::kForceSparse:

@@ -58,6 +58,12 @@ enum class FactorMode { kAuto, kForceDense, kForceSparse };
 FactorMode factor_mode();
 void set_factor_mode(FactorMode mode);
 
+// Parses a BCCLAP_FACTOR_PATH-style value ("dense" / "sparse" / "auto").
+// Unrecognized values set *recognized to false and return kAuto — the
+// env reader warns on that case instead of silently falling through
+// (tested in test_sparse_factor.cpp).
+FactorMode parse_factor_mode(const char* value, bool* recognized);
+
 // Auto-dispatch thresholds: the sparse path takes over only above
 // kSparseMinDim (below it the dense kernel's constants win — and keeping
 // the bar above 256 pins every historical n=256 bench case to the dense
@@ -70,6 +76,12 @@ inline constexpr double kSparseMaxDensity = 0.25;
 // with `nnz` stored entries (duplicates counted; heuristic only) should
 // be factored on the sparse path under the current factor_mode().
 bool sparse_path_selected(std::size_t dim, std::size_t nnz);
+
+// Same predicate under an explicit mode instead of the process-wide one.
+// kAuto applies the density heuristic; the force modes pin a backend.
+// The engine registry's "exact-dense" / "exact-sparse" keys use this so a
+// per-request engine choice never has to mutate process state.
+bool sparse_path_selected(std::size_t dim, std::size_t nnz, FactorMode mode);
 
 // Sparse LDL^T factor of a symmetric positive definite matrix given by
 // its upper triangle in CSC form.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "common/encoding.h"
+#include "laplacian/engine.h"
 #include "lp/project_mixed_ball.h"
 
 namespace bcclap::lp {
@@ -209,7 +211,11 @@ class PathFollower {
   std::unique_ptr<laplacian::SddEngine> make_engine(
       linalg::DenseMatrix gram) const {
     if (opt_.gram_factory) return opt_.gram_factory(gram);
-    return laplacian::make_exact_sdd_engine(ctx_, std::move(gram), n_ + 1);
+    laplacian::SddEngineOptions eopt;
+    eopt.network_n = n_ + 1;
+    eopt.eps_hint = 1e-12;  // the accuracy the Newton solves request below
+    return laplacian::EngineRegistry::instance().create_sdd(
+        opt_.engine, ctx_, std::move(gram), eopt);
   }
 
   void charge_step_rounds() {
@@ -312,11 +318,20 @@ LpResult lp_solve(const common::Context& ctx, const LpProblem& prob,
     const linalg::Vec phi2 = barrier.hessian_diag(out.x);
     linalg::Vec d(m);
     for (std::size_t i = 0; i < m; ++i) d[i] = 1.0 / (w[i] * phi2[i]);
-    const auto gram = assemble_gram(prob.a, d);
-    auto engine = opt.gram_factory
-                      ? opt.gram_factory(gram)
-                      : laplacian::make_exact_sdd_engine(ctx, gram,
-                                                         prob.a.cols() + 1);
+    auto gram = assemble_gram(prob.a, d);
+    std::unique_ptr<laplacian::SddEngine> engine;
+    if (opt.gram_factory) {
+      engine = opt.gram_factory(gram);
+    } else {
+      laplacian::SddEngineOptions eopt;
+      eopt.network_n = prob.a.cols() + 1;
+      eopt.eps_hint = 1e-12;
+      engine = laplacian::EngineRegistry::instance().create_sdd(
+          opt.engine, ctx, std::move(gram), eopt);
+    }
+    // The concrete key that served the Gram systems (every step resolves
+    // the same (shape, eps) inputs, so this engine's key is the run's).
+    out.stats.engine = std::string(engine->key());
     linalg::Vec resid = prob.b;
     const auto ax = prob.a.multiply_transpose(out.x);
     for (std::size_t j = 0; j < resid.size(); ++j) resid[j] -= ax[j];

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "bcc/round_accountant.h"
 #include "common/context.h"
@@ -49,8 +50,10 @@ struct LpProblem {
 enum class WeightMode { kVanilla, kLewis };
 enum class StepMode { kShortStep, kAdaptive };
 
-// Factory for the (A^T D A)-system solver; default builds the exact SDD
-// engine; the pipeline experiment swaps in the sparsified engine.
+// Hook for callers that need full control over the (A^T D A)-system
+// solver (custom contexts, instrumented engines). When empty, engines
+// are built by LpOptions::engine through the registry
+// (laplacian/engine.h).
 using GramSolverFactory =
     std::function<std::unique_ptr<laplacian::SddEngine>(
         const linalg::DenseMatrix& gram)>;
@@ -66,7 +69,13 @@ struct LpOptions {
   double t_start_scale = 1e-4;   // t1 = t_start_scale / (m^{3/2} U^2)
   bool use_mixed_ball_update = true;
   LewisOptions lewis;
-  GramSolverFactory gram_factory;  // empty = exact engine
+  GramSolverFactory gram_factory;  // empty = registry engine (below)
+  // Engine registry key for the Gram systems when gram_factory is empty:
+  // "auto" tunes per system from (n, density, eps_hint = 1e-12) — small
+  // dense grams resolve to "exact-dense", reproducing the historical
+  // exact engine — and a concrete key pins the backend for every Newton
+  // step. Ignored when gram_factory is set.
+  std::string engine = "auto";
   std::uint64_t seed = 7;
 };
 

@@ -8,15 +8,18 @@ common::Context test_context(std::uint64_t seed) {
   return Runtime::process_default().context().with_seed(seed);
 }
 
-bcc::Network bc_net(const graph::Graph& g) {
+bcc::Network bc_net(const graph::Graph& g) { return bc_net(test_context(), g); }
+
+bcc::Network bcc_net(std::size_t n) { return bcc_net(test_context(), n); }
+
+bcc::Network bc_net(const common::Context& ctx, const graph::Graph& g) {
   return bcc::Network(bcc::Model::kBroadcastCongest, g,
-                      bcc::Network::default_bandwidth(g.num_vertices()),
-                      test_context());
+                      bcc::Network::default_bandwidth(g.num_vertices()), ctx);
 }
 
-bcc::Network bcc_net(std::size_t n) {
+bcc::Network bcc_net(const common::Context& ctx, std::size_t n) {
   return bcc::Network(bcc::Model::kBroadcastCongestedClique, n,
-                      bcc::Network::default_bandwidth(n), test_context());
+                      bcc::Network::default_bandwidth(n), ctx);
 }
 
 sparsify::SparsifyOptions small_sparsify_options(double epsilon, std::size_t k,

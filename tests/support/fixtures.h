@@ -35,6 +35,12 @@ bcc::Network bc_net(const graph::Graph& g);
 // Broadcast Congested Clique network over n nodes, default bandwidth.
 bcc::Network bcc_net(std::size_t n);
 
+// Overloads on an explicit context, for suites that construct their own
+// Runtime (the 1-vs-N-thread determinism experiments) instead of riding
+// the process default.
+bcc::Network bc_net(const common::Context& ctx, const graph::Graph& g);
+bcc::Network bcc_net(const common::Context& ctx, std::size_t n);
+
 // Bench-scale sparsifier options (DESIGN.md section 6): small fixed bundle
 // size t so suites finish in seconds while exercising the full pipeline.
 sparsify::SparsifyOptions small_sparsify_options(double epsilon = 1.0,

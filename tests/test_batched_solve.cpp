@@ -12,6 +12,7 @@
 #include "graph/generators.h"
 #include "graph/laplacian.h"
 #include "laplacian/bcc_solver.h"
+#include "laplacian/engine.h"
 #include "laplacian/solver.h"
 #include "linalg/cg.h"
 #include "linalg/chebyshev.h"
@@ -240,8 +241,11 @@ TEST(BatchedSolve, ExactSddEnginePanelMatchesSequentialSolves) {
   const auto y = gaussian_panel(12, 8, 37, /*zero_col=*/0);
   for (const std::size_t threads : {1u, 4u}) {
     const auto ctx = runtime_for(threads).context();
-    auto batched = laplacian::make_exact_sdd_engine(ctx, m, 12);
-    auto sequential = laplacian::make_exact_sdd_engine(ctx, m, 12);
+    auto& registry = laplacian::EngineRegistry::instance();
+    laplacian::SddEngineOptions eopt;
+    eopt.network_n = 12;
+    auto batched = registry.create_sdd("exact-dense", ctx, m, eopt);
+    auto sequential = registry.create_sdd("exact-dense", ctx, m, eopt);
     const DenseMatrix x = batched->solve_many(y, 1e-10);
     std::vector<Vec> seq;
     for (std::size_t j = 0; j < y.cols(); ++j)
@@ -257,8 +261,9 @@ TEST(BatchedSolve, SparsifiedSddEnginePanelMatchesSequentialSolves) {
   const auto y = gaussian_panel(10, 8, 43, /*zero_col=*/6);
   for (const std::size_t threads : {1u, 4u}) {
     const auto ctx = runtime_for(threads).context().with_seed(777);
-    auto batched = laplacian::make_sparsified_sdd_engine(ctx, m);
-    auto sequential = laplacian::make_sparsified_sdd_engine(ctx, m);
+    auto& registry = laplacian::EngineRegistry::instance();
+    auto batched = registry.create_sdd("sparsified-chebyshev", ctx, m, {});
+    auto sequential = registry.create_sdd("sparsified-chebyshev", ctx, m, {});
     const DenseMatrix x = batched->solve_many(y, 1e-8);
     std::vector<Vec> seq;
     for (std::size_t j = 0; j < y.cols(); ++j)

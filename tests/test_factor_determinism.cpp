@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "core/runtime.h"
 #include "graph/generators.h"
 #include "graph/laplacian.h"
 #include "linalg/cholesky.h"
@@ -21,14 +21,15 @@
 namespace bcclap {
 namespace {
 
-// Runs fn under a pool of `threads` workers; always restores the default
-// single-worker pool afterwards so suite order does not matter.
+// Runs fn with a context drawn from a dedicated `threads`-worker Runtime —
+// the scoped replacement for the retired set_global_threads escape hatch.
+// The pool dies with the Runtime, so suite order does not matter.
 template <typename Fn>
 auto with_threads(std::size_t threads, Fn&& fn) {
-  common::ThreadPool::set_global_threads(threads);
-  auto result = fn();
-  common::ThreadPool::set_global_threads(1);
-  return result;
+  RuntimeOptions opts;
+  opts.threads = threads;
+  Runtime rt(opts);
+  return fn(rt.context());
 }
 
 void expect_bitwise_equal(const linalg::Vec& a, const linalg::Vec& b) {
@@ -43,11 +44,10 @@ TEST(FactorDeterminism, BlockedLdltIsThreadCountInvariant) {
   // solutions mean bitwise-equal factors).
   const std::size_t n = 200;
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
+    return with_threads(threads, [&](const common::Context& ctx) {
       rng::Stream stream(41);
       const auto a = testsupport::random_spd(n, stream);
-      const auto f =
-          linalg::LdltFactor::factor(testsupport::test_context(), a);
+      const auto f = linalg::LdltFactor::factor(ctx, a);
       EXPECT_TRUE(f);
       std::vector<linalg::Vec> solutions;
       if (!f) return solutions;  // EXPECT above reports; avoid bad deref
@@ -85,16 +85,15 @@ TEST(FactorDeterminism, ComponentFactorIsThreadCountInvariant) {
     return g;
   };
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
+    return with_threads(threads, [&](const common::Context& ctx) {
       const auto g = build();
-      const auto f = linalg::ComponentLaplacianFactor::factor(
-          testsupport::test_context(), graph::laplacian(g));
+      const auto f =
+          linalg::ComponentLaplacianFactor::factor(ctx, graph::laplacian(g));
       EXPECT_TRUE(f);
       if (!f) return linalg::Vec{};  // EXPECT above reports; avoid bad deref
       EXPECT_EQ(f->num_components(), 4u);
       rng::Stream rhs(5);
-      return f->solve(testsupport::test_context(),
-                      testsupport::gaussian_vector(91, rhs));
+      return f->solve(ctx, testsupport::gaussian_vector(91, rhs));
     });
   };
   const auto one = run(1);
@@ -111,8 +110,8 @@ TEST(FactorDeterminism, PureOracleFastPathMatchesSequentialWalk) {
   rng::Stream gstream(7);
   const auto g = graph::random_connected_gnp(32, 0.3, 6, gstream);
   const auto run = [&](bool pure) {
-    return with_threads(4, [&] {
-      auto net = testsupport::bc_net(g);
+    return with_threads(4, [&](const common::Context& ctx) {
+      auto net = testsupport::bc_net(ctx, g);
       rng::Stream marks(3);
       const std::uint64_t base = rng::derive_seed(99, "pure-oracle-test");
       const spanner::ExistenceOracle oracle = [base](graph::EdgeId e) {
@@ -145,9 +144,9 @@ TEST(FactorDeterminism, SparsifierFastPathIsThreadCountInvariant) {
   rng::Stream gstream(33);
   const auto g = graph::complete(26, 4, gstream);
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
-      auto net = testsupport::bc_net(g);
-      return sparsify::spectral_sparsify(net.context().with_seed(1234), g,
+    return with_threads(threads, [&](const common::Context& ctx) {
+      auto net = testsupport::bc_net(ctx, g);
+      return sparsify::spectral_sparsify(ctx.with_seed(1234), g,
                                          testsupport::small_sparsify_options(),
                                          net);
     });

@@ -7,6 +7,7 @@
 #include "flow/ssp.h"
 #include "graph/generators.h"
 #include "laplacian/bcc_solver.h"
+#include "laplacian/engine.h"
 #include "laplacian/solver.h"
 #include "lp/lp_solver.h"
 #include "sparsify/verifier.h"
@@ -57,8 +58,12 @@ TEST(Pipeline, SparsifiedSddEngineMatchesExact) {
   }
   const auto y = testsupport::gaussian_vector(10, stream);
 
-  auto exact = laplacian::make_exact_sdd_engine(test_context(), m, 10);
-  auto sparsified = laplacian::make_sparsified_sdd_engine(test_context(777), m);
+  auto& registry = laplacian::EngineRegistry::instance();
+  laplacian::SddEngineOptions eopt;
+  eopt.network_n = 10;
+  auto exact = registry.create_sdd("exact-dense", test_context(), m, eopt);
+  auto sparsified =
+      registry.create_sdd("sparsified-chebyshev", test_context(777), m, eopt);
   const auto xe = exact->solve(y, 1e-10);
   const auto xs = sparsified->solve(y, 1e-10);
   EXPECT_TRUE(testsupport::VecNear(xe, xs, 1e-6));
@@ -73,8 +78,8 @@ TEST(Pipeline, LpWithSparsifiedGramFactory) {
   opt.epsilon = 1e-4;
   std::uint64_t counter = 0;
   opt.gram_factory = [&counter](const linalg::DenseMatrix& gram) {
-    return laplacian::make_sparsified_sdd_engine(test_context(1000 + counter++),
-                                                 gram);
+    return laplacian::EngineRegistry::instance().create_sdd(
+        "sparsified-chebyshev", test_context(1000 + counter++), gram, {});
   };
   const auto res =
       lp::lp_solve(test_context(opt.seed), p, {0.5, 0.5, 0.5, 0.5}, opt);

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bcc/network.h"
-#include "common/thread_pool.h"
+#include "core/runtime.h"
 #include "graph/generators.h"
 #include "lp/leverage_scores.h"
 #include "spanner/probabilistic_spanner.h"
@@ -24,14 +24,15 @@ namespace {
 using bcc::Message;
 using bcc::ReceivedMessage;
 
-// Runs fn under a pool of `threads` workers; always restores the default
-// single-worker pool afterwards so suite order does not matter.
+// Runs fn with a context drawn from a dedicated `threads`-worker Runtime —
+// the scoped replacement for the retired set_global_threads escape hatch.
+// The pool dies with the Runtime, so suite order does not matter.
 template <typename Fn>
 auto with_threads(std::size_t threads, Fn&& fn) {
-  common::ThreadPool::set_global_threads(threads);
-  auto result = fn();
-  common::ThreadPool::set_global_threads(1);
-  return result;
+  RuntimeOptions opts;
+  opts.threads = threads;
+  Runtime rt(opts);
+  return fn(rt.context());
 }
 
 bool same_message(const Message& a, const Message& b) {
@@ -86,8 +87,8 @@ struct ExchangeRun {
 TEST(NetworkDeterminism, BccExchangeIsThreadCountInvariant) {
   const std::size_t n = 37;
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
-      auto net = testsupport::bcc_net(n);
+    return with_threads(threads, [&](const common::Context& ctx) {
+      auto net = testsupport::bcc_net(ctx, n);
       ExchangeRun r;
       r.inboxes = net.exchange(make_outboxes(n), "step");
       r.total = net.accountant().total();
@@ -108,8 +109,8 @@ TEST(NetworkDeterminism, BcExchangeIsThreadCountInvariant) {
   rng::Stream gstream(77);
   const auto g = graph::random_connected_gnp(41, 0.2, 6, gstream);
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
-      auto net = testsupport::bc_net(g);
+    return with_threads(threads, [&](const common::Context& ctx) {
+      auto net = testsupport::bc_net(ctx, g);
       ExchangeRun r;
       r.inboxes = net.exchange(make_outboxes(g.num_vertices()), "step");
       r.total = net.accountant().total();
@@ -129,8 +130,8 @@ TEST(NetworkDeterminism, RunSuperstepMatchesManualExchange) {
   const auto outboxes = make_outboxes(n);
   auto net_a = testsupport::bcc_net(n);
   const auto manual = net_a.exchange(outboxes, "step");
-  const auto driven = with_threads(4, [&] {
-    auto net_b = testsupport::bcc_net(n);
+  const auto driven = with_threads(4, [&](const common::Context& ctx) {
+    auto net_b = testsupport::bcc_net(ctx, n);
     return net_b.run_superstep(
         [&](std::size_t v) { return outboxes[v]; }, "step");
   });
@@ -145,8 +146,8 @@ TEST(NetworkDeterminism, SpannerWithStatefulOracleIsThreadCountInvariant) {
     std::int64_t total;
   };
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
-      auto net = testsupport::bc_net(g);
+    return with_threads(threads, [&](const common::Context& ctx) {
+      auto net = testsupport::bc_net(ctx, g);
       rng::Stream marks(11);
       rng::Stream edges(13);
       spanner::ProbabilisticSpannerOptions opt;
@@ -177,9 +178,9 @@ TEST(NetworkDeterminism, SparsifierIsThreadCountInvariant) {
   rng::Stream gstream(21);
   const auto g = graph::complete(24, 4, gstream);
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
-      auto net = testsupport::bc_net(g);
-      return sparsify::spectral_sparsify(net.context().with_seed(99), g,
+    return with_threads(threads, [&](const common::Context& ctx) {
+      auto net = testsupport::bc_net(ctx, g);
+      return sparsify::spectral_sparsify(ctx.with_seed(99), g,
                                          testsupport::small_sparsify_options(),
                                          net);
     });
@@ -202,11 +203,10 @@ TEST(NetworkDeterminism, LeverageScoresAreThreadCountInvariant) {
   rng::Stream mstream(31);
   const auto m = testsupport::gaussian_matrix(40, 6, mstream);
   const auto run = [&](std::size_t threads) {
-    return with_threads(threads, [&] {
+    return with_threads(threads, [&](const common::Context& ctx) {
       lp::LeverageOptions opt;
       opt.seed = 7;
       bcc::RoundAccountant acct;
-      const auto ctx = testsupport::test_context();
       const auto jl =
           lp::leverage_scores_jl(ctx, lp::dense_oracle(ctx, m), opt, &acct);
       const auto exact = lp::leverage_scores_exact(ctx, m);

@@ -296,6 +296,40 @@ TEST(SparseLdlt, RejectsDegenerateInputs) {
                                                                 std::move(t))));
 }
 
+TEST(SparseLdlt, FactorModeParserFlagsUnrecognizedValues) {
+  // The parser recognizes exactly the documented BCCLAP_FACTOR_PATH
+  // values; anything else is flagged so env_factor_mode warns instead of
+  // silently treating a misspelling as kAuto.
+  bool recognized = false;
+  EXPECT_EQ(parse_factor_mode("dense", &recognized), FactorMode::kForceDense);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(parse_factor_mode("sparse", &recognized), FactorMode::kForceSparse);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(parse_factor_mode("auto", &recognized), FactorMode::kAuto);
+  EXPECT_TRUE(recognized);
+  recognized = true;
+  EXPECT_EQ(parse_factor_mode("Dense", &recognized), FactorMode::kAuto);
+  EXPECT_FALSE(recognized);
+  recognized = true;
+  EXPECT_EQ(parse_factor_mode("", &recognized), FactorMode::kAuto);
+  EXPECT_FALSE(recognized);
+  // Absent (nullptr) is not a misspelling: kAuto, recognized.
+  recognized = false;
+  EXPECT_EQ(parse_factor_mode(nullptr, &recognized), FactorMode::kAuto);
+  EXPECT_TRUE(recognized);
+}
+
+TEST(SparseLdlt, ExplicitModeOverridesDensityHeuristic) {
+  // The per-request overload pins a backend without touching process
+  // state — the seam the engine registry's exact-* keys dispatch through.
+  const std::size_t dim = kSparseMinDim;
+  EXPECT_TRUE(sparse_path_selected(dim, 3 * dim, FactorMode::kAuto));
+  EXPECT_FALSE(sparse_path_selected(dim, dim * dim, FactorMode::kAuto));
+  EXPECT_FALSE(sparse_path_selected(dim, 3 * dim, FactorMode::kForceDense));
+  EXPECT_TRUE(sparse_path_selected(2, 4, FactorMode::kForceSparse));
+  EXPECT_EQ(factor_mode(), FactorMode::kAuto);  // process state untouched
+}
+
 TEST(SparseLdlt, AutoDispatchFollowsDimAndDensity) {
   ASSERT_EQ(factor_mode(), FactorMode::kAuto);
   // Below the dimension bar: dense regardless of sparsity.
