@@ -215,6 +215,55 @@ void pipeline_engine_auto(bench::State& s, std::size_t n) {
   s.counter("fingerprint_xnorm", linalg::norm2(run.x));
 }
 
+// PR 8: the factorization cache end to end — one Runtime with a private
+// cache solves the same instance cold then warm. The warm run must hit
+// the cache and skip every unit of prepare work (warm_sparsify_count = 0)
+// while reproducing the uncached facade's bytes exactly
+// (identical_to_uncached = 1). All counters are thread-count invariant,
+// so the case rides the scripts/bench.sh cross-config gate.
+void pipeline_cached_solve(bench::State& s, std::size_t n) {
+  rng::Stream gstream(n * 3 + 1);
+  const auto g = graph::random_regularish(n, 8, 4, gstream);
+  LaplacianSolveOptions lopt;
+  lopt.eps = 1e-4;
+  lopt.sparsify.epsilon = 0.5;
+  lopt.sparsify.k = 2;
+  lopt.sparsify.t = 2;
+  lopt.engine = "sparsified-chebyshev";
+  linalg::Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+
+  RuntimeOptions opts;
+  opts.threads = 0;  // BCCLAP_THREADS / hardware
+  opts.seed = 77;
+  opts.factor_cache_bytes = 256u << 20;
+  Runtime rt(opts);
+  const auto cold = rt.solve_laplacian(g, b, lopt);
+  const auto warm = rt.solve_laplacian(g, b, lopt);
+
+  RuntimeOptions plain = opts;
+  plain.factor_cache_bytes = 0;
+  Runtime uncached_rt(plain);
+  const auto uncached = uncached_rt.solve_laplacian(g, b, lopt);
+
+  const bool identical =
+      cold.usable && warm.usable && uncached.usable && !cold.x.empty() &&
+      cold.x.size() == warm.x.size() && cold.x.size() == uncached.x.size() &&
+      std::memcmp(cold.x.data(), warm.x.data(),
+                  cold.x.size() * sizeof(double)) == 0 &&
+      std::memcmp(cold.x.data(), uncached.x.data(),
+                  cold.x.size() * sizeof(double)) == 0;
+  s.counter("n", static_cast<double>(n));
+  s.counter("cold_cache_misses",
+            static_cast<double>(cold.stats.cache_misses));
+  s.counter("warm_cache_hits", static_cast<double>(warm.stats.cache_hits));
+  s.counter("warm_sparsify_count",
+            static_cast<double>(warm.stats.sparsify_count));
+  s.counter("identical_to_uncached", identical ? 1.0 : 0.0);
+  s.counter("fingerprint_xnorm", linalg::norm2(warm.x));
+}
+
 void pipeline_flow_full_stack(bench::State& s, std::size_t n) {
   rng::Stream gstream(s.iteration() * 37 + n);
   const auto g = graph::random_flow_network(n, n + 4, 3, 3, gstream);
@@ -290,6 +339,12 @@ int main(int argc, char** argv) {
         [n](bench::State& s) { pipeline_sparse_solve(s, n, 32); },
         /*repeats_override=*/1, /*warmup_override=*/0);
   }
+  // PR 8: cold + warm cached solve at n = 1024 (three full solves per
+  // body, two of them prepare) — run exactly once.
+  h.add(
+      "pipeline_cached_solve/n=1024",
+      [](bench::State& s) { pipeline_cached_solve(s, 1024); },
+      /*repeats_override=*/1, /*warmup_override=*/0);
   // PR 7: the auto-tuner routing the n = 1024 sparse instance to the
   // exact-sparse engine (one direct factorization instead of the
   // sparsify + Chebyshev pipeline).

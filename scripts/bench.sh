@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark trajectory (BENCH_pr7.json).
+# Machine-readable benchmark trajectory (BENCH_pr8.json).
 #
 # Builds the harness benches and runs the three pipeline-level binaries
 # under BCCLAP_THREADS=1 and BCCLAP_THREADS=N (default 4), then merges the
@@ -23,6 +23,12 @@
 # (facade default engine = "auto"), and a fourth gate checks the registry
 # tuner's selection: its engine_is_exact_sparse counter must be 1 — the
 # tuner routed the large sparse instance to the exact-sparse engine.
+# Since PR 8 the pipeline bench carries `pipeline_cached_solve/n=1024`
+# (cold + warm solve on one cache-enabled Runtime), and a fifth gate
+# checks the factorization cache: the warm run must report
+# warm_cache_hits >= 1 with warm_sparsify_count = 0 and
+# identical_to_uncached = 1 — served from the cache, zero prepare work,
+# byte-identical to the cache-off facade.
 # The script fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
@@ -36,7 +42,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr7.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr8.json}"
 BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
@@ -139,9 +145,28 @@ if ! awk -v ea="$ea" 'BEGIN { exit !(ea == 1) }'; then
 fi
 echo "engine gate: auto tuner selected exact-sparse at n=1024"
 
+# Factor-cache gate: the warm half of pipeline_cached_solve must have been
+# served from the cache (warm_cache_hits >= 1) with zero prepare work
+# (warm_sparsify_count = 0) and bytes identical to the cache-off facade
+# (identical_to_uncached = 1).
+ch="$(counter_of "$pipe_t1" "pipeline_cached_solve/n=1024" warm_cache_hits)"
+cs="$(counter_of "$pipe_t1" "pipeline_cached_solve/n=1024" warm_sparsify_count)"
+ci="$(counter_of "$pipe_t1" "pipeline_cached_solve/n=1024" identical_to_uncached)"
+if [ -z "$ch" ] || [ -z "$cs" ] || [ -z "$ci" ]; then
+  echo "ERROR: pipeline_cached_solve/n=1024 missing from $pipe_t1" >&2
+  exit 1
+fi
+if ! awk -v ch="$ch" -v cs="$cs" -v ci="$ci" \
+     'BEGIN { exit !(ch >= 1 && cs == 0 && ci == 1) }'; then
+  echo "ERROR: the factorization cache did not serve the warm solve" >&2
+  echo "  warm_cache_hits=$ch warm_sparsify_count=$cs identical_to_uncached=$ci" >&2
+  exit 1
+fi
+echo "cache gate: warm solve hit the cache with zero prepare work"
+
 {
   echo '{'
-  echo '  "pr": 7,'
+  echo '  "pr": 8,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

@@ -7,7 +7,7 @@ the payload the bench-multicore CI job appends to its job summary. Purely
 informational: the job gates on counter determinism (inside bench.sh),
 never on the speedup numbers, which are noisy on shared CI runners.
 
-Usage: bench_scaling_summary.py [trajectory.json]   (default BENCH_pr7.json)
+Usage: bench_scaling_summary.py [trajectory.json]   (default BENCH_pr8.json)
 """
 
 import json
@@ -15,7 +15,7 @@ import sys
 
 
 def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr7.json"
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr8.json"
     with open(path) as f:
         traj = json.load(f)
     configs = traj.get("thread_configs", [])

@@ -13,10 +13,10 @@
 //
 // Lifetime: a Context borrows its pool from a Runtime; everything built
 // from a Context (Networks, solvers, factors) must not outlive that
-// Runtime. Default Runtimes — current and retired (a reset via
-// ThreadPool::set_global_threads drains the old pool but keeps the
-// instance alive) — live for the whole process, so the deprecated-path
-// shims (which use default_context()) are never dangling.
+// Runtime — except the immutable prepared artifacts (laplacian/prepared.h)
+// and factors whose solve takes the context per call. Default Runtimes —
+// current and retired (Runtime::reset_process_default drains the old pool
+// but keeps the instance alive) — live for the whole process.
 #pragma once
 
 #include <cstdint>
@@ -88,11 +88,5 @@ class Context {
   std::uint64_t seed_;
   std::size_t min_work_;
 };
-
-// Context of Runtime::process_default() — what every deprecated-path
-// wrapper starts from (wrappers that still take a bare seed override it
-// via with_seed). Defined in core/runtime.cpp (the default Runtime's
-// owner).
-Context default_context();
 
 }  // namespace bcclap::common

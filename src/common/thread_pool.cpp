@@ -3,22 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-// The process-default pool is owned by Runtime::process_default()
-// (core/runtime.cpp); the legacy static accessors below are shims over it.
-// Declared here instead of including core/runtime.h so the common layer
-// stays include-clean of the facade layer (the archive links them
-// together).
-namespace bcclap::detail {
-common::ThreadPool& process_default_pool();
-void reset_process_default_threads(std::size_t threads);
-}  // namespace bcclap::detail
+#include "common/env.h"
 
 namespace bcclap::common {
 
@@ -87,11 +78,9 @@ class InFlightGuard {
 }  // namespace
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("BCCLAP_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
-  }
+  // Misspelled values warn once inside positive_count and fall through to
+  // the compile-time / hardware default (common/env.h).
+  if (const auto v = env::positive_count("BCCLAP_THREADS")) return *v;
 #ifdef BCCLAP_DEFAULT_THREADS
   return static_cast<std::size_t>(BCCLAP_DEFAULT_THREADS);
 #else
@@ -222,18 +211,5 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   });
 }
-
-ThreadPool& ThreadPool::global() {
-  return bcclap::detail::process_default_pool();
-}
-
-void ThreadPool::set_global_threads(std::size_t threads) {
-  // 0 meant "one worker" in the pre-Runtime contract (never env
-  // resolution), so the shim pins it before the Runtime — whose own
-  // 0-means-env default applies only to RuntimeOptions — sees it.
-  bcclap::detail::reset_process_default_threads(threads == 0 ? 1 : threads);
-}
-
-std::size_t ThreadPool::global_threads() { return global().num_threads(); }
 
 }  // namespace bcclap::common

@@ -18,11 +18,11 @@
 // sequential version — but never between two runs of itself, whatever the
 // worker count.
 //
-// Ownership: pools are owned by bcclap::Runtime instances (core/runtime.h).
-// The legacy process-global accessors below are shims over
-// Runtime::process_default(), whose pool is sized from BCCLAP_THREADS (or
-// hardware_concurrency) exactly as the old singleton was. New code should
-// take a common::Context (common/context.h) and never touch the global.
+// Ownership: pools are owned by bcclap::Runtime instances (core/runtime.h)
+// — the process-global accessor family that used to live here was removed
+// once its last callers migrated (Runtime::process_default() is the
+// supported process-wide instance). Code takes a common::Context
+// (common/context.h) and runs on the pool it carries.
 //
 // Wakeup cost: workers spin briefly (yielding) for the next job before
 // parking on the condition variable, and the publisher skips the notify
@@ -107,25 +107,6 @@ class ThreadPool {
   // being parallel. Precondition: no parallel_for in flight.
   void drain();
 
-  // The pool of Runtime::process_default() (core/runtime.h) — the one
-  // place the legacy global funnels through. First use lazily creates the
-  // default Runtime, which sizes the pool via default_thread_count().
-  // Deprecated entry point: new code takes a Context instead.
-  static ThreadPool& global();
-
-  // Shim over Runtime::process_default(): retires the default Runtime
-  // (draining its pool — objects built before the reset stay valid and
-  // fall back to inline execution) and rebuilds it with `threads` workers
-  // (0 is treated as 1, the pre-Runtime contract). Must not be called
-  // while a parallel_for is in flight on the default pool — violations
-  // abort with a diagnostic instead of racing the swap. Used by the
-  // determinism tests and the bench harness to pin the thread count.
-  static void set_global_threads(std::size_t threads);
-
-  // Thread count the default Runtime's pool currently runs with (resolves
-  // the Runtime if it has not been created yet).
-  static std::size_t global_threads();
-
  private:
   struct Impl;
   Impl* impl_;  // null when threads_ == 1 (pure inline execution)
@@ -135,20 +116,6 @@ class ThreadPool {
   // any running call is what the precondition forbids).
   std::atomic<std::size_t> in_flight_{0};
 };
-
-// Free-function shorthands over the process-default Runtime's pool.
-// Deprecated path: kept so pre-Runtime call sites compile unchanged; new
-// code calls the Context-taking overloads in common/context.h.
-inline void parallel_for(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t)>& fn) {
-  ThreadPool::global().parallel_for(begin, end, fn);
-}
-
-inline void parallel_for_chunks(
-    std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
-  ThreadPool::global().parallel_for_chunks(begin, end, grain, fn);
-}
 
 // Deterministic chunked reduction, the one blessed way to parallelize an
 // accumulate/scatter loop: [begin, end) splits into fixed chunks, each
@@ -170,15 +137,6 @@ void parallel_reduce_chunks(ThreadPool& pool, std::size_t begin,
                              body(lo, hi, partials[(lo - begin) / grain]);
                            });
   for (Partial& p : partials) merge(p);
-}
-
-// Deprecated-path overload over the process-default pool.
-template <typename Partial, typename Body, typename Merge>
-void parallel_reduce_chunks(std::size_t begin, std::size_t end,
-                            std::size_t grain, const Partial& init,
-                            Body&& body, Merge&& merge) {
-  parallel_reduce_chunks(ThreadPool::global(), begin, end, grain, init,
-                         std::forward<Body>(body), std::forward<Merge>(merge));
 }
 
 }  // namespace bcclap::common

@@ -1,0 +1,103 @@
+#include "core/factor_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace bcclap::core {
+
+namespace {
+
+// splitmix64 finalizer — same mixer as graph::fingerprint, applied to the
+// option fields' exact bit patterns.
+std::uint64_t mix(std::uint64_t h, std::uint64_t token) {
+  std::uint64_t z = h ^ token;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t double_bits(double v) {
+  if (v == 0.0) v = 0.0;  // normalize -0.0
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t prepare_options_hash(const laplacian::EngineOptions& opt) {
+  std::uint64_t h = 0x6a09e667f3bcc908ULL;
+  h = mix(h, double_bits(opt.sparsify.epsilon));
+  h = mix(h, opt.sparsify.k);
+  h = mix(h, opt.sparsify.t);
+  h = mix(h, double_bits(opt.sparsify.t_constant));
+  h = mix(h, opt.sparsify.iterations);
+  h = mix(h, opt.sparsify.growing_t ? 1 : 0);
+  return h;
+}
+
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::lookup(
+    const FactorCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) {
+      ++hits_;
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front().artifact;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert(
+    const FactorCacheKey& key,
+    std::shared_ptr<const laplacian::PreparedLaplacian> artifact) {
+  const std::size_t bytes = artifact->resident_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  // First-wins dedupe: a concurrent preparer may have beaten us here; the
+  // entry already resident is the canonical artifact for this key.
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front().artifact;
+    }
+  }
+  if (bytes > max_bytes_) return artifact;  // larger than the whole budget
+  entries_.push_front(Entry{key, artifact, bytes});
+  resident_bytes_ += bytes;
+  while (resident_bytes_ > max_bytes_ && entries_.size() > 1) {
+    resident_bytes_ -= entries_.back().bytes;
+    entries_.pop_back();
+    ++evictions_;
+  }
+  return artifact;
+}
+
+std::size_t FactorCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t FactorCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t FactorCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t FactorCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t FactorCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace bcclap::core

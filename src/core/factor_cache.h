@@ -1,0 +1,115 @@
+// Fingerprint-keyed factorization cache: "factor once, solve many across
+// requests" (ROADMAP: solver-service economics).
+//
+// The prepare/apply split (laplacian/prepared.h) makes the expensive half
+// of every solve an immutable, context-free artifact. This cache retains
+// those artifacts keyed by everything that determines their bytes:
+//
+//   engine              concrete registry key that prepared the artifact
+//   fingerprint         graph topology + exact weight bits
+//                       (graph/fingerprint.h)
+//   seed                ctx.seed() — the sparsifier's randomness root
+//   min_work_per_chunk  chunk-boundary policy (chunk boundaries feed the
+//                       deterministic reduction order, so factor bytes
+//                       depend on it)
+//   options_hash        prepare-time option fields (the sparsify knobs)
+//
+// Thread count is deliberately NOT part of the key: the determinism
+// contract guarantees identical bytes at any worker count, so a 1-thread
+// and a 4-thread Runtime share entries. Apply-time fields (eps,
+// max_iterations) are not part of the key either — one artifact serves
+// requests at any accuracy.
+//
+// Bounded LRU by resident bytes: each entry is charged its artifact's
+// resident_bytes(); inserting past max_bytes evicts least-recently-used
+// entries until the budget holds. An artifact larger than the whole
+// budget is simply not cached. Hits, misses and evictions are counted for
+// RunStats (cache_hits / cache_misses / cache_evictions).
+//
+// Thread safety: all methods are safe to call concurrently (one mutex);
+// the artifacts themselves are immutable and applied outside the lock, so
+// two Runtimes sharing a cache never serialize their solves — only their
+// lookups.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/fingerprint.h"
+#include "laplacian/prepared.h"
+
+namespace bcclap::core {
+
+struct FactorCacheKey {
+  std::string engine;
+  graph::Fingerprint fingerprint;
+  std::uint64_t seed = 0;
+  std::size_t min_work_per_chunk = 0;
+  std::uint64_t options_hash = 0;
+
+  friend bool operator==(const FactorCacheKey& a, const FactorCacheKey& b) {
+    return a.engine == b.engine && a.fingerprint == b.fingerprint &&
+           a.seed == b.seed && a.min_work_per_chunk == b.min_work_per_chunk &&
+           a.options_hash == b.options_hash;
+  }
+  friend bool operator!=(const FactorCacheKey& a, const FactorCacheKey& b) {
+    return !(a == b);
+  }
+};
+
+// Hash of the prepare-time fields of EngineOptions — exactly the
+// sparsify knobs (epsilon, k, t, t_constant, iterations, growing_t), each
+// mixed by exact value (doubles by bit pattern). Apply-time fields (eps,
+// max_iterations) are excluded on purpose; see the header comment.
+std::uint64_t prepare_options_hash(const laplacian::EngineOptions& opt);
+
+class FactorCache {
+ public:
+  // max_bytes = 0 means "cache nothing" (every insert is a no-op); the
+  // facade treats 0 as "off" and never constructs one.
+  explicit FactorCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  FactorCache(const FactorCache&) = delete;
+  FactorCache& operator=(const FactorCache&) = delete;
+
+  // Returns the cached artifact and refreshes its LRU position, or null.
+  // Counts one hit or one miss.
+  std::shared_ptr<const laplacian::PreparedLaplacian> lookup(
+      const FactorCacheKey& key);
+
+  // Inserts `artifact` under `key` and returns the canonical artifact for
+  // that key: if another thread inserted first, the existing entry wins
+  // (first-wins dedupe — both callers then apply the same bytes) and is
+  // returned instead. Entries larger than the whole budget are not cached
+  // (the artifact is still returned). Evicts LRU entries as needed.
+  std::shared_ptr<const laplacian::PreparedLaplacian> insert(
+      const FactorCacheKey& key,
+      std::shared_ptr<const laplacian::PreparedLaplacian> artifact);
+
+  std::size_t max_bytes() const { return max_bytes_; }
+  std::size_t resident_bytes() const;
+  std::size_t entries() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    FactorCacheKey key;
+    std::shared_ptr<const laplacian::PreparedLaplacian> artifact;
+    std::size_t bytes = 0;
+  };
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bcclap::core

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "bcc/network.h"
+#include "core/factor_cache.h"
+#include "graph/fingerprint.h"
 #include "laplacian/engine.h"
 
 namespace bcclap {
@@ -38,19 +40,17 @@ std::unique_ptr<laplacian::LaplacianEngine> build_engine(
 }
 
 // Process-default Runtime storage. The atomic pointer is the lock-free
-// fast path (process_default() sits behind every deprecated-path shim,
-// including ones on kernel hot paths); creation and reset serialize on the
-// mutex, and the pointer is published only under it.
+// fast path; creation and reset serialize on the mutex, and the pointer
+// is published only under it.
 std::mutex g_default_mu;
 std::unique_ptr<Runtime> g_default;
 std::atomic<Runtime*> g_default_ptr{nullptr};
 // Past default Runtimes, retired (pool drained) but never destroyed:
-// objects built on the deprecated path before a reset — Networks,
-// solvers, factors — hold pointers into the old Runtime's pool, and the
-// pre-Runtime code re-resolved the global at every call, so destroying
-// the old instance would introduce a use-after-free the old API did not
-// have. Retirement is bounded by the number of set_global_threads calls
-// (a test/bench escape hatch), and a drained pool executes inline, so a
+// objects built against the old default before a reset — Networks,
+// solvers, factors — hold pointers into the old Runtime's pool, so
+// destroying the old instance would introduce a use-after-free.
+// Retirement is bounded by the number of reset_process_default calls (a
+// test/bench escape hatch), and a drained pool executes inline, so a
 // retired pool costs memory only, not threads.
 std::vector<std::unique_ptr<Runtime>> g_retired;  // under g_default_mu
 
@@ -60,7 +60,13 @@ Runtime::Runtime(const RuntimeOptions& opts)
     : opts_(opts),
       pool_(std::make_unique<common::ThreadPool>(
           opts.threads == 0 ? common::default_thread_count() : opts.threads)),
-      root_(opts.seed) {}
+      root_(opts.seed) {
+  if (opts.factor_cache) {
+    cache_ = opts.factor_cache;
+  } else if (opts.factor_cache_bytes > 0) {
+    cache_ = std::make_shared<core::FactorCache>(opts.factor_cache_bytes);
+  }
+}
 
 Runtime::~Runtime() = default;
 
@@ -108,6 +114,35 @@ void Runtime::reset_process_default(std::size_t threads) {
   }
 }
 
+bool Runtime::prepare_engine(laplacian::LaplacianEngine& engine,
+                             const graph::Graph& g, core::RunStats* stats) {
+  if (!cache_) return engine.factor(context(), g);
+  core::FactorCacheKey key;
+  key.engine = std::string(engine.key());
+  key.fingerprint = graph::fingerprint(g);
+  key.seed = opts_.seed;
+  key.min_work_per_chunk = opts_.min_work_per_chunk;
+  key.options_hash = core::prepare_options_hash(engine.options());
+  if (auto artifact = cache_->lookup(key)) {
+    engine.adopt(std::move(artifact));
+    stats->cache_hits += 1;
+    return true;
+  }
+  stats->cache_misses += 1;
+  const bool usable = engine.factor(context(), g);
+  if (usable) {
+    const std::uint64_t evictions_before = cache_->evictions();
+    auto canonical = cache_->insert(key, engine.prepared());
+    // A concurrent preparer may have raced us; its entry is canonical, so
+    // later applies on this engine use the same bytes every cached run
+    // sees.
+    if (canonical != engine.prepared()) engine.adopt(std::move(canonical));
+    stats->cache_evictions +=
+        static_cast<std::size_t>(cache_->evictions() - evictions_before);
+  }
+  return usable;
+}
+
 LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
                                       const linalg::Vec& b,
                                       const LaplacianSolveOptions& opt) {
@@ -121,7 +156,7 @@ LaplacianRun Runtime::solve_laplacian(const graph::Graph& g,
   LaplacianRun out;
   auto engine = build_engine(g, opt);
   out.stats.engine = std::string(engine->key());
-  out.usable = engine->factor(context(), g);
+  out.usable = prepare_engine(*engine, g, &out.stats);
   if (out.usable) {
     out.x = engine->solve(context(), b);
     engine->report(&out.stats);
@@ -147,7 +182,7 @@ LaplacianManyRun Runtime::solve_laplacian_many(
   LaplacianManyRun out;
   auto engine = build_engine(g, opt);
   out.stats.engine = std::string(engine->key());
-  out.usable = engine->factor(context(), g);
+  out.usable = prepare_engine(*engine, g, &out.stats);
   if (out.usable) {
     out.x = engine->solve_many(context(), b);
     engine->report(&out.stats);
@@ -185,24 +220,3 @@ McmfRun Runtime::min_cost_max_flow(const graph::Digraph& g, std::size_t s,
 }
 
 }  // namespace bcclap
-
-// Link-level shims for the common layer (declared in thread_pool.cpp and
-// context.h): the default Runtime owns the pool the legacy global
-// accessors funnel through.
-namespace bcclap::detail {
-
-common::ThreadPool& process_default_pool() {
-  return Runtime::process_default().pool();
-}
-
-void reset_process_default_threads(std::size_t threads) {
-  Runtime::reset_process_default(threads);
-}
-
-}  // namespace bcclap::detail
-
-namespace bcclap::common {
-
-Context default_context() { return Runtime::process_default().context(); }
-
-}  // namespace bcclap::common

@@ -16,11 +16,16 @@
 //   auto res = rt.solve_laplacian(g, b);
 //   // res.x, res.stats.rounds / .iterations / .wall_seconds
 //
-// Runtime::process_default() is the lazily-created Runtime behind the
-// deprecated pre-Runtime signatures (and ThreadPool::global()); it resolves
-// its worker count from BCCLAP_THREADS / hardware_concurrency exactly as
-// the retired global singleton did, so existing callers behave
-// identically.
+// Runtime::process_default() is the lazily-created Runtime for callers
+// that want a shared, process-wide configuration (tests of the historical
+// single-configuration contract, quick scripts); it resolves its worker
+// count from BCCLAP_THREADS / hardware_concurrency.
+//
+// Optional factorization cache: set RuntimeOptions::factor_cache_bytes
+// (or share a core::FactorCache across Runtimes via ::factor_cache) and
+// repeat solve_laplacian{,_many} calls on the same topology skip the
+// sparsify+factor prepare phase, with bitwise-identical solutions —
+// see core/factor_cache.h.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +45,13 @@
 
 namespace bcclap {
 
+namespace core {
+class FactorCache;
+}
+namespace laplacian {
+class LaplacianEngine;
+}
+
 struct RuntimeOptions {
   // Worker threads (including the calling thread). 0 resolves via
   // common::default_thread_count(): BCCLAP_THREADS env if set, else the
@@ -56,6 +68,17 @@ struct RuntimeOptions {
   // Minimum scalar operations per chunk before a kernel fans out to the
   // pool; the knob behind common::Context::grain.
   std::size_t min_work_per_chunk = common::kDefaultMinWorkPerChunk;
+  // Factorization-cache budget in resident bytes (core/factor_cache.h).
+  // 0 (the default) disables caching: every facade solve prepares its own
+  // artifact, byte-identical to the pre-cache behavior. Nonzero gives
+  // this Runtime a private cache of that size.
+  std::size_t factor_cache_bytes = 0;
+  // A cache shared across Runtimes (takes precedence over
+  // factor_cache_bytes when set): two Runtimes with the same seed and
+  // chunking policy pointed at one cache share prepare work — safe at any
+  // thread counts, since artifacts are immutable and thread count is not
+  // part of the cache key.
+  std::shared_ptr<core::FactorCache> factor_cache;
 };
 
 // ---- facade option/result shapes (stats unified on core::RunStats) ----
@@ -160,26 +183,40 @@ class Runtime {
   McmfRun min_cost_max_flow(const graph::Digraph& g, std::size_t s,
                             std::size_t t, const flow::McmfOptions& opt = {});
 
+  // The cache behind this Runtime's facade solves: the shared cache from
+  // RuntimeOptions::factor_cache, a private one sized by
+  // factor_cache_bytes, or null (caching off, the default).
+  const std::shared_ptr<core::FactorCache>& factor_cache() const {
+    return cache_;
+  }
+
   // The process-default Runtime: created on first use with RuntimeOptions{}
-  // (env-resolved thread count), the instance behind ThreadPool::global()
-  // and every deprecated-path wrapper. Lives for the whole process unless
-  // reset via reset_process_default / ThreadPool::set_global_threads.
+  // (env-resolved thread count) and shared by callers that want one
+  // process-wide configuration. Lives for the whole process unless reset
+  // via reset_process_default.
   static Runtime& process_default();
 
   // Rebuilds the process-default Runtime with `threads` workers (0 =
-  // env-resolved; note ThreadPool::set_global_threads maps its legacy
-  // 0-means-1 contract before calling this), preserving seed and chunking
-  // policy. The old Runtime is *retired*, not destroyed: its pool is
-  // drained (workers joined; later dispatches run inline with identical
-  // results) and the instance kept alive, so deprecated-path objects
-  // created before the reset never dangle. Precondition: no parallel_for
-  // in flight on the default pool — violations abort with a diagnostic.
+  // env-resolved), preserving seed and chunking policy. The old Runtime
+  // is *retired*, not destroyed: its pool is drained (workers joined;
+  // later dispatches run inline with identical results) and the instance
+  // kept alive, so objects created against the old default never dangle.
+  // Precondition: no parallel_for in flight on the default pool —
+  // violations abort with a diagnostic.
   static void reset_process_default(std::size_t threads);
 
  private:
+  // Installs an artifact into `engine` for graph g: from the cache when
+  // one is configured (counting hits/misses/evictions into *stats),
+  // otherwise by running the engine's own prepare phase. Returns
+  // engine.factor()'s usability.
+  bool prepare_engine(laplacian::LaplacianEngine& engine,
+                      const graph::Graph& g, core::RunStats* stats);
+
   RuntimeOptions opts_;
   std::unique_ptr<common::ThreadPool> pool_;
   rng::Stream root_;
+  std::shared_ptr<core::FactorCache> cache_;
 };
 
 }  // namespace bcclap

@@ -21,6 +21,17 @@
 //                 kernel vs. the sparse CSC path (the dispatch inside
 //                 linalg/cholesky.h), counted per grounded component;
 //                 0 / 0 when the layer never factored a Laplacian;
+//   sparsify_count
+//               — spectral-sparsifier constructions executed by the run
+//                 (the expensive half of the sparsified engine's prepare
+//                 phase); 0 for exact/CG engines and for runs served from
+//                 the factorization cache;
+//   cache_hits / cache_misses / cache_evictions
+//               — factorization-cache traffic (core/factor_cache.h) of
+//                 the run: artifacts adopted from the cache, prepare
+//                 phases executed because the cache had no entry, and
+//                 entries evicted to fit the byte budget. All 0 when
+//                 caching is off (the default);
 //   engine      — registry key of the solver engine that served the run
 //                 (laplacian/engine.h): "exact-dense", "exact-sparse",
 //                 "sparsified-chebyshev", "cg" — the concrete key the
@@ -47,6 +58,10 @@ struct RunStats {
   std::size_t panels = 0;
   std::size_t dense_factors = 0;
   std::size_t sparse_factors = 0;
+  std::size_t sparsify_count = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
   std::string engine;
   double wall_seconds = 0.0;
 
@@ -57,6 +72,10 @@ struct RunStats {
     panels += o.panels;
     dense_factors += o.dense_factors;
     sparse_factors += o.sparse_factors;
+    sparsify_count += o.sparsify_count;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
     // Counters add; the engine label adopts the most recent non-empty key
     // (an aggregate over runs on different engines keeps the last one).
     if (!o.engine.empty()) engine = o.engine;

@@ -1,0 +1,67 @@
+#include "graph/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+namespace bcclap::graph {
+
+namespace {
+
+// splitmix64 finalizer: the standard 64-bit avalanche permutation.
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t token) {
+  return splitmix(h ^ token);
+}
+
+std::uint64_t weight_bits(double w) {
+  // +0.0 and -0.0 share a value but not a bit pattern; normalize so the
+  // two spellings of a zero-weight edge hash equal.
+  if (w == 0.0) w = 0.0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(w), "double must be 64-bit");
+  std::memcpy(&bits, &w, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Fingerprint fingerprint(const Graph& g) {
+  struct Token {
+    std::uint64_t u, v, w;
+  };
+  std::vector<Token> tokens;
+  tokens.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t a = std::min<std::uint64_t>(e.u, e.v);
+    const std::uint64_t b = std::max<std::uint64_t>(e.u, e.v);
+    tokens.push_back({a, b, weight_bits(e.weight)});
+  }
+  std::sort(tokens.begin(), tokens.end(), [](const Token& a, const Token& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  });
+
+  Fingerprint fp;
+  fp.vertices = g.num_vertices();
+  fp.edges = g.num_edges();
+  std::uint64_t hi = mix(0x8c511cb4d3f8e502ULL, fp.vertices);
+  std::uint64_t lo = mix(0x2545f4914f6cdd1dULL, fp.vertices);
+  hi = mix(hi, fp.edges);
+  lo = mix(lo, fp.edges);
+  for (const Token& t : tokens) {
+    hi = mix(mix(mix(hi, t.u), t.v), t.w);
+    lo = mix(mix(mix(lo, t.u), t.v), t.w);
+  }
+  fp.hi = hi;
+  fp.lo = lo;
+  return fp;
+}
+
+}  // namespace bcclap::graph

@@ -1,0 +1,47 @@
+// Canonical graph fingerprint: the cache identity of a weighted graph.
+//
+// The factorization cache (core/factor_cache.h) retains prepared solver
+// artifacts across requests; its key must identify "the same network"
+// independently of how the caller happened to build it. fingerprint(g)
+// hashes the vertex count, the edge count and the canonically-ordered
+// multiset of (min endpoint, max endpoint, weight bit pattern) triples, so
+//
+//  - two graphs whose edges were added in different orders hash equal;
+//  - perturbing any weight by one ulp, flipping an edge to a different
+//    endpoint pair, or changing the number of (even isolated) vertices
+//    all change the fingerprint (collision behavior is tested in
+//    tests/test_fingerprint.cpp).
+//
+// The 128-bit digest (two independently seeded 64-bit mixing lanes) plus
+// the explicit (n, m) pair make accidental collisions on real workloads
+// vanishingly unlikely; equality of fingerprints — not of graphs — is the
+// cache's correctness assumption, the standard content-hash trade.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace bcclap::graph {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo && a.vertices == b.vertices &&
+           a.edges == b.edges;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+};
+
+// O(m log m): sorts a copy of the edge list into canonical order before
+// hashing. Weights hash by bit pattern (no tolerance): the cache must
+// only ever equate graphs whose solves are bitwise interchangeable.
+Fingerprint fingerprint(const Graph& g);
+
+}  // namespace bcclap::graph

@@ -32,23 +32,31 @@ std::int64_t exact_sdd_solve_rounds(std::size_t network_n, double eps) {
          enc::rounds_for_bits(bits, static_cast<std::int64_t>(2 * logn) + 2);
 }
 
+std::shared_ptr<const linalg::LdltFactor> prepare_sdd_dense_factor(
+    const common::Context& ctx, linalg::DenseMatrix m) {
+  auto factor = linalg::LdltFactor::factor(ctx, m);
+  if (!factor) {
+    // M may be only positive semi-definite in degenerate cases; add a
+    // tiny Tikhonov ridge and retry (documented numerical guard).
+    const std::size_t n = m.rows();
+    double scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, m(i, i));
+    for (std::size_t i = 0; i < n; ++i) m(i, i) += 1e-12 * (scale + 1.0);
+    factor = linalg::LdltFactor::factor(ctx, m);
+  }
+  if (!factor) return nullptr;
+  return std::make_shared<const linalg::LdltFactor>(std::move(*factor));
+}
+
 namespace {
 
 class ExactSddEngine final : public SddEngine {
  public:
   ExactSddEngine(const common::Context& ctx, linalg::DenseMatrix m,
                  std::size_t network_n)
-      : ctx_(ctx), network_n_(std::max<std::size_t>(network_n, 2)) {
-    factor_ = linalg::LdltFactor::factor(ctx, m);
-    if (!factor_) {
-      // M may be only positive semi-definite in degenerate cases; add a
-      // tiny Tikhonov ridge and retry (documented numerical guard).
-      const std::size_t n = m.rows();
-      double scale = 0.0;
-      for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, m(i, i));
-      for (std::size_t i = 0; i < n; ++i) m(i, i) += 1e-12 * (scale + 1.0);
-      factor_ = linalg::LdltFactor::factor(ctx, m);
-    }
+      : ctx_(ctx),
+        network_n_(std::max<std::size_t>(network_n, 2)),
+        factor_(prepare_sdd_dense_factor(ctx, std::move(m))) {
     assert(factor_);
   }
 
@@ -79,8 +87,8 @@ class ExactSddEngine final : public SddEngine {
   }
 
   common::Context ctx_;
-  std::optional<linalg::LdltFactor> factor_;
   std::size_t network_n_;
+  std::shared_ptr<const linalg::LdltFactor> factor_;
   std::int64_t rounds_ = 0;
 };
 
@@ -172,16 +180,7 @@ class SparsifiedSddEngine final : public SddEngine {
 
   void ensure_fallback() {
     if (fallback_) return;
-    auto m = matrix_;
-    fallback_ = linalg::LdltFactor::factor(ctx_, m);
-    if (!fallback_) {
-      double scale = 0.0;
-      for (std::size_t i = 0; i < m.rows(); ++i)
-        scale = std::max(scale, m(i, i));
-      for (std::size_t i = 0; i < m.rows(); ++i)
-        m(i, i) += 1e-12 * (scale + 1.0);
-      fallback_ = linalg::LdltFactor::factor(ctx_, m);
-    }
+    fallback_ = prepare_sdd_dense_factor(ctx_, matrix_);
     assert(fallback_);
   }
 
@@ -189,7 +188,7 @@ class SparsifiedSddEngine final : public SddEngine {
   linalg::DenseMatrix matrix_;
   SddReduction reduction_;
   std::unique_ptr<SparsifiedLaplacianSolver> solver_;
-  std::optional<linalg::LdltFactor> fallback_;
+  std::shared_ptr<const linalg::LdltFactor> fallback_;
   bool use_fallback_ = false;
   std::int64_t rounds_ = 0;
 };

@@ -21,6 +21,7 @@
 #include "bcc/round_accountant.h"
 #include "common/context.h"
 #include "linalg/dense_matrix.h"
+#include "linalg/ldlt.h"
 #include "linalg/vector_ops.h"
 
 namespace bcclap::laplacian {
@@ -54,6 +55,15 @@ class SddEngine {
 // each): shared by every exact engine so "exact-dense" and "exact-sparse"
 // charge identical rounds and differ only in local arithmetic.
 std::int64_t exact_sdd_solve_rounds(std::size_t network_n, double eps);
+
+// The SDD layer's dense prepare phase, shared by the exact-dense engine
+// and the sparsified engine's residual-guard fallback: dense LDL^T of M
+// with a tiny Tikhonov ridge retry on (numerically) semi-definite inputs
+// — the documented guard both call sites used to hand-roll. Returns an
+// immutable, shareable factor (the shareability contract of
+// linalg/cholesky.h); null only if even the ridged matrix fails.
+std::shared_ptr<const linalg::LdltFactor> prepare_sdd_dense_factor(
+    const common::Context& ctx, linalg::DenseMatrix m);
 
 // Builds an engine for a concrete SDD matrix M (n x n dense), executing on
 // ctx's pool; the sparsified engine draws its sparsifier randomness from

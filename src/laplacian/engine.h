@@ -17,15 +17,15 @@
 //                            from (n, stored density, requested eps)
 //
 // Engines solve Laplacian systems behind the LaplacianEngine interface
-// (factor / solve / solve_many) and SDD systems behind the existing
-// SddEngine interface (bcc_solver.h); both are constructed by key, so a
-// new backend plugs in by registering itself and touches no dispatch
-// code. Selection can be forced process-wide with BCCLAP_ENGINE=<key>
-// (consulted whenever "auto" is requested; an explicit key in options
-// wins over the environment, mirroring how set_factor_mode wins over
-// BCCLAP_FACTOR_PATH). Unknown keys throw std::invalid_argument listing
-// the registered keys; unknown BCCLAP_ENGINE values warn once and fall
-// back to the tuner (same policy as BCCLAP_FACTOR_PATH).
+// and SDD systems behind the existing SddEngine interface (bcc_solver.h);
+// both are constructed by key, so a new backend plugs in by registering
+// itself and touches no dispatch code. Selection can be forced
+// process-wide with BCCLAP_ENGINE=<key> (consulted whenever "auto" is
+// requested; an explicit key in options wins over the environment,
+// mirroring how set_factor_mode wins over BCCLAP_FACTOR_PATH). Unknown
+// keys throw std::invalid_argument listing the registered keys; unknown
+// BCCLAP_ENGINE values warn once and fall back to the tuner (same policy
+// as BCCLAP_FACTOR_PATH).
 #pragma once
 
 #include <cstdint>
@@ -41,58 +41,102 @@
 #include "core/stats.h"
 #include "graph/graph.h"
 #include "laplacian/bcc_solver.h"
+#include "laplacian/prepared.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
-#include "sparsify/spectral_sparsify.h"
 
 namespace bcclap::laplacian {
 
-// Per-instance engine configuration. Every engine reads `eps`; the
-// sparsified engine reads `sparsify`; the CG engine reads
-// `max_iterations` (0 = 4n + 128, a generous cap for a baseline solver).
-struct EngineOptions {
-  double eps = 1e-8;
-  sparsify::SparsifyOptions sparsify;
-  std::size_t max_iterations = 0;
-};
-
-// Unified Laplacian-solver interface the registry vends. Lifecycle:
-// factor(ctx, g) once (false = numerically degenerate input, do not
-// solve), then any number of solve / solve_many calls. The graph must
-// outlive the engine (engines hold a reference, like
-// SparsifiedLaplacianSolver). Engines accumulate their counters across
-// solves; report() folds them into a RunStats and stamps the engine key.
+// Unified Laplacian-solver interface the registry vends, split along the
+// prepare/apply seam (laplacian/prepared.h):
+//
+//   prepare(ctx, g)  — the ONE engine-specific virtual besides key():
+//                      runs the per-topology work and returns the
+//                      immutable artifact.
+//   factor / adopt   — install an artifact: factor() prepares here;
+//                      adopt() installs one prepared elsewhere (a
+//                      factorization-cache hit), after which this engine
+//                      reports none of the prepare-phase cost — it did
+//                      none of the work.
+//   solve / solve_many — base-class applies against the artifact,
+//                      accumulating per-request counters (iterations,
+//                      rounds, panels) across calls.
+//   report()         — folds the accumulated counters into a RunStats and
+//                      stamps the engine key; prepare-phase tallies
+//                      (dense/sparse factors, sparsify count,
+//                      preprocessing rounds) are included only when the
+//                      artifact was prepared by this engine. rounds
+//                      excludes preprocessing_rounds() — the facade adds
+//                      that separately, preserving the PR 6 reporting
+//                      split.
+//
+// Engines are cheap, stateful, per-run objects; the artifact is the
+// expensive shared value.
 class LaplacianEngine {
  public:
+  explicit LaplacianEngine(const EngineOptions& opt) : opt_(opt) {}
   virtual ~LaplacianEngine() = default;
 
   virtual std::string_view key() const = 0;
 
-  virtual bool factor(const common::Context& ctx, const graph::Graph& g) = 0;
+  // The engine's prepare phase: all per-topology work (sparsify, order,
+  // factor), honoring the prepare-time fields of options(). Never null;
+  // numerical failure is reported via the artifact's usable().
+  virtual std::shared_ptr<const PreparedLaplacian> prepare(
+      const common::Context& ctx, const graph::Graph& g) const = 0;
+
+  // Prepares an artifact here and installs it. False = numerically
+  // degenerate input (artifact unusable); do not solve.
+  bool factor(const common::Context& ctx, const graph::Graph& g);
+
+  // Installs an artifact prepared elsewhere (cache hit / shared value).
+  // Requires artifact && artifact->usable().
+  void adopt(std::shared_ptr<const PreparedLaplacian> artifact);
 
   // Solve L_G x = b (b projected onto range(L_G) per component) to the
   // engine's accuracy contract at EngineOptions::eps. Throws
   // std::invalid_argument on a wrong-sized b.
-  virtual linalg::Vec solve(const common::Context& ctx,
-                            const linalg::Vec& b) = 0;
+  linalg::Vec solve(const common::Context& ctx, const linalg::Vec& b);
 
   // Batched multi-RHS form; column j is byte-identical (exact engines) or
   // matches the single-RHS path's contract (iterative engines) of
   // solve(ctx, column j).
-  virtual linalg::DenseMatrix solve_many(const common::Context& ctx,
-                                         const linalg::DenseMatrix& b) = 0;
+  linalg::DenseMatrix solve_many(const common::Context& ctx,
+                                 const linalg::DenseMatrix& b);
 
   // Adds the counters accumulated since construction into *stats and sets
-  // stats->engine to key(). rounds excludes preprocessing_rounds() — the
-  // facade adds that separately, preserving the PR 6 reporting split.
-  virtual void report(core::RunStats* stats) const = 0;
+  // stats->engine to key().
+  void report(core::RunStats* stats) const;
 
-  // Preconditioner introspection; non-null only for engines that build
-  // one (the sparsified engine exposes H here for the facade's
-  // LaplacianRun::sparsifier field).
-  virtual const graph::Graph* sparsifier() const { return nullptr; }
-  virtual bool tree_patched() const { return false; }
-  virtual std::int64_t preprocessing_rounds() const { return 0; }
+  // Preconditioner introspection, delegated to the artifact; non-null
+  // only for engines that build one (the sparsified engine exposes H here
+  // for the facade's LaplacianRun::sparsifier field).
+  const graph::Graph* sparsifier() const;
+  bool tree_patched() const;
+
+  // Rounds the prepare phase charged — 0 when the artifact was adopted
+  // (the preprocessing happened in some earlier run, which already
+  // reported it).
+  std::int64_t preprocessing_rounds() const;
+
+  const EngineOptions& options() const { return opt_; }
+
+  // The installed artifact (null before factor()/adopt()), shareable with
+  // other engines and the factorization cache.
+  std::shared_ptr<const PreparedLaplacian> prepared() const {
+    return prepared_;
+  }
+  // True when the installed artifact was prepared by this engine's own
+  // factor() call rather than adopted.
+  bool prepared_here() const { return prepared_here_; }
+
+ private:
+  EngineOptions opt_;
+  std::shared_ptr<const PreparedLaplacian> prepared_;
+  bool prepared_here_ = false;
+  std::size_t iterations_ = 0;
+  std::int64_t rounds_ = 0;
+  std::size_t panels_ = 0;
 };
 
 // Configuration for SDD engines built by key (the LP layer's Newton

@@ -1,34 +1,18 @@
 #include "laplacian/engine.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cassert>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
-#include "common/logging.h"
+#include "common/env.h"
 #include "laplacian/engines/builtin.h"
 #include "linalg/sparse_ldlt.h"
 
 namespace bcclap::laplacian {
 
 namespace {
-
-// Warn once per distinct invalid BCCLAP_ENGINE value (the env var is read
-// live on every "auto" resolve so tests can set and unset it; without the
-// latch a bench would emit the warning per solve).
-void warn_invalid_env_engine(const std::string& value,
-                             const std::string& keys_list) {
-  static std::mutex mu;
-  static std::string last_warned;
-  std::lock_guard<std::mutex> lock(mu);
-  if (value == last_warned) return;
-  last_warned = value;
-  BCCLAP_WARN("BCCLAP_ENGINE=\"" << value
-                                 << "\" is not a registered engine key "
-                                    "(registered: "
-                                 << keys_list
-                                 << ", or auto); falling back to auto");
-}
 
 std::string join_keys(const std::vector<std::string>& keys) {
   std::ostringstream oss;
@@ -56,6 +40,71 @@ double dense_matrix_density(const linalg::DenseMatrix& m) {
 }
 
 }  // namespace
+
+// ---- LaplacianEngine base: the apply half of the prepare/apply split ----
+
+bool LaplacianEngine::factor(const common::Context& ctx,
+                             const graph::Graph& g) {
+  prepared_ = prepare(ctx, g);
+  prepared_here_ = true;
+  return prepared_ && prepared_->usable();
+}
+
+void LaplacianEngine::adopt(std::shared_ptr<const PreparedLaplacian> artifact) {
+  assert(artifact && artifact->usable() && "adopt() requires a usable artifact");
+  prepared_ = std::move(artifact);
+  prepared_here_ = false;
+}
+
+linalg::Vec LaplacianEngine::solve(const common::Context& ctx,
+                                   const linalg::Vec& b) {
+  assert(prepared_ && prepared_->usable() &&
+         "factor()/adopt() must succeed before solve()");
+  core::RunStats st;
+  linalg::Vec x = prepared_->apply(ctx, b, opt_, &st);
+  // Accumulate only the per-request counters; the artifact's prepare-phase
+  // tallies (factor counts, sparsify count) are added once in report(),
+  // never per solve.
+  iterations_ += st.iterations;
+  rounds_ += st.rounds;
+  return x;
+}
+
+linalg::DenseMatrix LaplacianEngine::solve_many(const common::Context& ctx,
+                                                const linalg::DenseMatrix& b) {
+  assert(prepared_ && prepared_->usable() &&
+         "factor()/adopt() must succeed before solve_many()");
+  core::RunStats st;
+  linalg::DenseMatrix x = prepared_->apply_many(ctx, b, opt_, &st);
+  iterations_ += st.iterations;
+  rounds_ += st.rounds;
+  panels_ += st.panels;
+  return x;
+}
+
+void LaplacianEngine::report(core::RunStats* stats) const {
+  stats->engine = std::string(key());
+  stats->iterations += iterations_;
+  stats->rounds += rounds_;
+  stats->panels += panels_;
+  if (prepared_ && prepared_here_) {
+    stats->dense_factors += prepared_->dense_factors();
+    stats->sparse_factors += prepared_->sparse_factors();
+    stats->sparsify_count += prepared_->sparsify_count();
+  }
+}
+
+const graph::Graph* LaplacianEngine::sparsifier() const {
+  return prepared_ ? prepared_->sparsifier() : nullptr;
+}
+
+bool LaplacianEngine::tree_patched() const {
+  return prepared_ && prepared_->tree_patched();
+}
+
+std::int64_t LaplacianEngine::preprocessing_rounds() const {
+  return (prepared_ && prepared_here_) ? prepared_->preprocessing_rounds() : 0;
+}
 
 EngineRegistry& EngineRegistry::instance() {
   // Leaky singleton (never destroyed: engines may be created during other
@@ -112,11 +161,15 @@ std::string EngineRegistry::resolve(const std::string& requested,
     if (!registered(requested)) throw_unknown_key(requested);
     return requested;
   }
-  if (const char* e = std::getenv("BCCLAP_ENGINE")) {
-    const std::string env_key(e);
-    if (registered(env_key)) return env_key;
-    // BCCLAP_ENGINE=auto is a valid no-op spelling of the default.
-    if (env_key != "auto") warn_invalid_env_engine(env_key, join_keys(keys()));
+  // BCCLAP_ENGINE is read live on every "auto" resolve (tests set and
+  // unset it); accepted values are the registered keys plus "auto" (a
+  // no-op spelling of the default), anything else warns once per distinct
+  // value inside common::env::keyword and falls back to the tuner.
+  std::vector<std::string> accepted = keys();
+  accepted.push_back("auto");
+  if (const auto env_key = common::env::keyword("BCCLAP_ENGINE", accepted,
+                                                "falling back to auto")) {
+    if (*env_key != "auto") return *env_key;
   }
   return auto_select(n, density, eps);
 }

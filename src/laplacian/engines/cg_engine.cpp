@@ -5,20 +5,20 @@
 // sparsifier preprocessing. Never auto-selected: without the
 // preconditioner its iteration count scales with sqrt(kappa(L_G)), so it
 // exists for explicit requests (baselines, sanity checks, ablations).
+// The iteration itself lives in the prepared artifact (PreparedCg,
+// laplacian/prepared.cpp); this TU keeps only the engine wrapper and the
+// SDD-side CG, which has no graph artifact to share.
 //
 // Accuracy note: CG's stopping rule is the 2-norm relative residual at
 // EngineOptions::eps, not the energy norm of the Chebyshev contract —
 // the usual baseline convention (tests compare at matching eps).
 #include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <stdexcept>
-#include <string>
+#include <memory>
+#include <utility>
 #include <vector>
 
-#include "bcc/network.h"
 #include "common/encoding.h"
-#include "graph/laplacian.h"
 #include "laplacian/engine.h"
 #include "laplacian/engines/builtin.h"
 #include "linalg/cg.h"
@@ -27,157 +27,16 @@ namespace bcclap::laplacian::engines {
 
 namespace {
 
-// Projection onto range(L_G): remove the per-component mean (same
-// contract as the sparsified solver's projection).
-void remove_component_means(linalg::Vec& x,
-                            const std::vector<std::size_t>& labels) {
-  std::size_t k = 0;
-  for (std::size_t l : labels) k = std::max(k, l + 1);
-  std::vector<double> sum(k, 0.0);
-  std::vector<std::size_t> count(k, 0);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    sum[labels[i]] += x[i];
-    ++count[labels[i]];
-  }
-  for (std::size_t i = 0; i < x.size(); ++i)
-    x[i] -= sum[labels[i]] / static_cast<double>(count[labels[i]]);
-}
-
-std::size_t default_max_iter(std::size_t n, std::size_t requested) {
-  return requested != 0 ? requested : 4 * n + 128;
-}
-
 class CgEngine final : public LaplacianEngine {
  public:
-  explicit CgEngine(const EngineOptions& opt) : opt_(opt) {}
+  using LaplacianEngine::LaplacianEngine;
 
   std::string_view key() const override { return "cg"; }
 
-  bool factor(const common::Context&, const graph::Graph& g) override {
-    g_ = &g;
-    labels_ = g.component_labels();
-    // Jacobi preconditioner: D = diag(L_G) = weighted degrees. Isolated
-    // vertices have a zero diagonal; their residual is identically zero
-    // after projection, so their preconditioned entry is pinned to zero.
-    const std::size_t n = g.num_vertices();
-    diag_.assign(n, 0.0);
-    for (const auto& e : g.edges()) {
-      diag_[e.u] += e.weight;
-      diag_[e.v] += e.weight;
-    }
-    bandwidth_ = bcc::Network::default_bandwidth(n);
-    weight_bound_ = std::max(g.max_weight(), 1.0);
-    return true;
+  std::shared_ptr<const PreparedLaplacian> prepare(
+      const common::Context& ctx, const graph::Graph& g) const override {
+    return prepare_cg(ctx, g);
   }
-
-  linalg::Vec solve(const common::Context& ctx,
-                    const linalg::Vec& b) override {
-    assert(g_ != nullptr && "factor() must be called before solve()");
-    check_rows(b.size());
-    linalg::Vec rhs = b;
-    remove_component_means(rhs, labels_);
-    const linalg::LinearOperator apply_a = [&](const linalg::Vec& x) {
-      return graph::apply_laplacian(ctx, *g_, x);
-    };
-    const linalg::LinearOperator precond = [&](const linalg::Vec& r) {
-      linalg::Vec z(r.size());
-      for (std::size_t i = 0; i < r.size(); ++i)
-        z[i] = diag_[i] > 0.0 ? r[i] / diag_[i] : 0.0;
-      return z;
-    };
-    const auto res = linalg::conjugate_gradient(
-        apply_a, rhs, opt_.eps,
-        default_max_iter(g_->num_vertices(), opt_.max_iterations), &precond);
-    charge(res.iterations);
-    iterations_ += res.iterations;
-    linalg::Vec x = res.x;
-    remove_component_means(x, labels_);
-    return x;
-  }
-
-  linalg::DenseMatrix solve_many(const common::Context& ctx,
-                                 const linalg::DenseMatrix& b) override {
-    assert(g_ != nullptr && "factor() must be called before solve_many()");
-    check_rows(b.rows());
-    const std::size_t k = b.cols();
-    linalg::DenseMatrix rhs = b;
-    for (std::size_t j = 0; j < k; ++j) {
-      linalg::Vec col = rhs.column(j);
-      remove_component_means(col, labels_);
-      rhs.set_column(j, col);
-    }
-    const linalg::PanelOperator apply_a = [&](const linalg::DenseMatrix& x) {
-      return graph::apply_laplacian_many(ctx, *g_, x);
-    };
-    const linalg::PanelOperator precond = [&](const linalg::DenseMatrix& r) {
-      linalg::DenseMatrix z(r.rows(), r.cols());
-      for (std::size_t i = 0; i < r.rows(); ++i) {
-        const double* ri = r.row_data(i);
-        double* zi = z.row_data(i);
-        const double d = diag_[i];
-        for (std::size_t j = 0; j < r.cols(); ++j)
-          zi[j] = d > 0.0 ? ri[j] / d : 0.0;
-      }
-      return z;
-    };
-    const auto res = linalg::conjugate_gradient_many(
-        apply_a, rhs, opt_.eps,
-        default_max_iter(g_->num_vertices(), opt_.max_iterations), &precond);
-    // Communication is charged per column (the panel amortizes wall time,
-    // not broadcasts — same convention as the sparsified panel), and
-    // iterations reports the panel's longest column, matching the
-    // "per-column iterations" meaning of the other engines' panels.
-    std::size_t longest = 0;
-    for (std::size_t j = 0; j < k; ++j) {
-      charge(res.iterations[j]);
-      longest = std::max(longest, res.iterations[j]);
-    }
-    iterations_ += longest;
-    ++panels_;
-    linalg::DenseMatrix x = res.x;
-    for (std::size_t j = 0; j < k; ++j) {
-      linalg::Vec col = x.column(j);
-      remove_component_means(col, labels_);
-      x.set_column(j, col);
-    }
-    return x;
-  }
-
-  void report(core::RunStats* stats) const override {
-    stats->engine = std::string(key());
-    stats->iterations += iterations_;
-    stats->rounds += rounds_;
-    stats->panels += panels_;
-  }
-
- private:
-  void check_rows(std::size_t got) const {
-    if (got != g_->num_vertices()) {
-      throw std::invalid_argument(
-          "cg engine: right-hand side has " + std::to_string(got) +
-          " rows, graph has " + std::to_string(g_->num_vertices()) +
-          " vertices");
-    }
-  }
-
-  // One distributed L_G matvec broadcast per CG iteration — identical to
-  // the Chebyshev iteration's accounting in SparsifiedLaplacianSolver.
-  void charge(std::size_t iterations) {
-    const int bits = enc::real_bits(
-        static_cast<double>(g_->num_vertices()) * weight_bound_, opt_.eps);
-    const std::int64_t per_iter = enc::rounds_for_bits(bits, bandwidth_);
-    rounds_ += static_cast<std::int64_t>(iterations) * per_iter;
-  }
-
-  EngineOptions opt_;
-  const graph::Graph* g_ = nullptr;
-  std::vector<std::size_t> labels_;
-  std::vector<double> diag_;
-  std::int64_t bandwidth_ = 1;
-  double weight_bound_ = 1.0;
-  std::size_t iterations_ = 0;
-  std::int64_t rounds_ = 0;
-  std::size_t panels_ = 0;
 };
 
 // SDD-side CG: solves M x = y against the dense-stored SDD matrix with a
@@ -205,7 +64,7 @@ class CgSddEngine final : public SddEngine {
       return z;
     };
     const auto res = linalg::conjugate_gradient(
-        apply_a, y, eps, default_max_iter(matrix_.rows(), 0), &precond);
+        apply_a, y, eps, 4 * matrix_.rows() + 128, &precond);
     charge(res.iterations, eps);
     return res.x;
   }

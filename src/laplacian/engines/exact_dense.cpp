@@ -3,14 +3,11 @@
 // exact to working precision, zero iterations, no preconditioner — models
 // the local computation each node performs on a globally-known topology,
 // so it charges no BCC rounds.
-#include <cassert>
-#include <stdexcept>
-#include <string>
+#include <memory>
 
-#include "graph/laplacian.h"
 #include "laplacian/engine.h"
 #include "laplacian/engines/builtin.h"
-#include "linalg/cholesky.h"
+#include "linalg/sparse_ldlt.h"
 
 namespace bcclap::laplacian::engines {
 
@@ -18,39 +15,14 @@ namespace {
 
 class ExactDenseEngine final : public LaplacianEngine {
  public:
+  using LaplacianEngine::LaplacianEngine;
+
   std::string_view key() const override { return "exact-dense"; }
 
-  bool factor(const common::Context& ctx, const graph::Graph& g) override {
-    factor_ = linalg::ComponentLaplacianFactor::factor(
-        ctx, graph::laplacian(g), linalg::FactorMode::kForceDense);
-    return factor_.has_value();
+  std::shared_ptr<const PreparedLaplacian> prepare(
+      const common::Context& ctx, const graph::Graph& g) const override {
+    return prepare_exact(ctx, g, linalg::FactorMode::kForceDense, key());
   }
-
-  linalg::Vec solve(const common::Context& ctx,
-                    const linalg::Vec& b) override {
-    assert(factor_ && "factor() must succeed before solve()");
-    return factor_->solve(ctx, b);
-  }
-
-  linalg::DenseMatrix solve_many(const common::Context& ctx,
-                                 const linalg::DenseMatrix& b) override {
-    assert(factor_ && "factor() must succeed before solve_many()");
-    ++panels_;
-    return factor_->solve_many(ctx, b);
-  }
-
-  void report(core::RunStats* stats) const override {
-    stats->engine = std::string(key());
-    stats->panels += panels_;
-    if (factor_) {
-      stats->dense_factors += factor_->dense_factor_count();
-      stats->sparse_factors += factor_->sparse_factor_count();
-    }
-  }
-
- private:
-  std::optional<linalg::ComponentLaplacianFactor> factor_;
-  std::size_t panels_ = 0;
 };
 
 }  // namespace
@@ -58,8 +30,8 @@ class ExactDenseEngine final : public LaplacianEngine {
 void register_exact_dense(EngineRegistry& registry) {
   registry.register_engine(
       "exact-dense",
-      [](const EngineOptions&) {
-        return std::make_unique<ExactDenseEngine>();
+      [](const EngineOptions& opt) {
+        return std::make_unique<ExactDenseEngine>(opt);
       },
       [](const common::Context& ctx, linalg::DenseMatrix m,
          const SddEngineOptions& opt) {

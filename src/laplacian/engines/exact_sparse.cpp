@@ -8,15 +8,13 @@
 // round-identical and differ only in local arithmetic.
 #include <algorithm>
 #include <cassert>
-#include <stdexcept>
-#include <string>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
-#include "graph/laplacian.h"
 #include "laplacian/engine.h"
 #include "laplacian/engines/builtin.h"
-#include "linalg/cholesky.h"
 #include "linalg/csc_matrix.h"
 #include "linalg/sparse_ldlt.h"
 
@@ -26,39 +24,14 @@ namespace {
 
 class ExactSparseEngine final : public LaplacianEngine {
  public:
+  using LaplacianEngine::LaplacianEngine;
+
   std::string_view key() const override { return "exact-sparse"; }
 
-  bool factor(const common::Context& ctx, const graph::Graph& g) override {
-    factor_ = linalg::ComponentLaplacianFactor::factor(
-        ctx, graph::laplacian(g), linalg::FactorMode::kForceSparse);
-    return factor_.has_value();
+  std::shared_ptr<const PreparedLaplacian> prepare(
+      const common::Context& ctx, const graph::Graph& g) const override {
+    return prepare_exact(ctx, g, linalg::FactorMode::kForceSparse, key());
   }
-
-  linalg::Vec solve(const common::Context& ctx,
-                    const linalg::Vec& b) override {
-    assert(factor_ && "factor() must succeed before solve()");
-    return factor_->solve(ctx, b);
-  }
-
-  linalg::DenseMatrix solve_many(const common::Context& ctx,
-                                 const linalg::DenseMatrix& b) override {
-    assert(factor_ && "factor() must succeed before solve_many()");
-    ++panels_;
-    return factor_->solve_many(ctx, b);
-  }
-
-  void report(core::RunStats* stats) const override {
-    stats->engine = std::string(key());
-    stats->panels += panels_;
-    if (factor_) {
-      stats->dense_factors += factor_->dense_factor_count();
-      stats->sparse_factors += factor_->sparse_factor_count();
-    }
-  }
-
- private:
-  std::optional<linalg::ComponentLaplacianFactor> factor_;
-  std::size_t panels_ = 0;
 };
 
 // SDD engine on the sparse factorization: the dense-stored SDD matrix is
@@ -123,8 +96,8 @@ class ExactSparseSddEngine final : public SddEngine {
 void register_exact_sparse(EngineRegistry& registry) {
   registry.register_engine(
       "exact-sparse",
-      [](const EngineOptions&) {
-        return std::make_unique<ExactSparseEngine>();
+      [](const EngineOptions& opt) {
+        return std::make_unique<ExactSparseEngine>(opt);
       },
       [](const common::Context& ctx, linalg::DenseMatrix m,
          const SddEngineOptions& opt) {

@@ -2,15 +2,12 @@
 // sparsifier preconditioner + preconditioned Chebyshev — wrapped as a
 // registry engine. This is the engine behind the facade's historical
 // behavior: "auto" resolves here for every pre-registry anchor case
-// (n < kSparseMinDim, eps above the exact cutoff), and the wrapped
-// SparsifiedLaplacianSolver runs the byte-identical PR 6 code path.
-#include <cassert>
+// (n < kSparseMinDim, eps above the exact cutoff), and the prepared
+// artifact runs the byte-identical PR 6 code path.
 #include <memory>
-#include <string>
 
 #include "laplacian/engine.h"
 #include "laplacian/engines/builtin.h"
-#include "laplacian/solver.h"
 
 namespace bcclap::laplacian::engines {
 
@@ -18,68 +15,14 @@ namespace {
 
 class SparsifiedChebyshevEngine final : public LaplacianEngine {
  public:
-  explicit SparsifiedChebyshevEngine(const EngineOptions& opt) : opt_(opt) {}
+  using LaplacianEngine::LaplacianEngine;
 
   std::string_view key() const override { return "sparsified-chebyshev"; }
 
-  bool factor(const common::Context& ctx, const graph::Graph& g) override {
-    // The solver captures the factoring context (its preconditioner lives
-    // on that pool); later solve calls run on it regardless of the ctx
-    // they pass — the facade always passes the same one.
-    solver_ =
-        std::make_unique<SparsifiedLaplacianSolver>(ctx, g, opt_.sparsify);
-    return solver_->usable();
+  std::shared_ptr<const PreparedLaplacian> prepare(
+      const common::Context& ctx, const graph::Graph& g) const override {
+    return prepare_sparsified_chebyshev(ctx, g, options().sparsify);
   }
-
-  linalg::Vec solve(const common::Context&, const linalg::Vec& b) override {
-    assert(solver_ && solver_->usable());
-    SolveStats st;
-    linalg::Vec x = solver_->solve(b, opt_.eps, &st);
-    iterations_ += st.iterations;
-    rounds_ += st.rounds;
-    return x;
-  }
-
-  linalg::DenseMatrix solve_many(const common::Context&,
-                                 const linalg::DenseMatrix& b) override {
-    assert(solver_ && solver_->usable());
-    SolveStats st;
-    linalg::DenseMatrix x = solver_->solve_many(b, opt_.eps, &st);
-    iterations_ += st.iterations;
-    rounds_ += st.rounds;
-    panels_ += st.panels;
-    return x;
-  }
-
-  void report(core::RunStats* stats) const override {
-    stats->engine = std::string(key());
-    stats->iterations += iterations_;
-    stats->rounds += rounds_;
-    stats->panels += panels_;
-    if (solver_) {
-      stats->dense_factors += solver_->dense_factors();
-      stats->sparse_factors += solver_->sparse_factors();
-    }
-  }
-
-  const graph::Graph* sparsifier() const override {
-    return solver_ ? &solver_->sparsifier() : nullptr;
-  }
-
-  bool tree_patched() const override {
-    return solver_ && solver_->tree_patched();
-  }
-
-  std::int64_t preprocessing_rounds() const override {
-    return solver_ ? solver_->preprocessing_rounds() : 0;
-  }
-
- private:
-  EngineOptions opt_;
-  std::unique_ptr<SparsifiedLaplacianSolver> solver_;
-  std::size_t iterations_ = 0;
-  std::int64_t rounds_ = 0;
-  std::size_t panels_ = 0;
 };
 
 }  // namespace

@@ -2,202 +2,49 @@
 
 #include <cassert>
 #include <cmath>
-#include <queue>
-#include <stdexcept>
-#include <string>
 
-#include "common/encoding.h"
 #include "graph/laplacian.h"
-#include "linalg/chebyshev.h"
 
 namespace bcclap::laplacian {
-
-namespace {
-
-// Spanning forest edges of g (BFS per component); used to patch a
-// sparsifier that lost connectivity within some component of G.
-std::vector<graph::EdgeId> spanning_forest(const graph::Graph& g) {
-  std::vector<graph::EdgeId> forest;
-  std::vector<bool> seen(g.num_vertices(), false);
-  for (graph::VertexId root = 0; root < g.num_vertices(); ++root) {
-    if (seen[root]) continue;
-    std::queue<graph::VertexId> q;
-    q.push(root);
-    seen[root] = true;
-    while (!q.empty()) {
-      const auto v = q.front();
-      q.pop();
-      for (graph::EdgeId e : g.incident(v)) {
-        const auto u = g.other_endpoint(e, v);
-        if (!seen[u]) {
-          seen[u] = true;
-          forest.push_back(e);
-          q.push(u);
-        }
-      }
-    }
-  }
-  return forest;
-}
-
-// Removes the per-component mean (projection onto range(L_G)).
-void remove_component_means(linalg::Vec& x,
-                            const std::vector<std::size_t>& labels) {
-  std::size_t k = 0;
-  for (std::size_t l : labels) k = std::max(k, l + 1);
-  std::vector<double> sum(k, 0.0);
-  std::vector<std::size_t> count(k, 0);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    sum[labels[i]] += x[i];
-    ++count[labels[i]];
-  }
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    x[i] -= sum[labels[i]] / static_cast<double>(count[labels[i]]);
-  }
-}
-
-// Explicit facade-surface size check (satellite of the solve-path bugfix
-// sweep): a wrong-sized rhs in a Release build must fail loudly, not read
-// out of bounds inside the matvec kernels.
-void check_rhs_rows(const char* where, std::size_t got, std::size_t want) {
-  if (got != want) {
-    throw std::invalid_argument(std::string(where) +
-                                ": right-hand side has " +
-                                std::to_string(got) + " rows, graph has " +
-                                std::to_string(want) + " vertices");
-  }
-}
-
-}  // namespace
 
 SparsifiedLaplacianSolver::SparsifiedLaplacianSolver(
     const common::Context& ctx, const graph::Graph& g,
     const sparsify::SparsifyOptions& opt)
-    : ctx_(ctx), g_(g) {
-  bandwidth_ = bcc::Network::default_bandwidth(g.num_vertices());
-  bcc::Network net(bcc::Model::kBroadcastCongest, g, bandwidth_, ctx_);
-  auto sp = sparsify::spectral_sparsify(ctx_, g, opt, net);
-  preprocessing_rounds_ = sp.rounds;
-  h_ = std::move(sp.sparsifier);
-  g_components_ = g_.component_labels();
-  weight_bound_ = std::max({g.max_weight(), h_.max_weight(), 1.0});
-
-  if (h_.num_components() > g_.num_components()) {
-    // Guard: with bench-scale bundle constants the sparsifier can lose
-    // connectivity; union a spanning forest of G (each forest edge is one
-    // broadcast, <= n-1 rounds) and refactor.
-    tree_patched_ = true;
-    for (graph::EdgeId e : spanning_forest(g_)) {
-      const auto& ed = g_.edge(e);
-      if (!h_.find_edge(ed.u, ed.v)) h_.add_edge(ed.u, ed.v, ed.weight);
-    }
-    net.charge("laplacian/tree-patch",
-               static_cast<std::int64_t>(g_.num_vertices()));
-    preprocessing_rounds_ += static_cast<std::int64_t>(g_.num_vertices());
-  }
-  h_factor_ =
-      linalg::ComponentLaplacianFactor::factor(ctx_, graph::laplacian(h_));
-  if (!h_factor_) {
-    // Extreme weight spreads (IPM-generated virtual graphs) can defeat the
-    // sparsifier factorization numerically; fall back to preconditioning
-    // with G itself. Correctness is unchanged (kappa = 1), only the
-    // speedup claim is forfeited for this instance.
-    tree_patched_ = true;
-    h_ = g_;
-    h_factor_ =
-        linalg::ComponentLaplacianFactor::factor(ctx_, graph::laplacian(h_));
-  }
-  accountant_.charge("laplacian/preprocessing", preprocessing_rounds_);
+    : ctx_(ctx), core_(prepare_sparsified_chebyshev(ctx, g, opt)) {
+  accountant_.charge("laplacian/preprocessing", core_->preprocessing_rounds());
 }
 
 linalg::Vec SparsifiedLaplacianSolver::solve(const linalg::Vec& b, double eps,
                                              SolveStats* stats) {
-  assert(h_factor_ && "sparsifier must be factorizable");
-  check_rhs_rows("SparsifiedLaplacianSolver::solve", b.size(),
-                 g_.num_vertices());
-  linalg::Vec rhs = b;
-  remove_component_means(rhs, g_components_);
-
-  const auto apply_a = [this](const linalg::Vec& x) {
-    return graph::apply_laplacian(ctx_, g_, x);
-  };
-  // B = (3/2) L_H  =>  B^{-1} r = (2/3) L_H^+ r.
-  const auto solve_b = [this](const linalg::Vec& r) {
-    return linalg::scale(h_factor_->solve(ctx_, r), 2.0 / 3.0);
-  };
-  const auto res =
-      linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, 3.0, eps);
-
-  // Round accounting (Theorem 1.3): each iteration broadcasts one vector
-  // coordinate per node at O(log(n U / eps)) bits.
-  const int bits = enc::real_bits(
-      static_cast<double>(g_.num_vertices()) * weight_bound_, eps);
-  const std::int64_t per_iter = enc::rounds_for_bits(bits, bandwidth_);
-  const std::int64_t rounds =
-      static_cast<std::int64_t>(res.iterations) * per_iter;
-  accountant_.charge("laplacian/solve", rounds);
+  assert(core_->usable() && "sparsifier must be factorizable");
+  EngineOptions opt;
+  opt.eps = eps;
+  core::RunStats st;
+  linalg::Vec y = core_->apply(ctx_, b, opt, &st);
+  accountant_.charge("laplacian/solve", st.rounds);
   if (stats) {
-    stats->iterations = res.iterations;
-    stats->rounds = rounds;
-    stats->dense_factors = dense_factors();
-    stats->sparse_factors = sparse_factors();
+    stats->iterations = st.iterations;
+    stats->rounds = st.rounds;
+    stats->dense_factors = st.dense_factors;
+    stats->sparse_factors = st.sparse_factors;
   }
-  linalg::Vec y = res.x;
-  remove_component_means(y, g_components_);
   return y;
 }
 
 linalg::DenseMatrix SparsifiedLaplacianSolver::solve_many(
     const linalg::DenseMatrix& b, double eps, SolveStats* stats) {
-  assert(h_factor_ && "sparsifier must be factorizable");
-  check_rhs_rows("SparsifiedLaplacianSolver::solve_many", b.rows(),
-                 g_.num_vertices());
-  const std::size_t k = b.cols();
-  linalg::DenseMatrix rhs = b;
-  for (std::size_t j = 0; j < k; ++j) {
-    linalg::Vec col = rhs.column(j);
-    remove_component_means(col, g_components_);
-    rhs.set_column(j, col);
-  }
-
-  const auto apply_a = [this](const linalg::DenseMatrix& x) {
-    return graph::apply_laplacian_many(ctx_, g_, x);
-  };
-  // B = (3/2) L_H  =>  B^{-1} R = (2/3) L_H^+ R, one panel solve per
-  // iteration shared by every column.
-  const auto solve_b = [this](const linalg::DenseMatrix& r) {
-    linalg::DenseMatrix z = h_factor_->solve_many(ctx_, r);
-    for (std::size_t i = 0; i < z.rows(); ++i) {
-      double* zi = z.row_data(i);
-      for (std::size_t j = 0; j < z.cols(); ++j) zi[j] *= 2.0 / 3.0;
-    }
-    return z;
-  };
-  const auto res =
-      linalg::preconditioned_chebyshev_many(apply_a, solve_b, rhs, 3.0, eps);
-
-  // Round accounting: each column still broadcasts its own vector per
-  // iteration — a k-wide panel costs k x the single-RHS rounds (the model
-  // charges communication; the batching amortizes wall time only).
-  const int bits = enc::real_bits(
-      static_cast<double>(g_.num_vertices()) * weight_bound_, eps);
-  const std::int64_t per_iter = enc::rounds_for_bits(bits, bandwidth_);
-  const std::int64_t rounds = static_cast<std::int64_t>(k) *
-                              static_cast<std::int64_t>(res.iterations) *
-                              per_iter;
-  accountant_.charge("laplacian/solve", rounds);
+  assert(core_->usable() && "sparsifier must be factorizable");
+  EngineOptions opt;
+  opt.eps = eps;
+  core::RunStats st;
+  linalg::DenseMatrix y = core_->apply_many(ctx_, b, opt, &st);
+  accountant_.charge("laplacian/solve", st.rounds);
   if (stats) {
-    stats->iterations = res.iterations;
-    stats->rounds = rounds;
-    stats->panels = 1;
-    stats->dense_factors = dense_factors();
-    stats->sparse_factors = sparse_factors();
-  }
-  linalg::DenseMatrix y = res.x;
-  for (std::size_t j = 0; j < k; ++j) {
-    linalg::Vec col = y.column(j);
-    remove_component_means(col, g_components_);
-    y.set_column(j, col);
+    stats->iterations = st.iterations;
+    stats->rounds = st.rounds;
+    stats->panels = st.panels;
+    stats->dense_factors = st.dense_factors;
+    stats->sparse_factors = st.sparse_factors;
   }
   return y;
 }

@@ -5,15 +5,22 @@
 // eps): preconditioned Chebyshev with A = L_G, B = (3/2) L_H, kappa = 3 —
 // O(log 1/eps) iterations, each one distributed L_G matvec plus a free
 // local solve in L_H.
+//
+// Since the prepare/apply split, this class is a thin stateful wrapper
+// over the immutable prepared artifact (laplacian/prepared.h): the
+// constructor runs the prepare phase (prepare_sparsified_chebyshev) and
+// every solve is an apply against it, plus round-accountant charges. The
+// artifact itself is what the engines and the factorization cache share.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 
 #include "bcc/round_accountant.h"
 #include "common/context.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "laplacian/prepared.h"
 #include "linalg/cholesky.h"
 #include "linalg/vector_ops.h"
 #include "sparsify/spectral_sparsify.h"
@@ -33,7 +40,8 @@ class SparsifiedLaplacianSolver {
   // components than G (possible with aggressively small bundle constants),
   // a spanning forest of G is unioned in; `tree_patched()` reports this.
   // Disconnected inputs are handled per component. The solver keeps the
-  // context: the Runtime behind it must outlive the solver.
+  // context: the Runtime behind it must outlive the solver. (The prepared
+  // artifact it wraps does NOT keep the context — see prepared.h.)
   SparsifiedLaplacianSolver(const common::Context& ctx, const graph::Graph& g,
                             const sparsify::SparsifyOptions& opt);
 
@@ -60,33 +68,27 @@ class SparsifiedLaplacianSolver {
 
   // False when even the fallback factorization failed (numerically
   // degenerate input); solve() must not be called in that case.
-  bool usable() const { return h_factor_.has_value(); }
+  bool usable() const { return core_->usable(); }
 
-  std::int64_t preprocessing_rounds() const { return preprocessing_rounds_; }
-  const graph::Graph& sparsifier() const { return h_; }
-  bool tree_patched() const { return tree_patched_; }
+  std::int64_t preprocessing_rounds() const {
+    return core_->preprocessing_rounds();
+  }
+  const graph::Graph& sparsifier() const { return *core_->sparsifier(); }
+  bool tree_patched() const { return core_->tree_patched(); }
   bcc::RoundAccountant& accountant() { return accountant_; }
 
   // Backend tallies of the preconditioner factorization (one entry per
   // grounded component of H); 0 / 0 while !usable().
-  std::size_t dense_factors() const {
-    return h_factor_ ? h_factor_->dense_factor_count() : 0;
-  }
-  std::size_t sparse_factors() const {
-    return h_factor_ ? h_factor_->sparse_factor_count() : 0;
-  }
+  std::size_t dense_factors() const { return core_->dense_factors(); }
+  std::size_t sparse_factors() const { return core_->sparse_factors(); }
+
+  // The immutable prepare-phase artifact this solver wraps (never null).
+  std::shared_ptr<const PreparedLaplacian> prepared() const { return core_; }
 
  private:
   common::Context ctx_;
-  const graph::Graph& g_;
-  graph::Graph h_;
-  std::vector<std::size_t> g_components_;
-  std::optional<linalg::ComponentLaplacianFactor> h_factor_;
-  std::int64_t preprocessing_rounds_ = 0;
-  bool tree_patched_ = false;
+  std::shared_ptr<const PreparedLaplacian> core_;
   bcc::RoundAccountant accountant_;
-  std::int64_t bandwidth_ = 1;
-  double weight_bound_ = 1.0;
 };
 
 // Factor-once exact Laplacian solver (dense LDL^T on grounded L_G): test

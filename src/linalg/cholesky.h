@@ -20,6 +20,13 @@
 // the RunStats counters. Both backends keep the byte-identical-at-any-
 // thread-count determinism contract, and every factor exposes a multi-RHS
 // `solve_many` panel path byte-identical to sequential per-column solves.
+//
+// Shareability contract (load-bearing for the factorization cache,
+// core/factor_cache.h): a factored value is immutable — every solve is
+// const and takes its execution context per call — so one factor may be
+// applied concurrently from any number of Runtimes without
+// synchronization, and the applying pool/thread-count never changes the
+// solution bytes.
 #pragma once
 
 #include <optional>
@@ -68,6 +75,16 @@ class LaplacianFactor {
   // the 1-vertex case, where there is nothing to factor).
   FactorKind path() const;
 
+  // Resident payload of the grounded factor, for the factorization
+  // cache's byte-budget accounting.
+  std::size_t resident_bytes() const {
+    if (const auto* d = std::get_if<LdltFactor>(&reduced_))
+      return d->resident_bytes();
+    if (const auto* s = std::get_if<SparseLdltFactor>(&reduced_))
+      return s->resident_bytes();
+    return 0;
+  }
+
  private:
   using Reduced = std::variant<std::monostate, LdltFactor, SparseLdltFactor>;
 
@@ -114,6 +131,22 @@ class ComponentLaplacianFactor {
   // dense_factors / sparse_factors counters.
   std::size_t dense_factor_count() const;
   std::size_t sparse_factor_count() const;
+
+  // Resident payload summed over the per-component factors plus the
+  // component index maps, for the factorization cache's byte accounting.
+  std::size_t resident_bytes() const {
+    std::size_t bytes = component_of_.size() * sizeof(std::size_t);
+    for (const auto& vs : component_vertices_)
+      bytes += vs.size() * sizeof(std::size_t);
+    for (const auto& f : factors_) {
+      if (!f) continue;
+      if (const auto* d = std::get_if<LdltFactor>(&*f))
+        bytes += d->resident_bytes();
+      else if (const auto* s = std::get_if<SparseLdltFactor>(&*f))
+        bytes += s->resident_bytes();
+    }
+    return bytes;
+  }
 
  private:
   using Grounded = std::variant<LdltFactor, SparseLdltFactor>;

@@ -45,6 +45,13 @@ class LdltFactor {
 
   std::size_t dim() const { return n_; }
 
+  // Bytes of numeric payload this factor keeps resident (L and D) — the
+  // per-entry accounting the factorization cache's LRU budget is charged
+  // in. Approximate on purpose (container headers excluded).
+  std::size_t resident_bytes() const {
+    return (l_.rows() * l_.cols() + d_.size()) * sizeof(double);
+  }
+
   // Split substitution stages, used by the sparse hybrid factorization
   // (sparse_ldlt.h) to interleave its dense tail with the sparse
   // forward/backward sweeps. y.size() must equal dim(); each stage is the

@@ -4,13 +4,12 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
-#include <cstdlib>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/env.h"
 
 namespace bcclap::linalg {
 
@@ -23,17 +22,15 @@ constexpr std::size_t kNoneIdx = static_cast<std::size_t>(-1);
 constexpr std::size_t kMinTailDim = 64;
 
 FactorMode env_factor_mode() {
-  const char* e = std::getenv("BCCLAP_FACTOR_PATH");
-  if (e == nullptr) return FactorMode::kAuto;
+  // Recognition and the warn-once-on-misspelling policy live in
+  // common::env::keyword; parse_factor_mode stays exported for callers
+  // that parse explicit strings (tested in test_sparse_factor.cpp).
+  const auto value = common::env::keyword(
+      "BCCLAP_FACTOR_PATH", {"dense", "sparse", "auto"},
+      "falling back to auto");
+  if (!value) return FactorMode::kAuto;
   bool recognized = true;
-  const FactorMode mode = parse_factor_mode(e, &recognized);
-  if (!recognized) {
-    BCCLAP_WARN("BCCLAP_FACTOR_PATH=\""
-                << e
-                << "\" is not a recognized value (accepted: dense, sparse, "
-                   "auto); falling back to auto");
-  }
-  return mode;
+  return parse_factor_mode(value->c_str(), &recognized);
 }
 
 std::atomic<FactorMode>& mode_atomic() {

@@ -111,6 +111,18 @@ class SparseLdltFactor {
     return l_rows_.size() + l21_cols_.size();
   }
 
+  // Resident numeric + index payload (see LdltFactor::resident_bytes);
+  // charged against the factorization cache's byte budget.
+  std::size_t resident_bytes() const {
+    const std::size_t idx =
+        (perm_.size() + iperm_.size() + l_colp_.size() + l_rows_.size() +
+         l21_rowp_.size() + l21_cols_.size()) *
+        sizeof(std::size_t);
+    const std::size_t num =
+        (l_vals_.size() + d_.size() + l21_vals_.size()) * sizeof(double);
+    return idx + num + (tail_ ? tail_->resident_bytes() : 0);
+  }
+
  private:
   std::size_t n_ = 0;  // matrix dimension
   std::size_t t_ = 0;  // sparse/dense split: columns [0, t_) are sparse

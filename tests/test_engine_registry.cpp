@@ -300,36 +300,46 @@ TEST(EngineRegistry, RegistrationIsLatestWins) {
   // The test-double seam: re-registering a key replaces its factories.
   // Registered last in this suite so the listing assertions above see
   // only the built-ins.
-  struct StubEngine : LaplacianEngine {
-    std::string_view key() const override { return "test-stub"; }
-    bool factor(const common::Context&, const graph::Graph&) override {
-      return false;
-    }
-    linalg::Vec solve(const common::Context&, const linalg::Vec&) override {
+  // An artifact whose prepare phase "failed": usable() is false, so the
+  // base engine's factor() reports unusable and never applies it.
+  struct StubArtifact : PreparedLaplacian {
+    std::string_view engine_key() const override { return "test-stub"; }
+    bool usable() const override { return false; }
+    std::size_t dim() const override { return 0; }
+    linalg::Vec apply(const common::Context&, const linalg::Vec&,
+                      const EngineOptions&, core::RunStats*) const override {
       return {};
     }
-    linalg::DenseMatrix solve_many(const common::Context&,
-                                   const linalg::DenseMatrix&) override {
+    linalg::DenseMatrix apply_many(const common::Context&,
+                                   const linalg::DenseMatrix&,
+                                   const EngineOptions&,
+                                   core::RunStats*) const override {
       return linalg::DenseMatrix(0, 0);
     }
-    void report(core::RunStats* stats) const override {
-      stats->engine = "test-stub";
+    std::size_t resident_bytes() const override { return 0; }
+  };
+  struct StubEngine : LaplacianEngine {
+    using LaplacianEngine::LaplacianEngine;
+    std::string_view key() const override { return "test-stub"; }
+    std::shared_ptr<const PreparedLaplacian> prepare(
+        const common::Context&, const graph::Graph&) const override {
+      return std::make_shared<StubArtifact>();
     }
   };
   auto& registry = EngineRegistry::instance();
   int built = 0;
-  registry.register_engine("test-stub", [&built](const EngineOptions&) {
+  registry.register_engine("test-stub", [&built](const EngineOptions& opt) {
     ++built;
-    return std::make_unique<StubEngine>();
+    return std::make_unique<StubEngine>(opt);
   });
   EXPECT_TRUE(registry.registered("test-stub"));
   auto first = registry.create("test-stub", EngineOptions{});
   EXPECT_EQ(built, 1);
   EXPECT_EQ(first->key(), "test-stub");
   // Replacement: the newest factory serves subsequent creates.
-  registry.register_engine("test-stub", [&built](const EngineOptions&) {
+  registry.register_engine("test-stub", [&built](const EngineOptions& opt) {
     built += 10;
-    return std::make_unique<StubEngine>();
+    return std::make_unique<StubEngine>(opt);
   });
   auto second = registry.create("test-stub", EngineOptions{});
   EXPECT_EQ(built, 11);

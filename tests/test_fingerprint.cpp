@@ -1,0 +1,96 @@
+// graph::fingerprint (graph/fingerprint.h): the cache identity of a
+// weighted graph. The contract under test is exactly the one the
+// factorization cache relies on — insensitive to edge insertion order and
+// endpoint orientation, sensitive to every bit that changes solve results
+// (weight bits, endpoint pairs, the vertex count including isolated
+// vertices).
+#include "graph/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace bcclap::graph {
+namespace {
+
+Graph from_edges(std::size_t n,
+                 const std::vector<std::tuple<VertexId, VertexId, double>>&
+                     edges) {
+  Graph g(n);
+  for (const auto& [u, v, w] : edges) g.add_edge(u, v, w);
+  return g;
+}
+
+TEST(Fingerprint, ExposesVertexAndEdgeCounts) {
+  const Graph g = from_edges(5, {{0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 1.0}});
+  const Fingerprint fp = fingerprint(g);
+  EXPECT_EQ(fp.vertices, 5u);
+  EXPECT_EQ(fp.edges, 3u);
+}
+
+TEST(Fingerprint, EqualUnderEdgeReordering) {
+  const Graph a = from_edges(4, {{0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 1.0},
+                                 {2, 3, 0.5}});
+  // Same multiset of edges, inserted in a different order and with the
+  // endpoints of two edges written in the opposite orientation.
+  const Graph b = from_edges(4, {{3, 2, 0.5}, {0, 2, 1.0}, {2, 1, 3.0},
+                                 {0, 1, 2.0}});
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, EqualForIndependentlyBuiltRandomGraph) {
+  // A generator rerun with the same seed must land on the same
+  // fingerprint — the repeat-request scenario the cache serves.
+  rng::Stream s1(42), s2(42);
+  const Graph a = random_regularish(64, 4, 8, s1);
+  const Graph b = random_regularish(64, 4, 8, s2);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, WeightPerturbationByOneUlpChangesIt) {
+  const std::vector<std::tuple<VertexId, VertexId, double>> edges = {
+      {0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 1.0}};
+  const Graph a = from_edges(3, edges);
+  Graph b = from_edges(3, edges);
+  b.set_weight(1, std::nextafter(3.0, 4.0));
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, EdgeFlipToDifferentEndpointChangesIt) {
+  const Graph a = from_edges(4, {{0, 1, 2.0}, {1, 2, 3.0}});
+  const Graph b = from_edges(4, {{0, 1, 2.0}, {1, 3, 3.0}});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, IsolatedVertexCountChangesIt) {
+  // Same edges, one extra isolated vertex: L_G gains a zero row/column,
+  // so solutions differ and the fingerprints must too.
+  const std::vector<std::tuple<VertexId, VertexId, double>> edges = {
+      {0, 1, 2.0}, {1, 2, 3.0}};
+  EXPECT_NE(fingerprint(from_edges(3, edges)),
+            fingerprint(from_edges(4, edges)));
+}
+
+TEST(Fingerprint, ExtraEdgeChangesIt) {
+  const Graph a = from_edges(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  const Graph b = from_edges(3, {{0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 1.0}});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, SignedZeroWeightsHashEqual) {
+  // -0.0 and +0.0 produce identical Laplacians; the bit-pattern hash
+  // normalizes the sign so the cache equates them.
+  Graph a(2), b(2);
+  a.add_edge(0, 1, 0.0);
+  b.add_edge(0, 1, -0.0);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+}  // namespace
+}  // namespace bcclap::graph

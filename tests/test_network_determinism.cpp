@@ -25,7 +25,7 @@ using bcc::Message;
 using bcc::ReceivedMessage;
 
 // Runs fn with a context drawn from a dedicated `threads`-worker Runtime —
-// the scoped replacement for the retired set_global_threads escape hatch.
+// the scoped replacement for the retired process-wide thread override.
 // The pool dies with the Runtime, so suite order does not matter.
 template <typename Fn>
 auto with_threads(std::size_t threads, Fn&& fn) {

@@ -2,12 +2,12 @@
 // determinism contract.
 //
 // test_network_determinism pins byte-identity between 1-worker and
-// N-worker runs of the *process-global* engine; this suite extends the
-// contract to Runtimes: two Runtimes with different thread counts, running
-// the n = 56 pipeline concurrently from two std::threads, each produce
-// results byte-identical to their own single-threaded run. It also pins
-// the deprecated-path shims (ThreadPool::global(), bare-seed signatures)
-// to Runtime::process_default().
+// N-worker runs; this suite extends the contract to Runtimes: two
+// Runtimes with different thread counts, running the n = 56 pipeline
+// concurrently from two std::threads, each produce results byte-identical
+// to their own single-threaded run. It also pins the historical
+// single-configuration contract (one shared process-wide pool, layer
+// objects surviving a reset) to Runtime::process_default().
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -147,14 +147,15 @@ TEST(Runtime, FacadeSparsifyCouplesWithAprioriReference) {
   const auto adhoc = rt.sparsify(g, pipeline_sparsify_options());
   const auto apriori =
       sparsify::spectral_sparsify_apriori(
-          common::default_context().with_seed(99), g,
+          Runtime::process_default().context().with_seed(99), g,
           pipeline_sparsify_options());
   EXPECT_EQ(adhoc.result.original_edge, apriori.original_edge);
 }
 
-TEST(Runtime, DeprecatedSignaturesMatchRuntimePath) {
-  // The bare-seed wrappers run on Runtime::process_default() and must
-  // produce exactly what a Runtime with the same seed produces.
+TEST(Runtime, DirectSolverOnProcessDefaultMatchesRuntimePath) {
+  // The historical contract: constructing SparsifiedLaplacianSolver
+  // directly on the process-default context (with a facade-matching seed)
+  // produces exactly what a Runtime with that seed produces.
   const auto g = pipeline_graph();
   linalg::Vec b(g.num_vertices(), 0.0);
   b[0] = 1.0;
@@ -168,60 +169,49 @@ TEST(Runtime, DeprecatedSignaturesMatchRuntimePath) {
   lopt.sparsify = pipeline_sparsify_options();
   const auto facade = rt.solve_laplacian(g, b, lopt);
 
-  laplacian::SparsifiedLaplacianSolver legacy(
-      common::default_context().with_seed(404), g,
+  laplacian::SparsifiedLaplacianSolver direct(
+      Runtime::process_default().context().with_seed(404), g,
       pipeline_sparsify_options());
-  ASSERT_TRUE(legacy.usable());
-  const auto x = legacy.solve(b, 1e-8);
+  ASSERT_TRUE(direct.usable());
+  const auto x = direct.solve(b, 1e-8);
   EXPECT_TRUE(bitwise_equal(facade.x, x));
-  EXPECT_EQ(facade.preprocessing_rounds, legacy.preprocessing_rounds());
+  EXPECT_EQ(facade.preprocessing_rounds, direct.preprocessing_rounds());
 }
 
-TEST(Runtime, GlobalThreadPoolShimsResolveToProcessDefault) {
-  // ThreadPool::global() and the thread-count accessors are shims over
-  // Runtime::process_default().
-  EXPECT_EQ(&common::ThreadPool::global(),
-            &Runtime::process_default().pool());
-  EXPECT_EQ(common::ThreadPool::global_threads(),
-            Runtime::process_default().num_threads());
-
-  const std::size_t before = common::ThreadPool::global_threads();
-  common::ThreadPool::set_global_threads(3);
-  EXPECT_EQ(common::ThreadPool::global_threads(), 3u);
+TEST(Runtime, ResetProcessDefaultRebuildsWorkerCount) {
+  const std::size_t before = Runtime::process_default().num_threads();
+  Runtime::reset_process_default(3);
   EXPECT_EQ(Runtime::process_default().num_threads(), 3u);
-  EXPECT_EQ(&common::ThreadPool::global(),
-            &Runtime::process_default().pool());
-  common::ThreadPool::set_global_threads(before);
-  EXPECT_EQ(common::ThreadPool::global_threads(), before);
+  // 0 = env-resolved, the same resolution a fresh RuntimeOptions{} gets.
+  Runtime::reset_process_default(0);
+  EXPECT_EQ(Runtime::process_default().num_threads(),
+            common::default_thread_count());
+  Runtime::reset_process_default(before);
+  EXPECT_EQ(Runtime::process_default().num_threads(), before);
 }
 
-TEST(Runtime, DeprecatedPathObjectsSurviveProcessDefaultReset) {
-  // set_global_threads retires (drains) the old default Runtime instead
-  // of destroying it: an object factored on the deprecated path before
-  // the reset keeps a valid pool and keeps producing identical results
-  // (inline execution on a drained pool has the same chunk boundaries).
+TEST(Runtime, FactoredObjectsSurviveProcessDefaultReset) {
+  // reset_process_default retires (drains) the old default Runtime
+  // instead of destroying it: an object factored against the old default
+  // keeps a valid pool and keeps producing identical results (inline
+  // execution on a drained pool has the same chunk boundaries).
   const auto g = pipeline_graph();
   const auto lap = graph::laplacian(g);
-  const auto factor =
-      linalg::ComponentLaplacianFactor::factor(common::default_context(), lap);
+  const auto factor = linalg::ComponentLaplacianFactor::factor(
+      Runtime::process_default().context(), lap);
   ASSERT_TRUE(factor.has_value());
   linalg::Vec b(g.num_vertices(), 0.0);
   b[0] = 1.0;
   b[g.num_vertices() - 1] = -1.0;
   const auto before = factor->solve(Runtime::process_default().context(), b);
 
-  const std::size_t prev = common::ThreadPool::global_threads();
-  common::ThreadPool::set_global_threads(prev + 1);
+  const std::size_t prev = Runtime::process_default().num_threads();
+  Runtime::reset_process_default(prev + 1);
   // The post-reset default context targets the NEW pool; the factor no
   // longer pins the retired one.
   const auto after = factor->solve(Runtime::process_default().context(), b);
-  common::ThreadPool::set_global_threads(prev);
+  Runtime::reset_process_default(prev);
   EXPECT_TRUE(bitwise_equal(before, after));
-
-  // Legacy 0-means-1 contract of the shim (never env resolution).
-  common::ThreadPool::set_global_threads(0);
-  EXPECT_EQ(common::ThreadPool::global_threads(), 1u);
-  common::ThreadPool::set_global_threads(prev);
 }
 
 TEST(Runtime, MinWorkPerChunkIsPerRuntime) {

@@ -13,16 +13,6 @@
 namespace bcclap::common {
 namespace {
 
-// Restores the global pool to a single worker when a test ends, so suites
-// that run after a multi-thread test see the default configuration.
-class ScopedGlobalThreads {
- public:
-  explicit ScopedGlobalThreads(std::size_t threads) {
-    ThreadPool::set_global_threads(threads);
-  }
-  ~ScopedGlobalThreads() { ThreadPool::set_global_threads(1); }
-};
-
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     ThreadPool pool(threads);
@@ -89,10 +79,9 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   constexpr std::size_t kInner = 64;
   std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
   pool.parallel_for(0, kOuter, [&](std::size_t i) {
-    // Nested use of the global pool from a worker must not deadlock; it
-    // runs inline on the calling worker.
-    ThreadPool::global().parallel_for(0, kInner,
-                                      [&](std::size_t j) { ++hits[i][j]; });
+    // Nested dispatch onto the same pool from a worker must not deadlock;
+    // it runs inline on the calling worker.
+    pool.parallel_for(0, kInner, [&](std::size_t j) { ++hits[i][j]; });
   });
   for (const auto& row : hits) {
     for (int h : row) EXPECT_EQ(h, 1);
@@ -116,13 +105,6 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, ZeroThreadsMeansOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
-}
-
-TEST(ThreadPool, GlobalOverride) {
-  ScopedGlobalThreads scoped(3);
-  EXPECT_EQ(ThreadPool::global_threads(), 3u);
-  ThreadPool::set_global_threads(2);
-  EXPECT_EQ(ThreadPool::global_threads(), 2u);
 }
 
 TEST(ThreadPool, ManySmallJobsBackToBack) {
