@@ -1,0 +1,176 @@
+// PR 9: solver-service throughput — a burst of same-topology single-RHS
+// solve requests pushed through service::SolverService at 1 and 4 workers,
+// against a cold and a (persistently) warm shared FactorCache.
+//
+// Counters are deterministic across thread configurations (the bench.sh
+// gate): request/served counts, reply-byte identity against the direct
+// facade's batched solve (the PR 5 panel contract makes the reference
+// column-exact), the warm-cache residency check (no misses, at least one
+// hit, zero prepare work) and a solution-norm fingerprint. Coalescing
+// widths and per-run hit tallies are timing-dependent under concurrent
+// workers, so they are deliberately NOT counters — the warm/cold checks
+// are phrased as residency predicates instead.
+#include "support/harness.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/factor_cache.h"
+#include "core/runtime.h"
+#include "graph/generators.h"
+#include "linalg/vector_ops.h"
+#include "service/solver_service.h"
+
+namespace {
+
+using namespace bcclap;
+
+constexpr std::size_t kN = 256;
+constexpr std::size_t kRequests = 16;
+constexpr std::uint64_t kSeed = 77;
+
+const graph::Graph& service_graph() {
+  static const graph::Graph g = [] {
+    rng::Stream stream(kN * 3 + 1);
+    return graph::random_regularish(kN, 8, 4, stream);
+  }();
+  return g;
+}
+
+LaplacianSolveOptions service_lopt() {
+  LaplacianSolveOptions lopt;
+  lopt.eps = 1e-4;
+  lopt.sparsify.epsilon = 0.5;
+  lopt.sparsify.k = 2;
+  lopt.sparsify.t = 2;
+  lopt.engine = "sparsified-chebyshev";
+  return lopt;
+}
+
+linalg::Vec request_rhs(std::size_t i) {
+  rng::Stream stream(1000 + i);
+  linalg::Vec b(kN);
+  for (auto& v : b) v = stream.next_gaussian();
+  return b;
+}
+
+service::Request nth_request(std::size_t i) {
+  const LaplacianSolveOptions lopt = service_lopt();
+  service::Request req;
+  req.type = service::RequestType::kSolve;
+  req.seed = kSeed;
+  req.engine = lopt.engine;
+  req.eps = lopt.eps;
+  req.sparsify = lopt.sparsify;
+  req.graph = service_graph();
+  req.b = request_rhs(i);
+  return req;
+}
+
+// Reference bytes: one facade panel solve outside any service. Computed
+// once (the first call pays it — during a warmup iteration), then reused
+// by every case as the byte-compare target.
+const linalg::DenseMatrix& reference_panel() {
+  static const linalg::DenseMatrix ref = [] {
+    RuntimeOptions opts;
+    opts.threads = 0;  // BCCLAP_THREADS / hardware
+    opts.seed = kSeed;
+    Runtime rt(opts);
+    linalg::DenseMatrix b(kN, kRequests);
+    for (std::size_t j = 0; j < kRequests; ++j) {
+      b.set_column(j, request_rhs(j));
+    }
+    return rt.solve_laplacian_many(service_graph(), b, service_lopt()).x;
+  }();
+  return ref;
+}
+
+void service_solve(bench::State& s, std::size_t workers, bool warm) {
+  // Warm cases share one FactorCache across repetitions (the warmup
+  // iteration populates it); cold cases get a fresh cache every time.
+  std::shared_ptr<core::FactorCache> cache;
+  if (warm) {
+    static std::map<std::size_t, std::shared_ptr<core::FactorCache>>
+        persistent;
+    auto& slot = persistent[workers];
+    if (!slot) slot = std::make_shared<core::FactorCache>(256u << 20);
+    cache = slot;
+  } else {
+    cache = std::make_shared<core::FactorCache>(256u << 20);
+  }
+  const auto cache_before = cache->stats();
+  const linalg::DenseMatrix& reference = reference_panel();
+
+  service::ServiceOptions opts;
+  opts.workers = workers;
+  opts.runtime_threads = 0;  // BCCLAP_THREADS / hardware
+  opts.factor_cache = cache;
+  service::SolverService svc(opts);
+
+  std::vector<std::shared_ptr<service::PendingReply>> pending;
+  pending.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    service::Submission sub = svc.submit(nth_request(i));
+    if (!sub.accepted()) continue;  // cannot happen at this queue depth
+    pending.push_back(sub.reply);
+  }
+
+  bool identical = pending.size() == kRequests;
+  double fingerprint = 0.0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const service::Reply& reply = pending[i]->wait();
+    if (reply.status != service::ReplyStatus::kOk ||
+        reply.x.size() != kN) {
+      identical = false;
+      continue;
+    }
+    const linalg::Vec want = reference.column(i);
+    if (std::memcmp(reply.x.data(), want.data(), kN * sizeof(double)) != 0) {
+      identical = false;
+    }
+    if (i == 0) fingerprint = linalg::norm2(reply.x);
+  }
+  svc.shutdown();
+  const auto stats = svc.stats();
+  const auto cache_after = cache->stats();
+
+  s.counter("n", static_cast<double>(kN));
+  s.counter("requests", static_cast<double>(kRequests));
+  s.counter("served", static_cast<double>(stats.served));
+  s.counter("failed", static_cast<double>(stats.failed));
+  s.counter("identical_to_reference", identical ? 1.0 : 0.0);
+  s.counter("fingerprint_xnorm", fingerprint);
+  if (warm) {
+    // Residency predicates (deterministic; raw hit counts are not — the
+    // coalescing width under concurrent workers is timing-dependent):
+    // a warm burst never misses, hits at least once, and runs zero
+    // sparsify/factor prepare work.
+    const bool all_hits = cache_after.misses == cache_before.misses &&
+                          cache_after.hits > cache_before.hits;
+    const std::size_t prepare_work = stats.totals.sparsify_count +
+                                     stats.totals.dense_factors +
+                                     stats.totals.sparse_factors;
+    s.counter("warm_all_hits", all_hits ? 1.0 : 0.0);
+    s.counter("warm_prepare_work", static_cast<double>(prepare_work));
+  } else {
+    s.counter("cold_prepared",
+              cache_after.misses > cache_before.misses ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bcclap::bench::Harness h("bench_service");
+  h.add("service_solve/n=256/workers=1/cold",
+        [](bcclap::bench::State& s) { service_solve(s, 1, false); });
+  h.add("service_solve/n=256/workers=1/warm",
+        [](bcclap::bench::State& s) { service_solve(s, 1, true); });
+  h.add("service_solve/n=256/workers=4/cold",
+        [](bcclap::bench::State& s) { service_solve(s, 4, false); });
+  h.add("service_solve/n=256/workers=4/warm",
+        [](bcclap::bench::State& s) { service_solve(s, 4, true); });
+  return h.run(argc, argv);
+}

@@ -1,9 +1,12 @@
-// Scenario: minimum-cost traffic routing (Theorem 1.1).
+// Scenario: minimum-cost traffic routing (Theorem 1.1), served through
+// the solver service.
 //
 // A logistics network with arc capacities (lane throughput) and per-unit
 // tolls; the dispatcher wants the maximum volume from depot to port at the
-// least total toll. The BCC interior-point pipeline — driven through the
-// bcclap::Runtime facade — computes the *exact* integral optimum; the
+// least total toll. The routing request is submitted to a
+// service::SolverService — the long-lived serving layer that multiplexes
+// worker Runtimes over a shared factorization cache — and the BCC
+// interior-point pipeline computes the *exact* integral optimum; the
 // combinatorial baseline confirms it.
 #include <cstdio>
 
@@ -11,10 +14,6 @@
 
 int main() {
   using namespace bcclap;
-
-  RuntimeOptions ropts;
-  ropts.seed = 2025;
-  Runtime rt(ropts);
 
   // Depot = 0, port = 11; random mid-size road network.
   rng::Stream stream(7);
@@ -25,42 +24,58 @@ int main() {
   std::printf("road network: %zu junctions, %zu lanes\n", n,
               roads.num_arcs());
 
-  flow::McmfOptions opt;
-  opt.seed = 2025;  // Daitch-Spielman perturbation stream
-  const McmfRun plan = rt.min_cost_max_flow(roads, 0, n - 1, opt);
-  if (!plan.result.exact) {
-    std::printf("IPM pipeline failed to round to a feasible plan\n");
+  service::ServiceOptions sopts;
+  sopts.workers = 1;
+  service::SolverService dispatcher(sopts);
+
+  service::Request req;
+  req.type = service::RequestType::kMcmf;
+  req.seed = 2025;
+  req.network = roads;
+  req.source = 0;
+  req.sink = n - 1;
+  req.mcmf.seed = 2025;  // Daitch-Spielman perturbation stream
+
+  service::Submission sub = dispatcher.submit(std::move(req));
+  if (!sub.accepted()) {
+    std::printf("dispatcher rejected the request: %s\n", sub.reason());
+    return 1;
+  }
+  const service::Reply& plan = sub.reply->wait();
+  if (plan.status != service::ReplyStatus::kOk) {
+    std::printf("IPM pipeline failed: %s\n", plan.error.c_str());
     return 1;
   }
   std::printf("IPM plan:     volume %lld, total toll %lld "
               "(%zu path steps, %zu Newton steps, %lld BCC rounds, "
               "%zu perturbation redraws, %.2f ms wall)\n",
-              static_cast<long long>(plan.result.flow.value),
-              static_cast<long long>(plan.result.flow.cost),
+              static_cast<long long>(plan.mcmf.flow.value),
+              static_cast<long long>(plan.mcmf.flow.cost),
               plan.stats.iterations, plan.stats.steps,
-              static_cast<long long>(plan.stats.rounds), plan.result.retries,
+              static_cast<long long>(plan.stats.rounds), plan.mcmf.retries,
               1e3 * plan.stats.wall_seconds);
 
   const auto baseline = flow::min_cost_max_flow_ssp(roads, 0, n - 1);
   std::printf("baseline SSP: volume %lld, total toll %lld -> %s\n",
               static_cast<long long>(baseline.value),
               static_cast<long long>(baseline.cost),
-              (plan.result.flow.value == baseline.value &&
-               plan.result.flow.cost == baseline.cost)
+              (plan.mcmf.flow.value == baseline.value &&
+               plan.mcmf.flow.cost == baseline.cost)
                   ? "EXACT MATCH"
                   : "MISMATCH");
 
   std::printf("lane loads (tail->head: used/capacity @ toll):\n");
   for (std::size_t a = 0; a < roads.num_arcs(); ++a) {
-    if (plan.result.flow.flow[a] == 0) continue;
+    if (plan.mcmf.flow.flow[a] == 0) continue;
     const auto& arc = roads.arc(a);
     std::printf("  %2zu -> %2zu : %lld/%lld @ %lld\n", arc.tail, arc.head,
-                static_cast<long long>(plan.result.flow.flow[a]),
+                static_cast<long long>(plan.mcmf.flow.flow[a]),
                 static_cast<long long>(arc.capacity),
                 static_cast<long long>(arc.cost));
   }
-  return plan.result.flow.value == baseline.value &&
-                 plan.result.flow.cost == baseline.cost
+  dispatcher.shutdown();
+  return plan.mcmf.flow.value == baseline.value &&
+                 plan.mcmf.flow.cost == baseline.cost
              ? 0
              : 1;
 }

@@ -29,21 +29,29 @@
 # warm_cache_hits >= 1 with warm_sparsify_count = 0 and
 # identical_to_uncached = 1 — served from the cache, zero prepare work,
 # byte-identical to the cache-off facade.
+# Since PR 9 the bench_service binary runs `service_solve` throughput
+# cases (a 16-request same-topology burst through service::SolverService
+# at 1 and 4 workers, cold vs warm shared FactorCache), and a sixth gate
+# checks the serving layer: every case must report
+# identical_to_reference = 1 (reply bytes equal the direct facade panel),
+# the warm cases warm_all_hits = 1 with warm_prepare_work = 0 (served
+# from cache residency, zero sparsify/factor work), and the warm mean
+# wall time at workers = 1 must land strictly below the cold mean.
 # The script fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
 #   BUILD_DIR=<path>      build tree location (default: build)
 #   BENCH_THREADS=<n>     the multi-threaded configuration (default: 4)
 #   BENCH_REPEATS=<n>     measured repetitions per case (default: 3)
-#   BENCH_OUT=<path>      output file (default: BENCH_pr7.json)
+#   BENCH_OUT=<path>      output file (default: BENCH_pr9.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr8.json}"
-BENCHES=(bench_pipeline bench_sparsifier bench_laplacian)
+BENCH_OUT="${BENCH_OUT:-BENCH_pr9.json}"
+BENCHES=(bench_pipeline bench_sparsifier bench_laplacian bench_service)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
   echo "BENCH_THREADS must be > 1 (the trajectory compares a 1-thread and" >&2
@@ -164,9 +172,47 @@ if ! awk -v ch="$ch" -v cs="$cs" -v ci="$ci" \
 fi
 echo "cache gate: warm solve hit the cache with zero prepare work"
 
+# Service gate: every service_solve case must have replied with bytes
+# identical to the direct facade panel; the warm cases must have been
+# served purely from cache residency (no misses, at least one hit, zero
+# sparsify/factor prepare work); and the warm burst at workers=1 must be
+# strictly faster than the cold one — the throughput the shared cache buys.
+svc_t1="$json_dir/bench_service_t1.json"
+for case in "service_solve/n=256/workers=1/cold" \
+            "service_solve/n=256/workers=1/warm" \
+            "service_solve/n=256/workers=4/cold" \
+            "service_solve/n=256/workers=4/warm"; do
+  ir="$(counter_of "$svc_t1" "$case" identical_to_reference)"
+  if [ -z "$ir" ]; then
+    echo "ERROR: $case missing from $svc_t1" >&2
+    exit 1
+  fi
+  if ! awk -v ir="$ir" 'BEGIN { exit !(ir == 1) }'; then
+    echo "ERROR: $case replies differ from the facade reference (ir=$ir)" >&2
+    exit 1
+  fi
+done
+for case in "service_solve/n=256/workers=1/warm" \
+            "service_solve/n=256/workers=4/warm"; do
+  wh="$(counter_of "$svc_t1" "$case" warm_all_hits)"
+  wp="$(counter_of "$svc_t1" "$case" warm_prepare_work)"
+  if ! awk -v wh="$wh" -v wp="$wp" 'BEGIN { exit !(wh == 1 && wp == 0) }'; then
+    echo "ERROR: $case was not served from cache residency" >&2
+    echo "  warm_all_hits=$wh warm_prepare_work=$wp" >&2
+    exit 1
+  fi
+done
+sc="$(wall_of "$svc_t1" "service_solve/n=256/workers=1/cold")"
+sw="$(wall_of "$svc_t1" "service_solve/n=256/workers=1/warm")"
+if ! awk -v sc="$sc" -v sw="$sw" 'BEGIN { exit !(sw < sc) }'; then
+  echo "ERROR: warm service burst not faster than cold (warm ${sw} ms vs cold ${sc} ms)" >&2
+  exit 1
+fi
+echo "service gate: byte-identical replies; warm burst ${sw} ms < cold ${sc} ms"
+
 {
   echo '{'
-  echo '  "pr": 8,'
+  echo '  "pr": 9,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

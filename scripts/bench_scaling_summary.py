@@ -7,7 +7,12 @@ the payload the bench-multicore CI job appends to its job summary. Purely
 informational: the job gates on counter determinism (inside bench.sh),
 never on the speedup numbers, which are noisy on shared CI runners.
 
-Usage: bench_scaling_summary.py [trajectory.json]   (default BENCH_pr8.json)
+Since PR 9 the trajectory carries bench_service `service_solve` cases; in
+addition to the generic scaling rows, a service-throughput section shows
+the cold-vs-warm cache contrast per worker count (the wall time the shared
+FactorCache saves a same-topology burst).
+
+Usage: bench_scaling_summary.py [trajectory.json]   (default BENCH_pr9.json)
 """
 
 import json
@@ -15,7 +20,7 @@ import sys
 
 
 def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr8.json"
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr9.json"
     with open(path) as f:
         traj = json.load(f)
     configs = traj.get("thread_configs", [])
@@ -53,6 +58,36 @@ def main() -> int:
     print("_Counters are identical across both configurations (gated in "
           "scripts/bench.sh); wall times are single CI samples — the "
           "speedup column is informational, not gated._")
+
+    # Service throughput: cold vs warm cache per worker count, from the
+    # t1 run (BCCLAP_THREADS only resizes the per-worker Runtimes; the
+    # cold/warm contrast is the cache's, not the thread count's).
+    service = runs.get(("bench_service", t1))
+    if service is not None:
+        by_name = {c["name"]: c for c in service["results"]}
+        pairs = []
+        for name, case in sorted(by_name.items()):
+            if not name.endswith("/cold"):
+                continue
+            warm = by_name.get(name[: -len("cold")] + "warm")
+            if warm is not None:
+                pairs.append((name.rsplit("/", 1)[0], case, warm))
+        if pairs:
+            print()
+            print("### Solver service: cold vs warm cache "
+                  f"(BCCLAP_THREADS={t1})")
+            print()
+            print("| case | cold mean ms | warm mean ms | warm speedup |")
+            print("| --- | ---: | ---: | ---: |")
+            for label, cold, warm in pairs:
+                a = cold["wall_ms"]["mean"]
+                b = warm["wall_ms"]["mean"]
+                speedup = f"{a / b:.2f}x" if b > 0 else "n/a"
+                print(f"| {label} | {a:.3f} | {b:.3f} | {speedup} |")
+            print()
+            print("_Warm cases are gated in scripts/bench.sh: no cache "
+                  "misses, zero prepare work, reply bytes identical to "
+                  "the cold and facade-direct runs._")
     if rows == 0:
         print(f"{path}: no comparable cases found", file=sys.stderr)
         return 2

@@ -2,7 +2,9 @@
 //
 // Layering (Figure 1 of the paper):
 //   spanner  ->  sparsify  ->  laplacian  ->  lp  ->  flow
-// on top of the substrates bcc (model simulator), graph, linalg.
+// on top of the substrates bcc (model simulator), graph, linalg. The
+// service layer (service/solver_service.h) sits above the Runtime facade:
+// a request loop multiplexing worker Runtimes over a shared FactorCache.
 //
 // Typical usage (the Runtime facade, core/runtime.h):
 //   #include "core/bcclap.h"
@@ -40,6 +42,8 @@
 #include "linalg/jl_transform.h"  // IWYU pragma: export
 #include "lp/lp_solver.h"         // IWYU pragma: export
 #include "lp/project_mixed_ball.h"  // IWYU pragma: export
+#include "service/journal.h"      // IWYU pragma: export
+#include "service/solver_service.h"  // IWYU pragma: export
 #include "sparsify/spectral_sparsify.h"  // IWYU pragma: export
 #include "sparsify/verifier.h"    // IWYU pragma: export
 #include "spanner/baswana_sen.h"  // IWYU pragma: export

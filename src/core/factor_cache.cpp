@@ -51,6 +51,15 @@ std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::lookup(
   return nullptr;
 }
 
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::peek(
+    const FactorCacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry.key == key) return entry.artifact;
+  }
+  return nullptr;
+}
+
 std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert(
     const FactorCacheKey& key,
     std::shared_ptr<const laplacian::PreparedLaplacian> artifact) {
@@ -73,6 +82,18 @@ std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert(
     ++evictions_;
   }
   return artifact;
+}
+
+FactorCache::Stats FactorCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.max_bytes = max_bytes_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = entries_.size();
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  return s;
 }
 
 std::size_t FactorCache::resident_bytes() const {

@@ -68,6 +68,19 @@ std::uint64_t prepare_options_hash(const laplacian::EngineOptions& opt);
 
 class FactorCache {
  public:
+  // One consistent snapshot of the cache's size and traffic counters,
+  // taken under a single lock acquisition. Admission control and the
+  // solver service's ServiceStats read this instead of plumbing counters
+  // through RunStats or holding friend access.
+  struct Stats {
+    std::size_t max_bytes = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t entries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
   // max_bytes = 0 means "cache nothing" (every insert is a no-op); the
   // facade treats 0 as "off" and never constructs one.
   explicit FactorCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
@@ -80,6 +93,13 @@ class FactorCache {
   std::shared_ptr<const laplacian::PreparedLaplacian> lookup(
       const FactorCacheKey& key);
 
+  // Residency probe: returns the cached artifact WITHOUT refreshing its
+  // LRU position or counting a hit/miss — admission decisions must not
+  // perturb the replacement order or the traffic statistics the decisions
+  // are based on.
+  std::shared_ptr<const laplacian::PreparedLaplacian> peek(
+      const FactorCacheKey& key) const;
+
   // Inserts `artifact` under `key` and returns the canonical artifact for
   // that key: if another thread inserted first, the existing entry wins
   // (first-wins dedupe — both callers then apply the same bytes) and is
@@ -90,6 +110,7 @@ class FactorCache {
       std::shared_ptr<const laplacian::PreparedLaplacian> artifact);
 
   std::size_t max_bytes() const { return max_bytes_; }
+  Stats stats() const;
   std::size_t resident_bytes() const;
   std::size_t entries() const;
   std::uint64_t hits() const;

@@ -1,0 +1,128 @@
+// Typed requests and replies of the solver service (service/solver_service.h).
+//
+// A Request is a self-contained unit of work: the payload (graph, right-hand
+// side(s), flow network), the randomness root (`seed` — the Runtime seed the
+// request is served under), the backend selection (`engine` registry key) and
+// the accuracy target (`eps`). Everything that determines the reply bytes is
+// *inside* the request; nothing about the service (worker count, queue order,
+// cache state, coalescing) may leak into them. That is the determinism
+// contract the replay harness (service/journal.h) byte-checks.
+//
+// A Reply carries the typed result plus the per-request core::RunStats. The
+// canonical *payload* serialization (journal.h: reply_payload_bytes) covers
+// the type, the status and the numeric payload by exact bit pattern — and
+// deliberately excludes stats, wall time and cache counters, which legitimately
+// differ between a cold and a warm serve of the same request.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/stats.h"
+#include "flow/mcmf_solver.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+#include "sparsify/spectral_sparsify.h"
+
+namespace bcclap::service {
+
+enum class RequestType : std::uint8_t {
+  kSolve = 0,      // L_G x = b, single right-hand side
+  kSolveMany = 1,  // L_G X = B, one right-hand side per panel column
+  kSparsify = 2,   // Theorem 1.2 spectral sparsifier of the payload graph
+  kMcmf = 3,       // Theorem 1.1 exact min-cost max-flow
+};
+
+// Stable journal token per type ("solve", "solve_many", "sparsify", "mcmf").
+const char* request_type_name(RequestType type);
+
+struct Request {
+  RequestType type = RequestType::kSolve;
+
+  // Runtime seed the request is served under: the root of every stream the
+  // layers derive. Two requests with equal payloads and equal seeds get
+  // bitwise-identical replies no matter which worker serves them.
+  std::uint64_t seed = 0;
+
+  // Laplacian requests: engine registry key ("auto" lets the tuner pick),
+  // apply-time accuracy, and the prepare-time sparsify knobs (part of the
+  // factorization-cache identity).
+  std::string engine = "auto";
+  double eps = 1e-8;
+  sparsify::SparsifyOptions sparsify;
+
+  // kSolve / kSolveMany / kSparsify payload.
+  graph::Graph graph;
+  linalg::Vec b;              // kSolve
+  linalg::DenseMatrix panel;  // kSolveMany (n x k)
+
+  // kMcmf payload. Only mcmf.seed and mcmf.max_retries are journaled; a
+  // caller-installed lp.gram_factory is not serializable and replays with
+  // the default Gram path.
+  graph::Digraph network;
+  std::size_t source = 0;
+  std::size_t sink = 0;
+  flow::McmfOptions mcmf;
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kFailed = 1,  // engine factorization failed / flow did not round exactly
+};
+
+struct Reply {
+  RequestType type = RequestType::kSolve;
+  ReplyStatus status = ReplyStatus::kFailed;
+  std::string error;  // human-readable detail when status == kFailed
+
+  linalg::Vec x;                      // kSolve
+  linalg::DenseMatrix panel;          // kSolveMany
+  sparsify::SparsifyResult sparsify;  // kSparsify
+  flow::McmfIpmResult mcmf;           // kMcmf
+
+  // Service-side annotations (not part of the payload bytes): how wide the
+  // panel that served this request was (>= 2 means it was coalesced with
+  // concurrent same-fingerprint singles), and the per-request RunStats —
+  // for a coalesced single, the stats of the shared panel run.
+  std::size_t panel_width = 1;
+  bool coalesced = false;
+  core::RunStats stats;
+};
+
+// Future-like handle a submission returns: the producer blocks on wait()
+// (any number of times) until a worker fulfills the reply.
+class PendingReply {
+ public:
+  const Reply& wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return ready_; });
+    return reply_;
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ready_;
+  }
+
+  void fulfill(Reply reply) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reply_ = std::move(reply);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  Reply reply_;
+};
+
+}  // namespace bcclap::service
