@@ -144,13 +144,19 @@ int Harness::run(int argc, char** argv) {
       total += elapsed;
       if (rep == 0 || elapsed < r.wall_ms_min) r.wall_ms_min = elapsed;
       if (rep == 0 || elapsed > r.wall_ms_max) r.wall_ms_max = elapsed;
-      if (rep + 1 == reps) r.counters = s.counters();
+      if (rep + 1 == reps) {
+        r.counters = s.counters();
+        r.timings = s.timings();
+      }
     }
     r.wall_ms_mean = total / static_cast<double>(reps);
     std::printf("%-44s %10.3f %10.3f %10.3f\n", r.name.c_str(),
                 r.wall_ms_mean, r.wall_ms_min, r.wall_ms_max);
     for (const auto& [k, v] : r.counters) {
       std::printf("    %-24s %.6g\n", k.c_str(), v);
+    }
+    for (const auto& [k, v] : r.timings) {
+      std::printf("    %-24s %.3f ms\n", k.c_str(), v);
     }
     results.push_back(std::move(r));
   }
@@ -177,6 +183,16 @@ int Harness::run(int argc, char** argv) {
           << "\"counters\": {";
       bool first = true;
       for (const auto& [k, v] : r.counters) {
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << json_escape(k) << "\": " << fmt_double(v);
+      }
+      // "timings" comes after the closed "counters" object on purpose:
+      // the determinism gate extracts counters up to their closing brace,
+      // so clock readings here never enter the cross-config diff.
+      out << "}, \"timings\": {";
+      first = true;
+      for (const auto& [k, v] : r.timings) {
         if (!first) out << ", ";
         first = false;
         out << "\"" << json_escape(k) << "\": " << fmt_double(v);

@@ -57,12 +57,21 @@ class State {
     counters_[name] = value;
   }
 
+  // Named wall-clock reading in milliseconds (e.g. a phase split of the
+  // case's own wall time). Emitted as a separate "timings" JSON object,
+  // NEVER under "counters": timings are real clocks and legitimately
+  // differ run to run, so they must stay outside the counter-determinism
+  // gate scripts/bench.sh diffs across thread counts.
+  void timing(const std::string& name, double ms) { timings_[name] = ms; }
+
   const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, double>& timings() const { return timings_; }
 
  private:
   std::size_t iteration_;
   bool warmup_;
   std::map<std::string, double> counters_;
+  std::map<std::string, double> timings_;
 };
 
 struct CaseResult {
@@ -72,6 +81,7 @@ struct CaseResult {
   double wall_ms_min = 0.0;
   double wall_ms_max = 0.0;
   std::map<std::string, double> counters;
+  std::map<std::string, double> timings;  // last measured repetition's
 };
 
 class Harness {

@@ -37,20 +37,28 @@
 # the warm cases warm_all_hits = 1 with warm_prepare_work = 0 (served
 # from cache residency, zero sparsify/factor work), and the warm mean
 # wall time at workers = 1 must land strictly below the cold mean.
+# Since PR 10 the harness emits a per-case "timings" object (wall-clock
+# phase splits, exempt from the counter gate by construction), and two
+# more gates read it: the AMD quotient-graph ordering must be >= 5x
+# faster than the retained exact-MD reference at n = 10^4
+# (ordering_amd_vs_exact), and the ordering phase of
+# pipeline_sparse_solve/n=10000 must cost at most 25% of the total
+# factorization time (ordering + symbolic + numeric) — ordering stays a
+# minor phase, not the bottleneck it was with the std::set ordering.
 # The script fails loudly if any counter differs between configurations.
 #
 # Environment knobs:
 #   BUILD_DIR=<path>      build tree location (default: build)
 #   BENCH_THREADS=<n>     the multi-threaded configuration (default: 4)
 #   BENCH_REPEATS=<n>     measured repetitions per case (default: 3)
-#   BENCH_OUT=<path>      output file (default: BENCH_pr9.json)
+#   BENCH_OUT=<path>      output file (default: BENCH_pr10.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_THREADS="${BENCH_THREADS:-4}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr9.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr10.json}"
 BENCHES=(bench_pipeline bench_sparsifier bench_laplacian bench_service)
 
 if [ "$BENCH_THREADS" -le 1 ]; then
@@ -210,9 +218,44 @@ if ! awk -v sc="$sc" -v sw="$sw" 'BEGIN { exit !(sw < sc) }'; then
 fi
 echo "service gate: byte-identical replies; warm burst ${sw} ms < cold ${sc} ms"
 
+# Ordering-speedup gate: the AMD quotient-graph ordering must be at least
+# 5x faster than the retained exact-MD reference on the n = 10^4 topology.
+# Both readings come from the "timings" object (wall clocks, deliberately
+# outside the cross-config counter diff).
+amd_ms="$(counter_of "$pipe_t1" "ordering_amd_vs_exact/n=10000" amd_ms)"
+exact_ms="$(counter_of "$pipe_t1" "ordering_amd_vs_exact/n=10000" exact_md_ms)"
+if [ -z "$amd_ms" ] || [ -z "$exact_ms" ]; then
+  echo "ERROR: ordering_amd_vs_exact/n=10000 missing from $pipe_t1" >&2
+  exit 1
+fi
+if ! awk -v a="$amd_ms" -v e="$exact_ms" 'BEGIN { exit !(a * 5 <= e) }'; then
+  echo "ERROR: AMD ordering not >= 5x faster than exact-MD at n=10000" >&2
+  echo "  amd_ms=$amd_ms exact_md_ms=$exact_ms" >&2
+  exit 1
+fi
+echo "ordering gate: AMD ${amd_ms} ms vs exact-MD ${exact_ms} ms (>= 5x)"
+
+# Factor-phase gate: in the n = 10^4 pipeline factorization, ordering must
+# cost at most 25% of the total factor time — the phase split that used
+# to be dominated by the std::set ordering.
+o_ms="$(counter_of "$pipe_t1" "pipeline_sparse_solve/n=10000" ordering_ms)"
+s_ms="$(counter_of "$pipe_t1" "pipeline_sparse_solve/n=10000" symbolic_ms)"
+n_ms="$(counter_of "$pipe_t1" "pipeline_sparse_solve/n=10000" numeric_ms)"
+if [ -z "$o_ms" ] || [ -z "$s_ms" ] || [ -z "$n_ms" ]; then
+  echo "ERROR: factor-phase timings missing from pipeline_sparse_solve/n=10000" >&2
+  exit 1
+fi
+if ! awk -v o="$o_ms" -v s="$s_ms" -v n="$n_ms" \
+     'BEGIN { exit !(o <= 0.25 * (o + s + n)) }'; then
+  echo "ERROR: ordering phase exceeds 25% of factor time at n=10000" >&2
+  echo "  ordering_ms=$o_ms symbolic_ms=$s_ms numeric_ms=$n_ms" >&2
+  exit 1
+fi
+echo "phase gate: ordering ${o_ms} ms of $(awk -v o="$o_ms" -v s="$s_ms" -v n="$n_ms" 'BEGIN{printf "%.3f", o+s+n}') ms factor time"
+
 {
   echo '{'
-  echo '  "pr": 9,'
+  echo '  "pr": 10,'
   echo '  "generated_by": "scripts/bench.sh",'
   echo "  \"thread_configs\": [1, $BENCH_THREADS],"
   echo '  "runs": ['

@@ -37,15 +37,23 @@ std::uint64_t prepare_options_hash(const laplacian::EngineOptions& opt) {
   return h;
 }
 
-std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::lookup(
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::find_locked(
     const FactorCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->key == key) {
-      ++hits_;
       entries_.splice(entries_.begin(), entries_, it);
       return entries_.front().artifact;
     }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::lookup(
+    const FactorCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto found = find_locked(key)) {
+    ++hits_;
+    return found;
   }
   ++misses_;
   return nullptr;
@@ -60,19 +68,13 @@ std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::peek(
   return nullptr;
 }
 
-std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert(
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert_locked(
     const FactorCacheKey& key,
     std::shared_ptr<const laplacian::PreparedLaplacian> artifact) {
-  const std::size_t bytes = artifact->resident_bytes();
-  std::lock_guard<std::mutex> lock(mu_);
   // First-wins dedupe: a concurrent preparer may have beaten us here; the
   // entry already resident is the canonical artifact for this key.
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->key == key) {
-      entries_.splice(entries_.begin(), entries_, it);
-      return entries_.front().artifact;
-    }
-  }
+  if (auto existing = find_locked(key)) return existing;
+  const std::size_t bytes = artifact->resident_bytes();
   if (bytes > max_bytes_) return artifact;  // larger than the whole budget
   entries_.push_front(Entry{key, artifact, bytes});
   resident_bytes_ += bytes;
@@ -82,6 +84,81 @@ std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert(
     ++evictions_;
   }
   return artifact;
+}
+
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::insert(
+    const FactorCacheKey& key,
+    std::shared_ptr<const laplacian::PreparedLaplacian> artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return insert_locked(key, std::move(artifact));
+}
+
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::lookup_or_join(
+    const FactorCacheKey& key, bool* leader) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (auto found = find_locked(key)) {
+      ++hits_;
+      *leader = false;
+      return found;
+    }
+    std::shared_ptr<Inflight> slot;
+    for (const auto& fl : inflight_) {
+      if (fl->key == key) {
+        slot = fl;
+        break;
+      }
+    }
+    if (!slot) {
+      // No prepare in flight: this caller is elected leader. The miss is
+      // counted here — followers joining the same prepare count hits, so
+      // N deduped cold requests tally exactly one miss.
+      inflight_.push_back(std::make_shared<Inflight>());
+      inflight_.back()->key = key;
+      ++misses_;
+      *leader = true;
+      return nullptr;
+    }
+    slot->cv.wait(lock, [&] { return slot->resolved; });
+    if (slot->artifact) {
+      ++hits_;
+      *leader = false;
+      return slot->artifact;
+    }
+    // Withdrawn: the leader's prepare failed. Loop to re-elect — this
+    // caller may find a new leader already registered, or become one.
+  }
+}
+
+std::shared_ptr<const laplacian::PreparedLaplacian> FactorCache::publish(
+    const FactorCacheKey& key,
+    std::shared_ptr<const laplacian::PreparedLaplacian> artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Waiters adopt the canonical artifact — identical bytes to what any
+  // later lookup() of this key returns.
+  auto canonical = insert_locked(key, std::move(artifact));
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if ((*it)->key == key) {
+      (*it)->resolved = true;
+      (*it)->artifact = canonical;
+      (*it)->cv.notify_all();
+      inflight_.erase(it);
+      break;
+    }
+  }
+  return canonical;
+}
+
+void FactorCache::withdraw(const FactorCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if ((*it)->key == key) {
+      (*it)->resolved = true;
+      (*it)->cv.notify_all();
+      inflight_.erase(it);
+      break;
+    }
+  }
 }
 
 FactorCache::Stats FactorCache::stats() const {

@@ -30,8 +30,19 @@
 // the artifacts themselves are immutable and applied outside the lock, so
 // two Runtimes sharing a cache never serialize their solves — only their
 // lookups.
+//
+// Prepare-in-flight dedup (lookup_or_join / publish / withdraw): without
+// it, N cold requests for the same key race N redundant prepares — the
+// bench_service 4-worker cold case burned ~2.5x the 1-worker wall doing
+// the same sparsify+factor four times. The registry keyed on the exact
+// cache key makes the first caller the leader (it runs the prepare) and
+// blocks followers on a condition variable until the leader publishes
+// the artifact (followers adopt it and count hits) or withdraws
+// (followers wake and re-elect a leader, so a failed or throwing prepare
+// never strands waiters).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -109,6 +120,28 @@ class FactorCache {
       const FactorCacheKey& key,
       std::shared_ptr<const laplacian::PreparedLaplacian> artifact);
 
+  // Deduplicating lookup. Resident key: returns the artifact (one hit,
+  // LRU refreshed), *leader = false. Unknown key with no prepare in
+  // flight: registers the caller as the key's preparer and returns null
+  // with *leader = true — the caller MUST follow up with publish() (on
+  // success) or withdraw() (on failure/exception), or waiters block
+  // forever. Prepare already in flight: blocks until that prepare
+  // resolves; a published artifact is returned as a hit, a withdrawal
+  // re-runs the election (the caller may then come back as the leader).
+  std::shared_ptr<const laplacian::PreparedLaplacian> lookup_or_join(
+      const FactorCacheKey& key, bool* leader);
+
+  // Leader success path: inserts under the first-wins/budget rules of
+  // insert(), hands the canonical artifact to every waiter (each counts a
+  // hit — they adopted work someone else did), and returns it.
+  std::shared_ptr<const laplacian::PreparedLaplacian> publish(
+      const FactorCacheKey& key,
+      std::shared_ptr<const laplacian::PreparedLaplacian> artifact);
+
+  // Leader failure path: drops the in-flight registration and wakes the
+  // waiters empty-handed to re-elect. No-op if the key is not in flight.
+  void withdraw(const FactorCacheKey& key);
+
   std::size_t max_bytes() const { return max_bytes_; }
   Stats stats() const;
   std::size_t resident_bytes() const;
@@ -123,10 +156,27 @@ class FactorCache {
     std::shared_ptr<const laplacian::PreparedLaplacian> artifact;
     std::size_t bytes = 0;
   };
+  // One in-flight prepare. Waiters hold the shared_ptr, so the slot
+  // outlives its removal from inflight_; `resolved` flips exactly once
+  // (publish or withdraw), under mu_.
+  struct Inflight {
+    FactorCacheKey key;
+    std::condition_variable cv;
+    bool resolved = false;
+    std::shared_ptr<const laplacian::PreparedLaplacian> artifact;  // publish
+  };
+
+  // Both require mu_ held.
+  std::shared_ptr<const laplacian::PreparedLaplacian> find_locked(
+      const FactorCacheKey& key);
+  std::shared_ptr<const laplacian::PreparedLaplacian> insert_locked(
+      const FactorCacheKey& key,
+      std::shared_ptr<const laplacian::PreparedLaplacian> artifact);
 
   const std::size_t max_bytes_;
   mutable std::mutex mu_;
   std::list<Entry> entries_;  // front = most recently used
+  std::list<std::shared_ptr<Inflight>> inflight_;
   std::size_t resident_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -123,23 +123,37 @@ bool Runtime::prepare_engine(laplacian::LaplacianEngine& engine,
   key.seed = opts_.seed;
   key.min_work_per_chunk = opts_.min_work_per_chunk;
   key.options_hash = core::prepare_options_hash(engine.options());
-  if (auto artifact = cache_->lookup(key)) {
+  // Deduplicating lookup: N concurrent cold requests for the same key run
+  // ONE prepare — the first caller leads, the rest block on the in-flight
+  // registration and adopt the published artifact as cache hits.
+  bool leader = false;
+  if (auto artifact = cache_->lookup_or_join(key, &leader)) {
     engine.adopt(std::move(artifact));
     stats->cache_hits += 1;
     return true;
   }
   stats->cache_misses += 1;
-  const bool usable = engine.factor(context(), g);
-  if (usable) {
-    const std::uint64_t evictions_before = cache_->evictions();
-    auto canonical = cache_->insert(key, engine.prepared());
-    // A concurrent preparer may have raced us; its entry is canonical, so
-    // later applies on this engine use the same bytes every cached run
-    // sees.
-    if (canonical != engine.prepared()) engine.adopt(std::move(canonical));
-    stats->cache_evictions +=
-        static_cast<std::size_t>(cache_->evictions() - evictions_before);
+  bool usable = false;
+  try {
+    usable = engine.factor(context(), g);
+  } catch (...) {
+    cache_->withdraw(key);
+    throw;
   }
+  if (!usable) {
+    // Waiters must not adopt an unusable artifact; wake them to re-elect
+    // (their own prepare will fail the same way, but independently).
+    cache_->withdraw(key);
+    return false;
+  }
+  const std::uint64_t evictions_before = cache_->evictions();
+  auto canonical = cache_->publish(key, engine.prepared());
+  // A concurrent preparer may have raced us past the in-flight slot (e.g.
+  // via a plain insert); its entry is canonical, so later applies on this
+  // engine use the same bytes every cached run sees.
+  if (canonical != engine.prepared()) engine.adopt(std::move(canonical));
+  stats->cache_evictions +=
+      static_cast<std::size_t>(cache_->evictions() - evictions_before);
   return usable;
 }
 

@@ -32,13 +32,28 @@
 //                 phases executed because the cache had no entry, and
 //                 entries evicted to fit the byte budget. All 0 when
 //                 caching is off (the default);
+//   supernodes / factor_fill_nnz
+//               — sparse-factorization shape of the run's prepare work:
+//                 supernode panels detected and off-diagonal fill
+//                 nnz(L11) + nnz(L21), summed over sparse factors (0 when
+//                 every factor ran dense, or the run was served from the
+//                 cache);
+//   ordering_seconds / symbolic_seconds / numeric_seconds
+//               — per-phase wall clocks of the sparse factorizations the
+//                 run executed (linalg::SparseFactorPhases). Unlike every
+//                 other counter these are timings, so they are NOT
+//                 byte-deterministic across runs — benches report them in
+//                 the "timings" channel, never as gated counters;
 //   engine      — registry key of the solver engine that served the run
 //                 (laplacian/engine.h): "exact-dense", "exact-sparse",
 //                 "sparsified-chebyshev", "cg" — the concrete key the
 //                 auto-tuner or the caller picked. Empty when the layer
 //                 never went through the engine registry;
 //   wall_seconds — wall-clock time, filled by the Runtime facade (the
-//                 layers themselves never look at the clock).
+//                 layers themselves never look at the clock; the sparse
+//                 factor's phase clocks above are the one exception — the
+//                 factorization is the only layer that can split its own
+//                 phases).
 //
 // This header is dependency-free on purpose: every layer may include it
 // without inverting the spanner -> sparsify -> laplacian -> lp -> flow
@@ -62,6 +77,11 @@ struct RunStats {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
+  std::size_t supernodes = 0;
+  std::size_t factor_fill_nnz = 0;
+  double ordering_seconds = 0.0;
+  double symbolic_seconds = 0.0;
+  double numeric_seconds = 0.0;
   std::string engine;
   double wall_seconds = 0.0;
 
@@ -76,6 +96,11 @@ struct RunStats {
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     cache_evictions += o.cache_evictions;
+    supernodes += o.supernodes;
+    factor_fill_nnz += o.factor_fill_nnz;
+    ordering_seconds += o.ordering_seconds;
+    symbolic_seconds += o.symbolic_seconds;
+    numeric_seconds += o.numeric_seconds;
     // Counters add; the engine label adopts the most recent non-empty key
     // (an aggregate over runs on different engines keeps the last one).
     if (!o.engine.empty()) engine = o.engine;

@@ -91,6 +91,12 @@ void LaplacianEngine::report(core::RunStats* stats) const {
     stats->dense_factors += prepared_->dense_factors();
     stats->sparse_factors += prepared_->sparse_factors();
     stats->sparsify_count += prepared_->sparsify_count();
+    const linalg::SparseFactorPhases phases = prepared_->factor_phases();
+    stats->supernodes += phases.supernodes;
+    stats->factor_fill_nnz += phases.fill_nnz;
+    stats->ordering_seconds += phases.ordering_seconds;
+    stats->symbolic_seconds += phases.symbolic_seconds;
+    stats->numeric_seconds += phases.numeric_seconds;
   }
 }
 

@@ -122,6 +122,9 @@ class PreparedExact final : public PreparedLaplacian {
   std::size_t sparse_factors() const override {
     return factor_ ? factor_->sparse_factor_count() : 0;
   }
+  linalg::SparseFactorPhases factor_phases() const override {
+    return factor_ ? factor_->factor_phases() : linalg::SparseFactorPhases{};
+  }
   std::size_t resident_bytes() const override {
     return factor_ ? factor_->resident_bytes() : 0;
   }
@@ -290,6 +293,10 @@ class PreparedSparsifiedChebyshev final : public PreparedLaplacian {
   }
   std::size_t sparse_factors() const override {
     return h_factor_ ? h_factor_->sparse_factor_count() : 0;
+  }
+  linalg::SparseFactorPhases factor_phases() const override {
+    return h_factor_ ? h_factor_->factor_phases()
+                     : linalg::SparseFactorPhases{};
   }
   std::size_t sparsify_count() const override { return 1; }
   std::size_t resident_bytes() const override {

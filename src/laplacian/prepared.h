@@ -101,6 +101,12 @@ class PreparedLaplacian {
   virtual std::size_t sparse_factors() const { return 0; }
   virtual std::size_t sparsify_count() const { return 0; }
 
+  // Phase breakdown (ordering/symbolic/numeric wall, supernode count,
+  // fill nnz) summed over the sparse factorizations the prepare phase
+  // ran; all-zero for dense-only or factorization-free artifacts. Same
+  // reporting rule as the tallies above: a cache-served run adds none.
+  virtual linalg::SparseFactorPhases factor_phases() const { return {}; }
+
   // Bytes the artifact keeps resident (graph copies, factors, index
   // maps); the factorization cache charges its LRU budget with this.
   virtual std::size_t resident_bytes() const = 0;

@@ -85,6 +85,15 @@ class LaplacianFactor {
     return 0;
   }
 
+  // Phase breakdown of the factorization (sparse_ldlt.h); all-zero when
+  // the grounded factor ran on the dense kernel or there was nothing to
+  // factor.
+  SparseFactorPhases factor_phases() const {
+    if (const auto* s = std::get_if<SparseLdltFactor>(&reduced_))
+      return s->phases();
+    return {};
+  }
+
  private:
   using Reduced = std::variant<std::monostate, LdltFactor, SparseLdltFactor>;
 
@@ -131,6 +140,18 @@ class ComponentLaplacianFactor {
   // dense_factors / sparse_factors counters.
   std::size_t dense_factor_count() const;
   std::size_t sparse_factor_count() const;
+
+  // Phase breakdown summed over the components that factored sparsely
+  // (all-zero when every component ran dense).
+  SparseFactorPhases factor_phases() const {
+    SparseFactorPhases sum;
+    for (const auto& f : factors_) {
+      if (!f) continue;
+      if (const auto* s = std::get_if<SparseLdltFactor>(&*f))
+        sum += s->phases();
+    }
+    return sum;
+  }
 
   // Resident payload summed over the per-component factors plus the
   // component index maps, for the factorization cache's byte accounting.

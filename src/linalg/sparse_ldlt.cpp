@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
+#include <chrono>
 #include <cmath>
-#include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/env.h"
+#include "linalg/amd.h"
 
 namespace bcclap::linalg {
 
@@ -17,9 +18,11 @@ namespace {
 
 constexpr std::size_t kNoneIdx = static_cast<std::size_t>(-1);
 
-// Tail cutoff of the ordering: below this many remaining vertices the
-// blocked dense kernel wins outright, so they are deferred wholesale.
-constexpr std::size_t kMinTailDim = 64;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 FactorMode env_factor_mode() {
   // Recognition and the warn-once-on-misspelling policy live in
@@ -38,89 +41,97 @@ std::atomic<FactorMode>& mode_atomic() {
   return mode;
 }
 
-struct Ordering {
-  std::vector<std::size_t> perm;  // new index -> original index
-  std::size_t t = 0;              // sparse prefix length
-};
-
-// Minimum-degree ordering on the elimination graph, with a dense-tail
-// cutoff: elimination stops once the minimum degree reaches half the
-// remaining vertices (the eliminated cliques have fused into an
-// effectively dense block — further sparse steps would produce O(r^2)
-// fill each) or once few vertices remain. Ties break on the smallest
-// vertex id, so the ordering is a pure function of the pattern.
-Ordering min_degree_order(const CscSymmetricMatrix& a) {
+// Permuted upper triangle P A P^T in CSC. Contract: entries within a
+// column come out in input order — unordered, and duplicates are kept —
+// so every consumer must accumulate additively (or flag-guard pattern
+// walks) and may only rely on the row range, rows <= column, which the
+// max() below guarantees by construction.
+void build_permuted_upper(const CscSymmetricMatrix& a,
+                          const std::vector<std::size_t>& iperm,
+                          std::vector<std::size_t>& pcp,
+                          std::vector<std::size_t>& pri,
+                          std::vector<double>* pv) {
   const std::size_t n = a.dim();
-  std::vector<std::vector<std::size_t>> adj(n);
   const auto& cp = a.col_ptr();
   const auto& ri = a.row_index();
+  const auto& av = a.values();
+  pcp.assign(n + 1, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = cp[j]; k < cp[j + 1]; ++k)
+      ++pcp[std::max(iperm[ri[k]], iperm[j]) + 1];
+  }
+  for (std::size_t j = 0; j < n; ++j) pcp[j + 1] += pcp[j];
+  pri.assign(pcp[n], 0);
+  if (pv != nullptr) pv->assign(pcp[n], 0.0);
+  std::vector<std::size_t> fill(pcp.begin(), pcp.end() - 1);
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t k = cp[j]; k < cp[j + 1]; ++k) {
-      const std::size_t i = ri[k];
-      if (i == j) continue;
-      adj[i].push_back(j);
-      adj[j].push_back(i);
+      std::size_t r = iperm[ri[k]];
+      std::size_t c = iperm[j];
+      if (r > c) std::swap(r, c);
+      pri[fill[c]] = r;
+      if (pv != nullptr) (*pv)[fill[c]] = av[k];
+      ++fill[c];
     }
   }
-  for (auto& list : adj) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-  }
-  std::set<std::pair<std::size_t, std::size_t>> pq;  // (degree, vertex)
-  for (std::size_t v = 0; v < n; ++v) pq.insert({adj[v].size(), v});
-  std::vector<char> eliminated(n, 0);
-  Ordering ord;
-  ord.perm.reserve(n);
-  std::size_t remaining = n;
-  std::vector<std::size_t> merged;
-  while (remaining > kMinTailDim) {
-    const std::size_t deg = pq.begin()->first;
-    const std::size_t v = pq.begin()->second;
-    if (2 * deg >= remaining) break;
-    pq.erase(pq.begin());
-    eliminated[v] = 1;
-    ord.perm.push_back(v);
-    --remaining;
-    // Eliminating v fuses its neighbourhood into a clique: every
-    // neighbour u drops v and unions in the other neighbours.
-    const std::vector<std::size_t> nb = std::move(adj[v]);
-    adj[v] = {};
-    for (std::size_t u : nb) {
-      std::vector<std::size_t>& au = adj[u];
-      merged.clear();
-      merged.reserve(au.size() + nb.size());
-      std::size_t x = 0;
-      std::size_t y = 0;
-      while (x < au.size() && y < nb.size()) {
-        if (au[x] == v) {
-          ++x;
-        } else if (nb[y] == u) {
-          ++y;
-        } else if (au[x] < nb[y]) {
-          merged.push_back(au[x++]);
-        } else if (nb[y] < au[x]) {
-          merged.push_back(nb[y++]);
-        } else {
-          merged.push_back(au[x]);
-          ++x;
-          ++y;
+}
+
+// Elimination forest over the sparse prefix [0, t) by the union-find
+// ancestor walk; parent[i] >= t (or kNoneIdx) marks a root whose
+// remaining coupling lives entirely in the dense tail.
+std::vector<std::size_t> truncated_etree(const std::vector<std::size_t>& pcp,
+                                         const std::vector<std::size_t>& pri,
+                                         std::size_t n, std::size_t t) {
+  std::vector<std::size_t> parent(t, kNoneIdx);
+  std::vector<std::size_t> anc(t, kNoneIdx);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t p = pcp[k]; p < pcp[k + 1]; ++p) {
+      std::size_t i = pri[p];
+      while (i < t && i < k) {
+        const std::size_t next = anc[i];
+        anc[i] = k;
+        if (next == kNoneIdx) {
+          parent[i] = k;
+          break;
         }
+        i = next;
       }
-      for (; x < au.size(); ++x)
-        if (au[x] != v) merged.push_back(au[x]);
-      for (; y < nb.size(); ++y)
-        if (nb[y] != u) merged.push_back(nb[y]);
-      pq.erase({au.size(), u});
-      au = merged;
-      pq.insert({au.size(), u});
     }
   }
-  ord.t = ord.perm.size();
-  // Tail vertices in ascending original id — deterministic, and keeps
-  // the permuted tail block in a stable layout for the dense kernel.
-  for (std::size_t v = 0; v < n; ++v)
-    if (eliminated[v] == 0) ord.perm.push_back(v);
-  return ord;
+  return parent;
+}
+
+// Postorder of the elimination forest over [0, t); roots and children are
+// visited in ascending order, so the result is a pure function of the
+// forest (determinism anchor).
+std::vector<std::size_t> postorder_forest(
+    const std::vector<std::size_t>& parent, std::size_t t) {
+  std::vector<std::size_t> head(t, kNoneIdx);
+  std::vector<std::size_t> sibling(t, kNoneIdx);
+  for (std::size_t j = t; j-- > 0;) {
+    if (parent[j] == kNoneIdx || parent[j] >= t) continue;
+    sibling[j] = head[parent[j]];
+    head[parent[j]] = j;
+  }
+  std::vector<std::size_t> post;
+  post.reserve(t);
+  std::vector<std::size_t> stack;
+  for (std::size_t r = 0; r < t; ++r) {
+    if (parent[r] != kNoneIdx && parent[r] < t) continue;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const std::size_t j = stack.back();
+      const std::size_t c = head[j];
+      if (c != kNoneIdx) {
+        head[j] = sibling[c];
+        stack.push_back(c);
+      } else {
+        post.push_back(j);
+        stack.pop_back();
+      }
+    }
+  }
+  return post;
 }
 
 }  // namespace
@@ -175,50 +186,53 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
 
   SparseLdltFactor f;
   f.n_ = n;
-  Ordering ord = min_degree_order(a);
-  f.t_ = ord.t;
+  const auto ordering_start = Clock::now();
+  Ordering ord = amd_order(a);
+  f.phases_.ordering_seconds = seconds_since(ordering_start);
+
+  const auto symbolic_start = Clock::now();
+  const std::size_t t = ord.t;
+  const std::size_t tail = n - t;
+  f.t_ = t;
+
+  // Postorder the AMD order along its own elimination forest: an
+  // etree-respecting permutation of the sparse prefix leaves the fill
+  // (and the tail split) invariant, but makes fundamental supernodes —
+  // chains of columns whose patterns nest exactly — contiguous, which
+  // the blocked numeric phase and the solves below rely on.
+  {
+    std::vector<std::size_t> iperm0(n);
+    for (std::size_t k = 0; k < n; ++k) iperm0[ord.perm[k]] = k;
+    std::vector<std::size_t> pcp0;
+    std::vector<std::size_t> pri0;
+    build_permuted_upper(a, iperm0, pcp0, pri0, nullptr);
+    const std::vector<std::size_t> parent0 = truncated_etree(pcp0, pri0, n, t);
+    const std::vector<std::size_t> post = postorder_forest(parent0, t);
+    std::vector<std::size_t> reordered(t);
+    for (std::size_t k = 0; k < t; ++k) reordered[k] = ord.perm[post[k]];
+    std::copy(reordered.begin(), reordered.end(), ord.perm.begin());
+  }
   f.perm_ = std::move(ord.perm);
   f.iperm_.assign(n, 0);
   for (std::size_t k = 0; k < n; ++k) f.iperm_[f.perm_[k]] = k;
-  const std::size_t t = f.t_;
-  const std::size_t tail = n - t;
 
-  // Permuted upper triangle P A P^T in CSC (entries unordered within a
-  // column; duplicates kept — every consumer below is additive).
-  const auto& cp = a.col_ptr();
-  const auto& ri = a.row_index();
-  const auto& av = a.values();
-  std::vector<std::size_t> pcp(n + 1, 0);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t k = cp[j]; k < cp[j + 1]; ++k)
-      ++pcp[std::max(f.iperm_[ri[k]], f.iperm_[j]) + 1];
-  }
-  for (std::size_t j = 0; j < n; ++j) pcp[j + 1] += pcp[j];
-  std::vector<std::size_t> pri(pcp[n]);
-  std::vector<double> pv(pcp[n]);
-  {
-    std::vector<std::size_t> fill(pcp.begin(), pcp.end() - 1);
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t k = cp[j]; k < cp[j + 1]; ++k) {
-        std::size_t r = f.iperm_[ri[k]];
-        std::size_t c = f.iperm_[j];
-        if (r > c) std::swap(r, c);
-        pri[fill[c]] = r;
-        pv[fill[c]] = av[k];
-        ++fill[c];
-      }
-    }
-  }
+  std::vector<std::size_t> pcp;
+  std::vector<std::size_t> pri;
+  std::vector<double> pv;
+  build_permuted_upper(a, f.iperm_, pcp, pri, &pv);
 
   // Symbolic analysis: elimination tree (parent[i] = first later row
   // whose L pattern reaches column i) and exact fill counts, by the
   // standard row-subtree traversal. Walks truncate at the first node >= t
   // — etree parents strictly increase, so every ancestor past that node
   // is also >= t, i.e. a tail column whose coupling lives entirely in the
-  // dense Schur complement; the truncation loses nothing.
-  std::vector<std::size_t> parent(n, kNoneIdx);
+  // dense Schur complement; the truncation loses nothing. tcnt[i] counts
+  // the tail rows that reach column i — the column's L21 pattern size,
+  // which the supernode criterion below needs alongside lcnt.
+  std::vector<std::size_t> parent(t, kNoneIdx);
   std::vector<std::size_t> flag(n, kNoneIdx);
   std::vector<std::size_t> lcnt(t, 0);       // strictly-lower nnz of L11 col
+  std::vector<std::size_t> tcnt(t, 0);       // tail rows reaching the col
   std::vector<std::size_t> l21cnt(tail, 0);  // nnz of L21 row
   for (std::size_t k = 0; k < n; ++k) {
     flag[k] = k;
@@ -232,12 +246,31 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
           ++lcnt[i];
         } else {
           ++l21cnt[k - t];
+          ++tcnt[i];
         }
         if (parent[i] >= t) break;  // truncated: rest of the path is tail
         i = parent[i];
       }
     }
   }
+
+  // Fundamental supernodes: columns j-1, j share a panel iff j is j-1's
+  // etree parent and the patterns nest exactly. parent[j-1] == j already
+  // forces pattern(j-1) \ {j} ⊆ pattern(j) — every row subtree that
+  // walks through j-1 continues into its parent — so matching counts
+  // (lcnt off by exactly the in-panel row j, tail counts equal) upgrade
+  // both subset relations to equality. Postorder made such chains
+  // consecutive, so this linear scan finds every fundamental supernode.
+  f.sn_ptr_.clear();
+  f.sn_ptr_.push_back(0);
+  for (std::size_t j = 1; j < t; ++j) {
+    if (parent[j - 1] != j || lcnt[j - 1] != lcnt[j] + 1 ||
+        tcnt[j - 1] != tcnt[j]) {
+      f.sn_ptr_.push_back(j);
+    }
+  }
+  if (t > 0) f.sn_ptr_.push_back(t);
+  f.phases_.supernodes = f.supernode_count();
 
   f.l_colp_.assign(t + 1, 0);
   for (std::size_t j = 0; j < t; ++j) f.l_colp_[j + 1] = f.l_colp_[j] + lcnt[j];
@@ -249,6 +282,7 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
     f.l21_rowp_[i + 1] = f.l21_rowp_[i] + l21cnt[i];
   f.l21_cols_.resize(f.l21_rowp_[tail]);
   f.l21_vals_.resize(f.l21_rowp_[tail]);
+  f.phases_.symbolic_seconds = seconds_since(symbolic_start);
 
   // Numeric phase: up-looking row-by-row sparse triangular solves
   // (Davis's LDL algorithm). Row k < t solves
@@ -257,6 +291,7 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
   // k >= t runs the same solve restricted to columns < t, yielding its
   // L21 row. The pattern stack replays the symbolic traversal, so the
   // reserved column slots fill exactly.
+  const auto numeric_start = Clock::now();
   std::vector<std::size_t> lnz(t, 0);
   std::vector<std::size_t> pat(t);
   Vec y(t, 0.0);
@@ -316,7 +351,14 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
         f.l21_vals_[out] = yi / f.d_[i];
         ++out;
       }
-      assert(out == f.l21_rowp_[k - t + 1]);
+      // Internal invariant, thrown instead of asserted: in a Release
+      // build a divergence here would otherwise corrupt the neighbouring
+      // L21 row silently (see ldlt.h on the public-surface convention).
+      if (out != f.l21_rowp_[k - t + 1]) {
+        throw std::runtime_error(
+            "SparseLdltFactor: numeric L21 fill diverged from the symbolic "
+            "count");
+      }
     }
   }
 
@@ -329,7 +371,8 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
         if (pri[p] >= t) s(k - t, pri[p] - t) += pv[p];
     }
     // Column-major copy of L21 (rows ascending: the fill loop scans rows
-    // in order) for the outer-product sweep.
+    // in order). Within a supernode the columns carry one shared row
+    // set, so the slice for columns [j0, j1) is a dense r x w panel.
     std::vector<std::size_t> ccolp(t + 1, 0);
     for (std::size_t q = 0; q < f.l21_cols_.size(); ++q)
       ++ccolp[f.l21_cols_[q] + 1];
@@ -347,28 +390,73 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
         }
       }
     }
+    const std::size_t nsn = f.supernode_count();
+    // The blocked kernels below stand on the symbolic guarantee that a
+    // panel's columns agree on the row pattern; a violation would read
+    // rows against the wrong columns, so it is checked outright.
+    for (std::size_t si = 0; si < nsn; ++si) {
+      const std::size_t j0 = f.sn_ptr_[si];
+      const std::size_t r = ccolp[j0 + 1] - ccolp[j0];
+      for (std::size_t j = j0 + 1; j < f.sn_ptr_[si + 1]; ++j) {
+        if (ccolp[j + 1] - ccolp[j] != r) {
+          throw std::runtime_error(
+              "SparseLdltFactor: supernode columns disagree on the L21 row "
+              "pattern");
+        }
+      }
+    }
+    // Row-major mirror of each panel plus a D-scaled copy: the rank-w
+    // subtraction then reads contiguous length-w rows instead of
+    // scattering column by column. Disjoint per-panel writes, pure copy:
+    // byte-deterministic at any worker count.
+    std::vector<double> pnl(cvals.size());
+    std::vector<double> pnld(cvals.size());
+    ctx.parallel_for(0, nsn, [&](std::size_t si) {
+      const std::size_t j0 = f.sn_ptr_[si];
+      const std::size_t j1 = f.sn_ptr_[si + 1];
+      const std::size_t w = j1 - j0;
+      const std::size_t base = ccolp[j0];
+      const std::size_t r = (ccolp[j1] - base) / w;
+      for (std::size_t k = 0; k < w; ++k) {
+        const double dj = f.d_[j0 + k];
+        const std::size_t cb = ccolp[j0 + k];
+        for (std::size_t ia = 0; ia < r; ++ia) {
+          const double v = cvals[cb + ia];
+          pnl[base + ia * w + k] = v;
+          pnld[base + ia * w + k] = v * dj;
+        }
+      }
+    });
     // The subtraction fans out over fixed 64-row bands of S: each band
-    // scans every column in order and owns its rows outright, so the
-    // floating-point grouping never depends on the worker count.
+    // scans every panel in order and owns its rows outright, so the
+    // floating-point grouping never depends on the worker count. Each
+    // (row, row') pair within a panel's shared row set takes one fused
+    // rank-w dot product — the supernode-blocked replacement for the old
+    // per-column scatter.
     constexpr std::size_t kBand = 64;
     const std::size_t nbands = (tail + kBand - 1) / kBand;
     ctx.parallel_for(0, nbands, [&](std::size_t band) {
       const std::size_t blo = band * kBand;
       const std::size_t bhi = std::min(tail, blo + kBand);
-      for (std::size_t j = 0; j < t; ++j) {
-        const double dj = f.d_[j];
-        const std::size_t cb = ccolp[j];
-        const std::size_t ce = ccolp[j + 1];
+      for (std::size_t si = 0; si < nsn; ++si) {
+        const std::size_t j0 = f.sn_ptr_[si];
+        const std::size_t j1 = f.sn_ptr_[si + 1];
+        const std::size_t w = j1 - j0;
+        const std::size_t base = ccolp[j0];
+        const std::size_t r = (ccolp[j1] - base) / w;
+        if (r == 0) continue;
+        const std::size_t* rows = crows.data() + base;
         const std::size_t start = static_cast<std::size_t>(
-            std::lower_bound(crows.begin() + static_cast<std::ptrdiff_t>(cb),
-                             crows.begin() + static_cast<std::ptrdiff_t>(ce),
-                             blo) -
-            crows.begin());
-        for (std::size_t pa = start; pa < ce && crows[pa] < bhi; ++pa) {
-          const double va = cvals[pa] * dj;
-          double* srow = s.row_data(crows[pa]);
-          for (std::size_t pb = cb; pb <= pa; ++pb)
-            srow[crows[pb]] -= va * cvals[pb];
+            std::lower_bound(rows, rows + r, blo) - rows);
+        for (std::size_t ia = start; ia < r && rows[ia] < bhi; ++ia) {
+          double* srow = s.row_data(rows[ia]);
+          const double* arow = pnl.data() + base + ia * w;
+          for (std::size_t ib = 0; ib <= ia; ++ib) {
+            const double* brow = pnld.data() + base + ib * w;
+            double acc = 0.0;
+            for (std::size_t k = 0; k < w; ++k) acc += arow[k] * brow[k];
+            srow[rows[ib]] -= acc;
+          }
         }
       }
     });
@@ -376,20 +464,45 @@ std::optional<SparseLdltFactor> SparseLdltFactor::factor(
     if (!tf) return std::nullopt;
     f.tail_ = std::move(*tf);
   }
+  f.phases_.numeric_seconds = seconds_since(numeric_start);
+  f.phases_.fill_nnz = f.fill_nnz();
   return f;
 }
 
 void SparseLdltFactor::solve_in_place(Vec& y) const {
   const std::size_t t = t_;
   const std::size_t tail = n_ - t;
-  // Forward: L11 column sweep (column j's value is final once the sweep
-  // reaches it), then the L21 rows couple the solved head into the tail
-  // equations, then the dense tail's own forward pass.
-  for (std::size_t j = 0; j < t; ++j) {
-    const double yj = y[j];
-    for (std::size_t p = l_colp_[j]; p < l_colp_[j + 1]; ++p)
-      y[l_rows_[p]] -= l_vals_[p] * yj;
+  const std::size_t nsn = supernode_count();
+  // Forward: supernode panels in ascending order — the in-panel triangle
+  // column by column (a panel column's leading entries are exactly the
+  // later panel columns), then one pass over the panel's shared below
+  // rows with a fused length-w dot per row.
+  for (std::size_t s = 0; s < nsn; ++s) {
+    const std::size_t j0 = sn_ptr_[s];
+    const std::size_t j1 = sn_ptr_[s + 1];
+    const std::size_t w = j1 - j0;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const double yj = y[j];
+      const std::size_t cb = l_colp_[j];
+      const std::size_t tri = j1 - 1 - j;
+      for (std::size_t q = 0; q < tri; ++q)
+        y[l_rows_[cb + q]] -= l_vals_[cb + q] * yj;
+    }
+    const std::size_t cb0 = l_colp_[j0];
+    const std::size_t lead0 = j1 - 1 - j0;
+    const std::size_t shared = (l_colp_[j0 + 1] - cb0) - lead0;
+    for (std::size_t q = 0; q < shared; ++q) {
+      const std::size_t row = l_rows_[cb0 + lead0 + q];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < w; ++k) {
+        const std::size_t j = j0 + k;
+        acc += l_vals_[l_colp_[j] + (j1 - 1 - j) + q] * y[j];
+      }
+      y[row] -= acc;
+    }
   }
+  // The L21 rows couple the solved head into the tail equations, then the
+  // dense tail runs its own forward / diagonal / backward passes.
   for (std::size_t i = 0; i < tail; ++i) {
     double v = y[t + i];
     for (std::size_t p = l21_rowp_[i]; p < l21_rowp_[i + 1]; ++p)
@@ -404,23 +517,55 @@ void SparseLdltFactor::solve_in_place(Vec& y) const {
     tail_->backward_solve_in_place(z);
     std::copy(z.begin(), z.end(), y.begin() + static_cast<std::ptrdiff_t>(t));
   }
-  // Backward: the solved tail feeds back through L21^T, then the L11^T
-  // gather runs columns in descending order.
+  // Backward: the solved tail feeds back through L21^T, then the panels
+  // run in descending order — each gathers its columns' shared-row dots
+  // first (those rows are beyond the panel, so they are final), then
+  // resolves the in-panel triangle descending.
   for (std::size_t i = 0; i < tail; ++i) {
     const double xi = y[t + i];
     for (std::size_t p = l21_rowp_[i]; p < l21_rowp_[i + 1]; ++p)
       y[l21_cols_[p]] -= l21_vals_[p] * xi;
   }
-  for (std::size_t j = t; j-- > 0;) {
-    double v = y[j];
-    for (std::size_t p = l_colp_[j]; p < l_colp_[j + 1]; ++p)
-      v -= l_vals_[p] * y[l_rows_[p]];
-    y[j] = v;
+  for (std::size_t s = nsn; s-- > 0;) {
+    const std::size_t j0 = sn_ptr_[s];
+    const std::size_t j1 = sn_ptr_[s + 1];
+    const std::size_t cb0 = l_colp_[j0];
+    const std::size_t lead0 = j1 - 1 - j0;
+    const std::size_t shared = (l_colp_[j0 + 1] - cb0) - lead0;
+    // Fixed-width column chunks bound the accumulator buffer; the chunk
+    // grouping is a constant of the layout, never of the thread count.
+    constexpr std::size_t kChunk = 32;
+    double acc[kChunk];
+    for (std::size_t c0 = j0; c0 < j1; c0 += kChunk) {
+      const std::size_t m = std::min(j1, c0 + kChunk) - c0;
+      for (std::size_t k = 0; k < m; ++k) acc[k] = 0.0;
+      for (std::size_t q = 0; q < shared; ++q) {
+        const double xr = y[l_rows_[cb0 + lead0 + q]];
+        for (std::size_t k = 0; k < m; ++k) {
+          const std::size_t j = c0 + k;
+          acc[k] += l_vals_[l_colp_[j] + (j1 - 1 - j) + q] * xr;
+        }
+      }
+      for (std::size_t k = 0; k < m; ++k) y[c0 + k] -= acc[k];
+    }
+    for (std::size_t j = j1; j-- > j0;) {
+      double v = y[j];
+      const std::size_t cb = l_colp_[j];
+      const std::size_t tri = j1 - 1 - j;
+      for (std::size_t q = 0; q < tri; ++q)
+        v -= l_vals_[cb + q] * y[l_rows_[cb + q]];
+      y[j] = v;
+    }
   }
 }
 
 Vec SparseLdltFactor::solve(const Vec& b) const {
-  assert(b.size() == n_);
+  if (b.size() != n_) {
+    throw std::invalid_argument(
+        "SparseLdltFactor::solve: right-hand side has " +
+        std::to_string(b.size()) + " rows, factor expects " +
+        std::to_string(n_));
+  }
   Vec y(n_);
   for (std::size_t k = 0; k < n_; ++k) y[k] = b[perm_[k]];
   solve_in_place(y);
@@ -431,7 +576,12 @@ Vec SparseLdltFactor::solve(const Vec& b) const {
 
 DenseMatrix SparseLdltFactor::solve_many(const common::Context& ctx,
                                          const DenseMatrix& b) const {
-  assert(b.rows() == n_);
+  if (b.rows() != n_) {
+    throw std::invalid_argument(
+        "SparseLdltFactor::solve_many: right-hand side has " +
+        std::to_string(b.rows()) + " rows, factor expects " +
+        std::to_string(n_));
+  }
   DenseMatrix x(n_, b.cols());
   // Disjoint column writes: byte-identical to sequential solve() calls.
   ctx.parallel_for(0, b.cols(), [&](std::size_t j) {

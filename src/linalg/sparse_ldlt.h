@@ -8,23 +8,31 @@
 // heuristic — see `sparse_path_selected` below.
 //
 // Pipeline, the classic sparse-direct recipe:
-//  1. Fill-reducing ordering: minimum degree on the elimination graph,
-//     with a dense-tail cutoff — once the minimum degree reaches half the
-//     remaining vertices (or few vertices remain), further sparse
-//     elimination only churns an effectively dense submatrix, so the
-//     remaining vertices are deferred to the tail wholesale.
+//  1. Fill-reducing ordering: approximate minimum degree on the quotient
+//     graph (linalg/amd.h — supervariables, element absorption, mass
+//     elimination), with a dense-tail cutoff — once the minimum degree
+//     reaches half the remaining vertices (or few vertices remain),
+//     further sparse elimination only churns an effectively dense
+//     submatrix, so the remaining vertices are deferred to the tail
+//     wholesale.
 //  2. Symbolic analysis: elimination tree + per-column fill counts via
 //     the standard row-subtree traversal, truncated at the tail split t
 //     (etree parents strictly increase, so every truncated ancestor is a
-//     tail column — the truncation is exact, not a heuristic).
+//     tail column — the truncation is exact, not a heuristic). The
+//     sparse prefix is postordered along the elimination forest, which
+//     makes fundamental supernodes — runs of columns with identical
+//     below-diagonal pattern — contiguous; supernode boundaries are
+//     detected from the etree + fill counts and recorded in sn_ptr_.
 //  3. Numeric factorization: up-looking row-by-row sparse LDL^T (the
-//     LDL/ldl.c algorithm) for the leading t columns, then the Schur
-//     complement S = A22 - L21 D1 L21^T assembled column-wise and
-//     factored by the blocked parallel dense kernel (linalg/ldlt.h) —
-//     the PR 3 tile kernels are the "dense supernodal panels" here.
+//     LDL/ldl.c algorithm) for the leading t columns; the Schur
+//     complement S = A22 - L21 D1 L21^T is subtracted in supernode
+//     panels (dense rank-w dot products over each panel's shared row
+//     pattern — the panels are contiguous row-major blocks, not scalar
+//     column scatter) and factored by the blocked parallel dense kernel
+//     (linalg/ldlt.h). Triangular solves run over the same panels.
 //
 // Determinism contract: ordering, symbolic and the sparse numeric phase
-// are sequential; the Schur assembly fans out over fixed 64-row bands
+// are sequential; the Schur subtraction fans out over fixed 64-row bands
 // with disjoint writes and a fixed per-band accumulation order; the dense
 // tail is the byte-deterministic blocked kernel. Factors and solves are
 // therefore byte-identical at any thread count.
@@ -32,6 +40,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "common/context.h"
 #include "linalg/csc_matrix.h"
@@ -83,6 +92,29 @@ bool sparse_path_selected(std::size_t dim, std::size_t nnz);
 // per-request engine choice never has to mutate process state.
 bool sparse_path_selected(std::size_t dim, std::size_t nnz, FactorMode mode);
 
+// Wall-clock and size breakdown of one sparse factorization, surfaced
+// through core::RunStats so benches and the service can see where factor
+// time goes. The clocks live inside SparseLdltFactor::factor — the
+// factorization is the one layer that owns its phases; everything above
+// (Laplacian factors, prepared engines, the facade) only aggregates.
+// numeric_seconds includes the Schur subtraction and the dense tail.
+struct SparseFactorPhases {
+  double ordering_seconds = 0.0;
+  double symbolic_seconds = 0.0;
+  double numeric_seconds = 0.0;
+  std::size_t supernodes = 0;  // sparse-prefix supernode panels
+  std::size_t fill_nnz = 0;    // nnz(L11) + nnz(L21)
+
+  SparseFactorPhases& operator+=(const SparseFactorPhases& o) {
+    ordering_seconds += o.ordering_seconds;
+    symbolic_seconds += o.symbolic_seconds;
+    numeric_seconds += o.numeric_seconds;
+    supernodes += o.supernodes;
+    fill_nnz += o.fill_nnz;
+    return *this;
+  }
+};
+
 // Sparse LDL^T factor of a symmetric positive definite matrix given by
 // its upper triangle in CSC form.
 class SparseLdltFactor {
@@ -110,13 +142,20 @@ class SparseLdltFactor {
   std::size_t fill_nnz() const {
     return l_rows_.size() + l21_cols_.size();
   }
+  // Supernode panels of the sparse prefix (runs of columns with identical
+  // below-diagonal pattern); panel s spans columns [sn_ptr_[s], sn_ptr_[s+1]).
+  std::size_t supernode_count() const {
+    return sn_ptr_.empty() ? 0 : sn_ptr_.size() - 1;
+  }
+  // Phase breakdown of the factorization that built this object.
+  const SparseFactorPhases& phases() const { return phases_; }
 
   // Resident numeric + index payload (see LdltFactor::resident_bytes);
   // charged against the factorization cache's byte budget.
   std::size_t resident_bytes() const {
     const std::size_t idx =
         (perm_.size() + iperm_.size() + l_colp_.size() + l_rows_.size() +
-         l21_rowp_.size() + l21_cols_.size()) *
+         l21_rowp_.size() + l21_cols_.size() + sn_ptr_.size()) *
         sizeof(std::size_t);
     const std::size_t num =
         (l_vals_.size() + d_.size() + l21_vals_.size()) * sizeof(double);
@@ -133,6 +172,13 @@ class SparseLdltFactor {
   std::vector<std::size_t> l_colp_;
   std::vector<std::size_t> l_rows_;
   std::vector<double> l_vals_;
+  // Supernode column starts over [0, t_]; size supernode_count() + 1.
+  // Within panel [j0, j1), column j's pattern is exactly the remaining
+  // panel columns {j+1, .., j1-1} followed by a below-panel row set
+  // shared by the whole panel — the solves and the Schur subtraction
+  // exploit this layout.
+  std::vector<std::size_t> sn_ptr_;
+  SparseFactorPhases phases_;
   Vec d_;  // t_ sparse-phase pivots
   // L21: rows t_..n-1 of the factor restricted to columns < t_, CSR.
   std::vector<std::size_t> l21_rowp_;

@@ -96,20 +96,24 @@ linalg::Vec leverage_scores_jl(const common::Context& ctx,
   }
 
   linalg::Vec sigma(oracle.m, 0.0);
-  // The probes are independent; they run in fixed-size batches whose
-  // boundaries never depend on the thread count, and each batch's results
-  // accumulate into sigma sequentially in probe order — bitwise identical
-  // at any thread count. A batched oracle pushes the whole batch through
-  // one solve_many panel per outer iteration (p^(j) = M (M^T M)^{-1} M^T
+  // The probes are independent; they run in batches whose boundaries
+  // never depend on the thread count, and each batch's results accumulate
+  // into sigma sequentially in probe order — bitwise identical at any
+  // thread count AND at any batch width (the panel ops are column-wise
+  // independent). A batched oracle pushes the whole batch through one
+  // solve_many panel per outer iteration (p^(j) = M (M^T M)^{-1} M^T
   // Q^(j), Algorithm 6 line 5, columns j of one panel); otherwise probes
-  // run one at a time fanned over the pool.
-  constexpr std::size_t kProbeBatch = 16;
+  // run one at a time fanned over the pool. probe_batch = 0 means one
+  // full-width panel: a single Gram substitution fan-out for the whole
+  // sketch instead of one per 16 probes.
   const std::size_t dim = sketch.sketch_dim();
+  const std::size_t probe_batch =
+      opt.probe_batch == 0 ? std::max<std::size_t>(dim, 1) : opt.probe_batch;
   const bool batched = oracle.batched();
   std::vector<linalg::Vec> batch(
-      batched ? 0 : std::min<std::size_t>(kProbeBatch, dim));
-  for (std::size_t base = 0; base < dim; base += kProbeBatch) {
-    const std::size_t count = std::min(kProbeBatch, dim - base);
+      batched ? 0 : std::min<std::size_t>(probe_batch, dim));
+  for (std::size_t base = 0; base < dim; base += probe_batch) {
+    const std::size_t count = std::min(probe_batch, dim - base);
     linalg::DenseMatrix panel;
     if (batched) {
       linalg::DenseMatrix q(oracle.m, count);

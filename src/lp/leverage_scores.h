@@ -52,6 +52,13 @@ struct LeverageOptions {
   double jl_constant = 8.0;  // k = jl_constant * log(m) / eta^2
   std::size_t sparsity = 4;  // Kane-Nelson column sparsity s
   std::uint64_t seed = 1;
+  // JL probes per outer batch; 0 (the default) pushes the full sketch
+  // width through one panel, paying the Gram substitution fan-out once
+  // instead of per 16 probes. Bitwise identical to any batched width: the
+  // panel ops are column-independent and sigma accumulates sequentially
+  // in probe order either way. Set >0 to cap the panel's memory footprint
+  // (m x probe_batch doubles).
+  std::size_t probe_batch = 0;
 };
 
 // Algorithm 6: sigma_apx = sum_j (M (M^T M)^{-1} M^T Q^(j))^2. Charges the

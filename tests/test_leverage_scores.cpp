@@ -95,6 +95,30 @@ TEST(LeverageScores, JlChargesSeedBroadcastRounds) {
   EXPECT_GT(acct.total_for("leverage/gram-solve"), 0);
 }
 
+TEST(LeverageScores, JlFullWidthPanelMatchesBatchedBitwise) {
+  // probe_batch = 0 (one full-width panel, the default) against the PR 9
+  // fixed 16-probe batching — and an awkward width that doesn't divide
+  // the sketch dimension. The panel ops are column-wise independent and
+  // sigma accumulates sequentially in probe order, so every batch width
+  // must produce the same bytes.
+  rng::Stream stream(12);
+  const auto a = testsupport::gaussian_matrix(60, 5, stream);
+  const auto o = dense_oracle(test_context(), a);
+  LeverageOptions opt;
+  opt.seed = 41;
+  opt.probe_batch = 16;  // the old fixed batch width: the reference
+  const auto batched = leverage_scores_jl(test_context(), o, opt);
+  opt.probe_batch = 0;
+  const auto full = leverage_scores_jl(test_context(), o, opt);
+  opt.probe_batch = 7;
+  const auto odd = leverage_scores_jl(test_context(), o, opt);
+  ASSERT_EQ(full.size(), batched.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], batched[i]) << "i=" << i;
+    EXPECT_EQ(odd[i], batched[i]) << "i=" << i;
+  }
+}
+
 TEST(LeverageScores, JlDeterministicInSeed) {
   rng::Stream stream(10);
   const auto a = testsupport::gaussian_matrix(25, 3, stream);

@@ -13,9 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/factor_cache.h"
@@ -383,6 +386,98 @@ TEST(SolverService, SparsifyAndMcmfRideTheService) {
   EXPECT_EQ(mf_reply.mcmf.flow.value, direct_mf.result.flow.value);
   EXPECT_EQ(mf_reply.mcmf.flow.cost, direct_mf.result.flow.cost);
   EXPECT_EQ(mf_reply.mcmf.flow.flow, direct_mf.result.flow.flow);
+}
+
+TEST(FactorCacheDedup, ConcurrentColdPreparesRunOnePrepare) {
+  // Prepare-in-flight dedup (core/factor_cache.h): N Runtimes sharing one
+  // cache race the same cold key; exactly one runs the prepare (one cache
+  // miss, one sparsify), the rest block on the in-flight registration and
+  // adopt the published artifact as hits — with bitwise-identical replies.
+  const graph::Graph g = service_test_graph();
+  const Vec b = gaussian_rhs(g.num_vertices(), 31);
+  auto shared = std::make_shared<core::FactorCache>(64u << 20);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::unique_ptr<Runtime>> runtimes;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    RuntimeOptions ropts;
+    ropts.threads = 1;
+    ropts.seed = 19;
+    ropts.factor_cache = shared;
+    runtimes.push_back(std::make_unique<Runtime>(ropts));
+  }
+
+  // Start barrier so the solves genuinely overlap — the point is the
+  // join path, not N sequential warm hits.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  std::vector<LaplacianRun> runs(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++arrived == kThreads) cv.notify_all();
+        cv.wait(lock, [&] { return arrived == kThreads; });
+      }
+      runs[i] = runtimes[i]->solve_laplacian(g, b, facade_options());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::size_t total_sparsifies = 0, total_hits = 0, total_misses = 0;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(runs[i].usable) << "thread " << i;
+    total_sparsifies += runs[i].stats.sparsify_count;
+    total_hits += runs[i].stats.cache_hits;
+    total_misses += runs[i].stats.cache_misses;
+    EXPECT_TRUE(BitwiseEqual(runs[i].x, runs[0].x)) << "thread " << i;
+  }
+  EXPECT_EQ(total_misses, 1u);
+  EXPECT_EQ(total_hits, kThreads - 1);
+  EXPECT_EQ(total_sparsifies, 1u);
+  EXPECT_EQ(shared->misses(), 1u);
+  EXPECT_EQ(shared->entries(), 1u);
+}
+
+TEST(FactorCacheDedup, FourWorkerColdBurstPreparesOnce) {
+  // The bench_service regression this closes: a 4-worker cold burst on
+  // one topology used to run four redundant prepares (coalescing only
+  // merges requests still queued — once each worker holds one, they raced
+  // the full sparsify+factor). max_coalesce = 1 forces that shape
+  // deterministically; dedup must reduce it to one prepare.
+  const graph::Graph g = service_test_graph();
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.max_coalesce = 1;
+  SolverService service(opts);
+
+  std::vector<Submission> subs;
+  for (std::uint64_t rhs = 1; rhs <= 4; ++rhs) {
+    subs.push_back(service.submit(solve_request(g, rhs)));
+    ASSERT_TRUE(subs.back().accepted());
+  }
+
+  RuntimeOptions ropts;
+  ropts.threads = 1;
+  ropts.seed = 19;
+  Runtime rt(ropts);
+  for (std::uint64_t rhs = 1; rhs <= 4; ++rhs) {
+    const auto& reply = subs[rhs - 1].reply->wait();
+    ASSERT_EQ(reply.status, ReplyStatus::kOk);
+    const auto direct = rt.solve_laplacian(g, gaussian_rhs(g.num_vertices(), rhs),
+                                           facade_options());
+    EXPECT_TRUE(BitwiseEqual(reply.x, direct.x)) << "rhs " << rhs;
+  }
+  service.shutdown();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.totals.sparsify_count, 1u);
+  EXPECT_EQ(stats.totals.cache_misses, 1u);
+  EXPECT_EQ(stats.totals.cache_hits, 3u);
+  EXPECT_EQ(stats.cache.misses, 1u);
 }
 
 TEST(SolverService, ShutdownDrainsEveryAcceptedRequestThenRejects) {
